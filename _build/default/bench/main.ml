@@ -1,0 +1,451 @@
+(* Benchmark harness: regenerates every table and figure of the
+   paper's evaluation (see DESIGN.md §3 for the experiment index).
+
+   Each experiment has (a) a printed reproduction of the paper's
+   table/figure — paper value next to measured value — and (b) a
+   Bechamel micro-benchmark of its computational kernel.
+
+   Run with:       dune exec bench/main.exe
+   Skip the slow secure row with:  dune exec bench/main.exe -- --fast *)
+
+module Nfa = Automata.Nfa
+module Ops = Automata.Ops
+module Stats = Automata.Stats
+module System = Dprle.System
+module Solver = Dprle.Solver
+module Ci = Dprle.Ci
+
+let re = System.const_of_regex
+
+let time_once f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+let hr title =
+  Fmt.pr "@.%s@.%s@." title (String.make (String.length title) '=')
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 1 / §2: the motivating system                                 *)
+
+let fig1_system =
+  Dprle.Sysparse.parse_exn
+    {| let filter = /[\d]+$/;
+       let prefix = "nid_";
+       let unsafe = /'/;
+       v1 <= filter;
+       prefix . v1 <= unsafe; |}
+
+let fig1_solve () = Solver.solve_system ~max_solutions:4 fig1_system
+
+let fig1_report () =
+  hr "Fig. 1 / section 2 — motivating SQL-injection system";
+  let outcome, dt = time_once fig1_solve in
+  (match outcome with
+  | Solver.Sat [ a ] ->
+      let v1 = Dprle.Assignment.find a "v1" in
+      Fmt.pr "solution: v1 accepts %S: %b; rejects %S: %b (%.4f s)@."
+        "' OR 1=1 ; DROP news --9"
+        (Nfa.accepts v1 "' OR 1=1 ; DROP news --9")
+        "42" (Nfa.accepts v1 "42") dt
+  | Solver.Sat l -> Fmt.pr "unexpected: %d solutions@." (List.length l)
+  | Solver.Unsat r -> Fmt.pr "unexpected unsat: %s@." r);
+  Fmt.pr "paper: v1 = all strings that contain a quote and end with a digit@."
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 4: concat-intersect machine shapes on the running example     *)
+
+let fig4_inputs () =
+  ( Automata.Lang.compact (System.const_of_word "nid_"),
+    Automata.Lang.compact (System.const_of_pattern "/[\\d]+$/"),
+    Automata.Lang.compact (System.const_of_pattern "/'/") )
+
+let fig4_run () =
+  let c1, c2, c3 = fig4_inputs () in
+  Ci.concat_intersect c1 c2 c3
+
+let fig4_report () =
+  hr "Fig. 4 — intermediate machines of concat-intersect";
+  let ({ Ci.solutions; m4; m5 }, dt) = time_once fig4_run in
+  let c1, c2, c3 = fig4_inputs () in
+  Fmt.pr "%-22s %8s  (paper's drawing)@." "machine" "states";
+  List.iter
+    (fun (name, m, paper) ->
+      Fmt.pr "%-22s %8d  (%s)@." name (Nfa.num_states m) paper)
+    [
+      ("M1 = nid_", c1, "5 states a1-a5");
+      ("M2 = Sigma*[0-9]", c2, "2 states b1-b2");
+      ("M3 = Sigma*'Sigma*", c3, "2 states d1-d2");
+      ("M4 = M1 . M2", m4, "7 states + eps bridge");
+      ("M5 = M4 n M3", m5, "reachable pairs");
+    ];
+  Fmt.pr "eps-cuts: %d (paper: exactly one, at a5d1 -> b1d1); time %.4f s@."
+    (List.length solutions) dt;
+  match solutions with
+  | [ { Ci.v1; v2; _ } ] ->
+      Fmt.pr "v1 = /%s/ (paper: nid_)@." (Regex.State_elim.to_string v1);
+      Fmt.pr "v2 accepts \"' OR 1=1 ; DROP news --9\": %b@."
+        (Nfa.accepts v2 "' OR 1=1 ; DROP news --9")
+  | _ -> Fmt.pr "unexpected solution count@."
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 9/10: CI-group with a shared variable                         *)
+
+let fig9_system =
+  System.make_exn
+    ~consts:
+      [
+        ("ca", re "o(pp)+"); ("cb", re "p*(qq)+"); ("cc", re "q*r");
+        ("c1", re "op{5}q*"); ("c2", re "p*q{4}r");
+      ]
+    ~constraints:
+      [
+        { lhs = Var "va"; rhs = "ca" };
+        { lhs = Var "vb"; rhs = "cb" };
+        { lhs = Var "vc"; rhs = "cc" };
+        { lhs = Concat (Var "va", Var "vb"); rhs = "c1" };
+        { lhs = Concat (Var "vb", Var "vc"); rhs = "c2" };
+      ]
+
+let fig9_solve () = Solver.solve_system fig9_system
+
+let fig9_report () =
+  hr "Fig. 9/10 — coupled concatenations (gci)";
+  let outcome, dt = time_once fig9_solve in
+  match outcome with
+  | Solver.Unsat r -> Fmt.pr "unexpected unsat: %s@." r
+  | Solver.Sat solutions ->
+      Fmt.pr "maximal disjunctive solutions: %d (%.4f s)@."
+        (List.length solutions) dt;
+      List.iter
+        (fun a -> Fmt.pr "  %a@." Dprle.Assignment.pp_witnesses a)
+        solutions;
+      Fmt.pr
+        "paper 3.4.4 prints A1=[op2,p3q2,q2r] and A2=[op4,pq2,q2r]; the same@.";
+      Fmt.pr
+        "maximality semantics also admits the two vc=r variants (EXPERIMENTS.md).@."
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 11: the corpus table                                          *)
+
+let fig11_report () =
+  hr "Fig. 11 — evaluation corpus (synthetic reconstruction)";
+  Fmt.pr "%-8s %-8s | %6s %8s %10s | %6s %8s %10s@." "Name" "Version" "files"
+    "LOC" "vulnerable" "files'" "LOC'" "vulnerable'";
+  Fmt.pr "%-8s %-8s | %26s | %26s@." "" "" "--- paper ---" "--- regenerated ---";
+  List.iter
+    (fun app ->
+      let files = Corpus.Fig11.generate app in
+      let loc =
+        List.fold_left (fun acc (_, p) -> acc + Webapp.Ast.loc p) 0 files
+      in
+      let vulns =
+        List.length
+          (List.filter
+             (fun (name, _) ->
+               not (String.length name >= 5 && String.sub name 0 5 = "page_"))
+             files)
+      in
+      Fmt.pr "%-8s %-8s | %6d %8d %10d | %6d %8d %10d@." app.Corpus.Fig11.name
+        app.version app.files app.loc app.vulnerable (List.length files) loc
+        vulns)
+    Corpus.Fig11.apps
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 12: the main results table                                    *)
+
+let solve_row row =
+  let program = Corpus.Fig12.program row in
+  let candidates =
+    Webapp.Symexec.analyze ~max_paths:4096 ~attack:Corpus.Fig12.attack program
+  in
+  match candidates with
+  | [ q ] -> (q, Webapp.Symexec.solve q)
+  | qs ->
+      failwith (Printf.sprintf "expected one candidate, got %d" (List.length qs))
+
+let fig12_report ~fast () =
+  hr "Fig. 12 — per-vulnerability constraint solving";
+  Fmt.pr "%-8s %-10s | %5s %5s %9s | %5s %5s %9s@." "app" "name" "|FG|" "|C|"
+    "TS(s)" "|FG|'" "|C|'" "TS'(s)";
+  Fmt.pr "%-8s %-10s | %21s | %21s@." "" "" "------- paper ------"
+    "------ measured -----";
+  let measured = ref [] in
+  List.iter
+    (fun ({ Corpus.Fig12.app; name; fg; c; paper_ts } as row) ->
+      if fast && name = "secure" then
+        Fmt.pr "%-8s %-10s | %5d %5d %9.3f | %21s@." app name fg c paper_ts
+          "skipped (--fast)"
+      else begin
+        let program = Corpus.Fig12.program row in
+        let fg' = Webapp.Ast.basic_blocks program in
+        let (q, solved), ts = time_once (fun () -> solve_row row) in
+        let status = match solved with Some _ -> "" | None -> " UNSAT?" in
+        measured := (name, paper_ts, ts) :: !measured;
+        Fmt.pr "%-8s %-10s | %5d %5d %9.3f | %5d %5d %9.3f%s@." app name fg c
+          paper_ts fg' q.Webapp.Symexec.constraint_count ts status
+      end)
+    Corpus.Fig12.rows;
+  (* shape check: how many rows solve in under a second, and is the
+     secure row the outlier, as in the paper (16 of 17 < 1 s)? *)
+  let sub_second =
+    List.length (List.filter (fun (_, _, ts) -> ts < 1.0) !measured)
+  in
+  Fmt.pr "@.sub-second rows: %d/%d measured (paper: 16/17)@." sub_second
+    (List.length !measured);
+  match
+    List.assoc_opt "secure" (List.map (fun (n, _, ts) -> (n, ts)) !measured)
+  with
+  | Some ts ->
+      let rest =
+        List.filter_map
+          (fun (n, _, ts) -> if n = "secure" then None else Some ts)
+          !measured
+      in
+      let worst_rest = List.fold_left max 0.0 rest in
+      Fmt.pr "secure outlier factor: %.0fx the slowest other row (paper: %.0fx)@."
+        (ts /. worst_rest)
+        (577.0 /. 0.65)
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Section 3.5: state-space complexity sweeps                         *)
+
+(* Structured Q-parameterized language family: [a{0,Q}] machines have
+   Θ(Q) states, and [(aa){0,Q}] as the bound gives Θ(Q) ε-cuts, so
+   both the machine-size and the enumeration terms of the paper's
+   analysis are exercised with a clean growth signal. *)
+let chain q = Ops.repeat (Nfa.of_charset (Charset.singleton 'a')) ~min_count:0 ~max_count:(Some q)
+
+let even_chain q =
+  Ops.repeat (Nfa.of_word "aa") ~min_count:0 ~max_count:(Some q)
+
+let sec35_single q =
+  let c1 = chain q and c2 = chain q in
+  let c3 = even_chain q in
+  Stats.reset ();
+  let { Ci.solutions; m5; _ } = Ci.concat_intersect c1 c2 c3 in
+  let s = Stats.snapshot () in
+  (s.visited, Nfa.num_states m5, List.length solutions)
+
+(* (c1 ∘ c2) ∘ c3 intersected with c4 — the paper's two-level case.
+   We build the machine exactly as the solver does and count, via the
+   provenance maps, how many ε-cut combinations (= disjunctive
+   solutions before the emptiness filter) the enumeration would have
+   to visit: the |solutions| × |machine| product is the O(Q⁵) term of
+   §3.5. *)
+let sec35_chained q =
+  let c1 = chain q and c2 = chain q and c3 = chain q in
+  let c4 = Ops.repeat (Nfa.of_word "aaa") ~min_count:0 ~max_count:(Some q) in
+  Stats.reset ();
+  let inner = Ops.concat c1 c2 in
+  let outer = Ops.concat inner.machine c3 in
+  let prod = Ops.intersect outer.machine c4 in
+  let visited = (Stats.snapshot ()).visited in
+  let count_cuts (src, dst) embed =
+    List.length
+      (List.filter
+         (fun s ->
+           let p, d = prod.pair_of s in
+           p = embed src
+           &&
+           match prod.state_of_pair (embed dst, d) with
+           | Some s' -> Nfa.has_eps_edge prod.machine s s'
+           | None -> false)
+         (Nfa.states prod.machine))
+  in
+  let outer_cuts = count_cuts outer.bridge Fun.id in
+  let inner_cuts = count_cuts inner.bridge outer.left_embed in
+  (visited, Nfa.num_states prod.machine, inner_cuts * outer_cuts)
+
+let sec35_report () =
+  hr "Section 3.5 — state-space complexity of concat-intersect";
+  Fmt.pr "single CI call: machine construction is O(Q^2) states visited; full@.";
+  Fmt.pr "enumeration is bounded by |M3| solutions (O(Q^3) total).@.@.";
+  Fmt.pr "%6s %12s %12s %10s %12s %14s@." "Q" "visited" "/Q^2" "|M5|"
+    "solutions" "sols*|M5|/Q^3";
+  List.iter
+    (fun q ->
+      let visited, m5, sols = sec35_single q in
+      Fmt.pr "%6d %12d %12.2f %10d %12d %14.3f@." q visited
+        (float_of_int visited /. float_of_int (q * q))
+        m5 sols
+        (float_of_int (sols * m5) /. float_of_int (q * q * q)))
+    [ 4; 8; 16; 32; 64 ];
+  Fmt.pr "@.chained (v1.v2).v3 <= c4 — inductive application (paper: O(Q^5) bound):@.";
+  Fmt.pr "%6s %12s %12s %10s %12s %16s@." "Q" "visited" "/Q^2" "|M|" "combos"
+    "combos*|M|/Q^4";
+  List.iter
+    (fun q ->
+      let visited, m, combos = sec35_chained q in
+      Fmt.pr "%6d %12d %12.2f %10d %12d %16.4f@." q visited
+        (float_of_int visited /. float_of_int (q * q))
+        m combos
+        (float_of_int (combos * m)
+        /. (float_of_int q ** 4.0)))
+    [ 4; 8; 16; 32; 64 ];
+  Fmt.pr "(stabilizing ratios: machine construction stays quadratic in Q while@.";
+  Fmt.pr " eager enumeration of every disjunct grows as Θ(Q^4) on this family —@.";
+  Fmt.pr " within the paper's O(Q^5) worst-case bound.)@."
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: NFA minimization of intermediate machines (§4 remark)    *)
+
+(* The same language as /'/ but with k redundant copies unioned in:
+   models the unminimized intermediate machines the paper blames for
+   the secure row. *)
+let bloated_attack k =
+  let quote () = System.const_of_pattern "/'/" in
+  let rec go n acc =
+    if n = 0 then acc else go (n - 1) (Ops.union_lang acc (quote ()))
+  in
+  go k (quote ())
+
+let ablation_inputs k =
+  let filler =
+    String.concat "" (List.init 40 (fun i -> Printf.sprintf "col%d," i))
+  in
+  let c1 =
+    System.const_of_word ("SELECT " ^ filler ^ " FROM news WHERE id=nid_")
+  in
+  let c2 = System.const_of_pattern "/[\\d]+$/" in
+  (c1, c2, bloated_attack k)
+
+let ablation_run c1 c2 c3 =
+  Stats.reset ();
+  let { Ci.solutions; m5; _ } = Ci.concat_intersect c1 c2 c3 in
+  ((Stats.snapshot ()).visited, Nfa.num_states m5, List.length solutions)
+
+let ablation_report () =
+  hr "Ablation — minimizing intermediate NFAs (paper section 4 remark)";
+  Fmt.pr "the paper: \"more efficient use of the intermediate NFAs (e.g., by@.";
+  Fmt.pr " applying NFA minimization techniques) might improve performance\"@.@.";
+  Fmt.pr "%4s | %10s %8s %6s | %10s %8s %6s@." "k" "visited" "|M5|" "cuts"
+    "visited'" "|M5|'" "cuts'";
+  Fmt.pr "%4s | %26s | %26s@." "" "---- raw machines ----"
+    "---- minimized first ----";
+  List.iter
+    (fun k ->
+      let c1, c2, c3 = ablation_inputs k in
+      let v, m, s = ablation_run c1 c2 c3 in
+      let v', m', s' =
+        ablation_run (Automata.Lang.compact c1) (Automata.Lang.compact c2)
+          (Automata.Lang.compact c3)
+      in
+      Fmt.pr "%4d | %10d %8d %6d | %10d %8d %6d@." k v m s v' m' s')
+    [ 0; 1; 2; 4; 8; 16 ];
+  Fmt.pr "@.minimization collapses the redundant copies: visited' stays flat@.";
+  Fmt.pr "while visited grows linearly in k, and the spurious duplicate@.";
+  Fmt.pr "eps-cuts (one per redundant copy) disappear.@."
+
+(* ------------------------------------------------------------------ *)
+(* Extension experiment: solving through sanitizers (transducer
+   preimages) — the related-work FST direction made executable        *)
+
+let sanitizer_programs =
+  [
+    ("raw", {|$x = input("x");
+query("SELECT * FROM t WHERE a = '" . $x . "'");|});
+    ("strip", {|$x = input("x");
+query("SELECT * FROM t WHERE a = '" . str_replace("'", "", $x) . "'");|});
+    ("addslashes", {|$x = input("x");
+query("SELECT * FROM t WHERE a = '" . addslashes($x) . "'");|});
+  ]
+
+let sanitizer_solve source =
+  Webapp.Symexec.first_exploit ~attack:Webapp.Attack.unbalanced_quote
+    (Webapp.Lang_parser.parse_exn source)
+
+let sanitizers_report () =
+  hr "Extension — sanitizer verification via transducer preimages";
+  Fmt.pr "attack: odd number of unescaped quotes (break out of the literal)@.";
+  List.iter
+    (fun (name, source) ->
+      let outcome, dt = time_once (fun () -> sanitizer_solve source) in
+      match outcome with
+      | Some inputs ->
+          Fmt.pr "%-12s EXPLOITABLE  x = %S  (%.3f s)@." name
+            (List.assoc "x" inputs) dt
+      | None -> Fmt.pr "%-12s proved clean (unsat)  (%.3f s)@." name dt)
+    sanitizer_programs;
+  Fmt.pr "expected shape: raw exploitable; addslashes proved clean.@."
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one kernel per experiment               *)
+
+let bechamel_tests =
+  let open Bechamel in
+  Test.make_grouped ~name:"dprle"
+    [
+      Test.make ~name:"fig1/solve_motivating" (Staged.stage fig1_solve);
+      Test.make ~name:"fig4/concat_intersect" (Staged.stage fig4_run);
+      Test.make ~name:"fig9/solve_cigroup" (Staged.stage fig9_solve);
+      Test.make ~name:"fig11/generate_eve"
+        (Staged.stage (fun () ->
+             Corpus.Fig11.generate (List.hd Corpus.Fig11.apps)));
+      Test.make ~name:"fig12/solve_ax_help"
+        (Staged.stage (fun () ->
+             solve_row
+               (List.find
+                  (fun r -> r.Corpus.Fig12.name = "ax_help")
+                  Corpus.Fig12.rows)));
+      Test.make ~name:"sec35/ci_q16" (Staged.stage (fun () -> sec35_single 16));
+      Test.make ~name:"extension/sanitizer_addslashes"
+        (Staged.stage (fun () -> sanitizer_solve (List.assoc "addslashes" sanitizer_programs)));
+      (* inputs are prepared outside the staged closures so both
+         variants time only the concat-intersect call *)
+      (let c1, c2, c3 = ablation_inputs 8 in
+       Test.make ~name:"ablation/ci_bloated_k8"
+         (Staged.stage (fun () -> ablation_run c1 c2 c3)));
+      (let c1, c2, c3 = ablation_inputs 8 in
+       let c1 = Automata.Lang.compact c1
+       and c2 = Automata.Lang.compact c2
+       and c3 = Automata.Lang.compact c3 in
+       Test.make ~name:"ablation/ci_minimized_k8"
+         (Staged.stage (fun () -> ablation_run c1 c2 c3)));
+    ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  hr "Bechamel micro-benchmarks (OLS fit per run)";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] bechamel_tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name result acc ->
+        let ns =
+          match Analyze.OLS.estimates result with
+          | Some (est :: _) -> est
+          | _ -> Float.nan
+        in
+        (name, ns) :: acc)
+      results []
+  in
+  List.iter
+    (fun (name, ns) ->
+      if ns >= 1e9 then Fmt.pr "%-36s %12.3f s/run@." name (ns /. 1e9)
+      else if ns >= 1e6 then Fmt.pr "%-36s %12.3f ms/run@." name (ns /. 1e6)
+      else Fmt.pr "%-36s %12.3f us/run@." name (ns /. 1e3))
+    (List.sort compare rows)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let fast = Array.exists (( = ) "--fast") Sys.argv in
+  Fmt.pr "DPRLE benchmark harness — every table and figure of the paper@.";
+  if fast then Fmt.pr "(--fast: skipping the secure row)@.";
+  fig1_report ();
+  fig4_report ();
+  fig9_report ();
+  fig11_report ();
+  fig12_report ~fast ();
+  sec35_report ();
+  ablation_report ();
+  sanitizers_report ();
+  run_bechamel ();
+  Fmt.pr "@.done.@."

@@ -1,0 +1,1 @@
+bin/corpusgen_main.ml: Arg Cmd Cmdliner Corpus Filename Fmt List Out_channel String Sys Term Webapp

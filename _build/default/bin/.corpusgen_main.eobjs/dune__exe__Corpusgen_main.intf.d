@@ -1,0 +1,1 @@
+bin/corpusgen_main.mli:

@@ -1,0 +1,1 @@
+bin/dprle_main.ml: Arg Cmd Cmdliner Dprle Fmt List Logs Logs_fmt Option Out_channel Term

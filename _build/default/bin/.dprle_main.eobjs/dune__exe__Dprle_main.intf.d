@@ -1,0 +1,1 @@
+bin/dprle_main.mli:

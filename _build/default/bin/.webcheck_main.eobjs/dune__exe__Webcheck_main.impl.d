@@ -1,0 +1,1 @@
+bin/webcheck_main.ml: Arg Array Cmd Cmdliner Filename Fmt In_channel List Logs Logs_fmt Sql String Sys Term Unix Webapp

@@ -1,0 +1,1 @@
+bin/webcheck_main.mli:

@@ -1,0 +1,59 @@
+(* corpusgen — write the synthetic evaluation corpus (Fig. 11 of the
+   paper) to disk as mini-PHP source files, so the whole §4 workflow
+   can be driven from the file system:
+
+     corpusgen --app eve /tmp/corpus
+     webcheck /tmp/corpus/eve            # scans every file *)
+
+open Cmdliner
+
+let write_app out_dir app =
+  let dir = Filename.concat out_dir app.Corpus.Fig11.name in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let files = Corpus.Fig11.generate app in
+  List.iter
+    (fun (name, program) ->
+      Out_channel.with_open_text (Filename.concat dir name) (fun oc ->
+          Out_channel.output_string oc (Webapp.Ast.to_source program)))
+    files;
+  let loc =
+    List.fold_left (fun acc (_, p) -> acc + Webapp.Ast.loc p) 0 files
+  in
+  Fmt.pr "%-8s %-8s %3d files %6d loc -> %s@." app.name app.version
+    (List.length files) loc dir
+
+let generate app_filter out_dir =
+  if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
+  let apps =
+    match app_filter with
+    | None -> Corpus.Fig11.apps
+    | Some name -> (
+        match
+          List.find_opt (fun a -> a.Corpus.Fig11.name = name) Corpus.Fig11.apps
+        with
+        | Some app -> [ app ]
+        | None ->
+            Fmt.epr "unknown app %S (known: %s)@." name
+              (String.concat ", "
+                 (List.map (fun a -> a.Corpus.Fig11.name) Corpus.Fig11.apps));
+            exit 2)
+  in
+  List.iter (write_app out_dir) apps;
+  0
+
+let () =
+  let app_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "app" ] ~docv:"NAME" ~doc:"Only this application (eve, utopia, warp).")
+  in
+  let out_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  let term = Term.(const generate $ app_arg $ out_arg) in
+  let info =
+    Cmd.info "corpusgen" ~version:"1.0.0"
+      ~doc:"Regenerate the synthetic evaluation corpus (Fig. 11) on disk."
+  in
+  exit (Cmd.eval' (Cmd.v info term))

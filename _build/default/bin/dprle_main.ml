@@ -1,0 +1,139 @@
+(* dprle — stand-alone constraint solver in the style of the tool the
+   paper released: reads a constraint file, prints the disjunctive
+   satisfying assignments (or "unsat"). *)
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let read_system path =
+  match Dprle.Sysparse.parse_file path with
+  | Ok system -> Ok system
+  | Error e -> Error (Fmt.str "%s: %a" path Dprle.Sysparse.pp_error e)
+
+let print_assignment index a ~witnesses_only =
+  Fmt.pr "@[<v2>solution %d:@ " (index + 1);
+  if witnesses_only then Fmt.pr "%a@ " Dprle.Assignment.pp_witnesses a
+  else begin
+    Fmt.pr "%a" Dprle.Assignment.pp a;
+    Fmt.pr "witness: %a@ " Dprle.Assignment.pp_witnesses a
+  end;
+  Fmt.pr "@]@."
+
+let solve_cmd path first max_solutions combination_limit witnesses_only dot
+    smtlib stats verbose =
+  setup_logs verbose;
+  match read_system path with
+  | Error msg ->
+      Fmt.epr "error: %s@." msg;
+      2
+  | Ok system -> (
+      let graph = Dprle.Depgraph.of_system system in
+      (match dot with
+      | None -> ()
+      | Some dot_path ->
+          Out_channel.with_open_text dot_path (fun oc ->
+              Out_channel.output_string oc (Dprle.Depgraph.to_dot graph)));
+      (match smtlib with
+      | None -> ()
+      | Some smt_path ->
+          Out_channel.with_open_text smt_path (fun oc ->
+              Out_channel.output_string oc (Dprle.Smtlib.of_system system)));
+      let max_solutions = if first then 1 else max_solutions in
+      let outcome, report =
+        if stats then
+          let outcome, report =
+            Dprle.Report.solve_with_report ~max_solutions ~combination_limit graph
+          in
+          (outcome, Some report)
+        else (Dprle.Solver.solve ~max_solutions ~combination_limit graph, None)
+      in
+      Option.iter (fun r -> Fmt.pr "%a@.@." Dprle.Report.pp r) report;
+      match outcome with
+      | Dprle.Solver.Unsat reason ->
+          Fmt.pr "unsat: %s@." reason;
+          1
+      | Dprle.Solver.Sat solutions ->
+          Fmt.pr "sat: %d disjunctive solution(s)@." (List.length solutions);
+          List.iteri (fun i a -> print_assignment i a ~witnesses_only) solutions;
+          0)
+
+let check_cmd path verbose =
+  setup_logs verbose;
+  match read_system path with
+  | Error msg ->
+      Fmt.epr "error: %s@." msg;
+      2
+  | Ok system -> (
+      match Dprle.Solver.solve_system ~max_solutions:1 system with
+      | Dprle.Solver.Sat _ ->
+          Fmt.pr "sat@.";
+          0
+      | Dprle.Solver.Unsat reason ->
+          Fmt.pr "unsat: %s@." reason;
+          1)
+
+open Cmdliner
+
+let path_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Constraint file.")
+
+let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.")
+
+let solve_term =
+  let first =
+    Arg.(value & flag & info [ "first" ] ~doc:"Stop at the first solution.")
+  in
+  let max_solutions =
+    Arg.(
+      value & opt int 256
+      & info [ "max-solutions" ] ~docv:"N" ~doc:"Cap on disjunctive solutions.")
+  in
+  let combination_limit =
+    Arg.(
+      value & opt int 4096
+      & info [ "combination-limit" ] ~docv:"N"
+          ~doc:"Cap on ε-cut combinations explored per CI-group.")
+  in
+  let witnesses_only =
+    Arg.(
+      value & flag
+      & info [ "witnesses" ] ~doc:"Print only witness strings, not languages.")
+  in
+  let dot =
+    Arg.(
+      value & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE" ~doc:"Write the dependency graph as DOT.")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print solver instrumentation.")
+  in
+  let smtlib =
+    Arg.(
+      value & opt (some string) None
+      & info [ "smtlib" ] ~docv:"FILE"
+          ~doc:"Export the system as an SMT-LIB 2.6 strings-theory script.")
+  in
+  Term.(
+    const solve_cmd $ path_arg $ first $ max_solutions $ combination_limit
+    $ witnesses_only $ dot $ smtlib $ stats $ verbose_arg)
+
+let solve_cmd_info =
+  Cmd.info "solve" ~doc:"Solve a system of subset constraints over regular languages."
+
+let check_cmd_info = Cmd.info "check" ~doc:"Report only satisfiability (exit code 0/1)."
+
+let main_info =
+  Cmd.info "dprle" ~version:"1.0.0"
+    ~doc:
+      "Decision procedure for subset constraints over regular languages \
+       (Hooimeijer & Weimer, PLDI 2009)."
+
+let () =
+  exit
+    (Cmd.eval'
+       (Cmd.group main_info
+          [
+            Cmd.v solve_cmd_info solve_term;
+            Cmd.v check_cmd_info Term.(const check_cmd $ path_arg $ verbose_arg);
+          ]))

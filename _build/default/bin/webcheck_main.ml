@@ -1,0 +1,187 @@
+(* webcheck — end-to-end vulnerability finder: parses a mini-PHP file,
+   symbolically executes every path, solves the resulting constraint
+   systems, and prints exploit inputs (verified against the concrete
+   interpreter). This is the workflow of the paper's §4 evaluation. *)
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let read_program path =
+  let source = In_channel.with_open_text path In_channel.input_all in
+  match Webapp.Lang_parser.parse source with
+  | Ok program -> Ok program
+  | Error e -> Error (Fmt.str "%s: %a" path Webapp.Lang_parser.pp_error e)
+
+let attack_conv =
+  let parse s =
+    match Webapp.Attack.lookup s with
+    | Some lang -> Ok lang
+    | None ->
+        Error
+          (`Msg
+            (Fmt.str "unknown attack language %S (known: %s)" s
+               (String.concat ", " Webapp.Attack.names)))
+  in
+  Cmdliner.Arg.conv (parse, fun ppf _ -> Fmt.string ppf "<attack>")
+
+(* With --structural: recover the intended query by solving the same
+   path without the attack constraint, run both input vectors through
+   the interpreter, and compare the queries' parse structure. *)
+let structural_verdict program q exploit_inputs =
+  match Webapp.Symexec.benign_inputs q with
+  | None -> None
+  | Some benign_assignment ->
+      let fill inputs =
+        inputs
+        @ List.filter_map
+            (fun i -> if List.mem_assoc i inputs then None else Some (i, "a"))
+            (Webapp.Ast.inputs program)
+      in
+      let benign = fill (Webapp.Symexec.exploit_inputs q benign_assignment) in
+      let intended = Webapp.Eval.queries program ~inputs:benign in
+      let actual = Webapp.Eval.queries program ~inputs:exploit_inputs in
+      (match
+         ( List.nth_opt intended q.Webapp.Symexec.sink_index,
+           List.nth_opt actual q.Webapp.Symexec.sink_index )
+       with
+      | Some i, Some a -> Some (i, Sql.Analysis.compare_queries ~intended:i ~actual:a)
+      | _ -> None)
+
+let check_one path attack all structural max_paths =
+  match read_program path with
+  | Error msg ->
+      Fmt.epr "error: %s@." msg;
+      2
+  | Ok program ->
+      let candidates = Webapp.Symexec.analyze ~max_paths ~attack program in
+      Fmt.pr "%s: %d basic blocks, %d sink-reaching path candidates@." path
+        (Webapp.Ast.basic_blocks program)
+        (List.length candidates);
+      let vulnerable = ref 0 in
+      (try
+         List.iter
+           (fun q ->
+             match Webapp.Symexec.solve q with
+             | None -> ()
+             | Some assignment ->
+                 incr vulnerable;
+                 let inputs = Webapp.Symexec.exploit_inputs q assignment in
+                 let all_inputs =
+                   inputs
+                   @ List.filter_map
+                       (fun i ->
+                         if List.mem_assoc i inputs then None else Some (i, "a"))
+                       (Webapp.Ast.inputs program)
+                 in
+                 let confirmed =
+                   Webapp.Eval.vulnerable_run ~attack program ~inputs:all_inputs
+                 in
+                 Fmt.pr
+                   "@[<v2>VULNERABLE (path %d, sink %d, |C|=%d) — %s:@ %a@]@."
+                   q.path_id q.sink_index q.constraint_count
+                   (if confirmed then "exploit confirmed by concrete run"
+                    else "WARNING: exploit did not reproduce")
+                   Fmt.(
+                     list ~sep:cut (fun ppf (k, v) -> Fmt.pf ppf "%s = %S" k v))
+                   all_inputs;
+                 if structural then begin
+                   match structural_verdict program q all_inputs with
+                   | Some (intended, Some reason) ->
+                       Fmt.pr "  intended query: %s@." intended;
+                       Fmt.pr "  structural verdict: %a@." Sql.Analysis.pp_reason
+                         reason
+                   | Some (intended, None) ->
+                       Fmt.pr "  intended query: %s@." intended;
+                       Fmt.pr
+                         "  structural verdict: same structure (the regular \
+                          approximation over-approximated)@."
+                   | None ->
+                       Fmt.pr "  structural verdict: no benign baseline found@."
+                 end;
+                 if not all then raise Exit)
+           candidates
+       with Exit -> ());
+      if !vulnerable = 0 then begin
+        Fmt.pr "no exploitable path found@.";
+        1
+      end
+      else 0
+
+(* Directory mode: scan every .mphp file, then print the per-app
+   summary the paper's Fig. 11 "vulnerable" column reports. *)
+let check_dir dir attack structural max_paths =
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".mphp")
+    |> List.sort compare
+  in
+  if files = [] then begin
+    Fmt.epr "no .mphp files in %s@." dir;
+    2
+  end
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let vulnerable =
+      List.filter
+        (fun f ->
+          let code =
+            check_one (Filename.concat dir f) attack false structural max_paths
+          in
+          Fmt.pr "@.";
+          code = 0)
+        files
+    in
+    Fmt.pr "=== %s: %d files scanned, %d vulnerable (%.2f s) ===@." dir
+      (List.length files) (List.length vulnerable)
+      (Unix.gettimeofday () -. t0);
+    List.iter (fun f -> Fmt.pr "  vulnerable: %s@." f) vulnerable;
+    0
+  end
+
+let check_cmd path attack all structural max_paths verbose =
+  setup_logs verbose;
+  if Sys.is_directory path then check_dir path attack structural max_paths
+  else check_one path attack all structural max_paths
+
+open Cmdliner
+
+let () =
+  let path_arg =
+    Arg.(
+      required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Mini-PHP source file.")
+  in
+  let attack_arg =
+    Arg.(
+      value
+      & opt attack_conv Webapp.Attack.contains_quote
+      & info [ "attack" ] ~docv:"LANG"
+          ~doc:"Attack language: quote, tautology, drop, comment, or any.")
+  in
+  let all_arg =
+    Arg.(value & flag & info [ "all" ] ~doc:"Report every vulnerable path, not just the first.")
+  in
+  let structural_arg =
+    Arg.(
+      value & flag
+      & info [ "structural" ]
+          ~doc:
+            "Confirm exploits structurally: compare the parse structure of \
+             the intended and subverted SQL (Su-Wassermann criterion).")
+  in
+  let max_paths_arg =
+    Arg.(value & opt int 4096 & info [ "max-paths" ] ~docv:"N" ~doc:"Path exploration bound.")
+  in
+  let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.") in
+  let term =
+    Term.(
+      const check_cmd $ path_arg $ attack_arg $ all_arg $ structural_arg
+      $ max_paths_arg $ verbose_arg)
+  in
+  let info =
+    Cmd.info "webcheck" ~version:"1.0.0"
+      ~doc:
+        "Find SQL-injection exploits in mini-PHP programs via symbolic \
+         execution and the DPRLE decision procedure."
+  in
+  exit (Cmd.eval' (Cmd.v info term))

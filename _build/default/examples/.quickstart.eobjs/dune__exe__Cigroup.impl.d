@@ -1,0 +1,1 @@
+examples/cigroup.ml: Dprle Fmt List String

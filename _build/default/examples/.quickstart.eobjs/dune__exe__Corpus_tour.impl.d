@@ -1,0 +1,1 @@
+examples/corpus_tour.ml: Corpus Fmt List String Unix Webapp

@@ -1,0 +1,1 @@
+examples/extensions.ml: Automata Char Dprle Fmt List Regex String Webapp

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dprle Fmt List

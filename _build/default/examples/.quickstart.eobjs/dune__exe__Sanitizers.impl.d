@@ -1,0 +1,1 @@
+examples/sanitizers.ml: Automata Dprle Fmt List Regex Sql Webapp

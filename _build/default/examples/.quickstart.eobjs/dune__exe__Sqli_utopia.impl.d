@@ -1,0 +1,1 @@
+examples/sqli_utopia.ml: Automata Dprle Fmt List Regex String Webapp

@@ -1,0 +1,1 @@
+examples/sqli_utopia.mli:

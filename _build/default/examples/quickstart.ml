@@ -1,0 +1,64 @@
+(* Quickstart: build and solve small constraint systems with the
+   public API. Run with:  dune exec examples/quickstart.exe
+
+   Reproduces the two worked examples of §3.1.1 of the paper. *)
+
+module System = Dprle.System
+module Solver = Dprle.Solver
+module Assignment = Dprle.Assignment
+
+let solve_and_print title system =
+  Fmt.pr "== %s ==@." title;
+  Fmt.pr "system:@.  @[<v>%a@]@." System.pp system;
+  (match Solver.solve_system system with
+  | Solver.Unsat reason -> Fmt.pr "unsat: %s@." reason
+  | Solver.Sat solutions ->
+      Fmt.pr "%d disjunctive solution(s):@." (List.length solutions);
+      List.iteri
+        (fun i a ->
+          Fmt.pr "  -- solution %d --@.  @[<v>%a@]@." (i + 1) Assignment.pp a)
+        solutions);
+  Fmt.pr "@."
+
+let () =
+  (* Example 1 (§3.1.1): two subset constraints on one variable. The
+     unique maximal solution is the intersection, (xx)+y. *)
+  solve_and_print "section 3.1.1, example 1"
+    (System.make_exn
+       ~consts:
+         [
+           ("c1", System.const_of_regex "(xx)+y");
+           ("c2", System.const_of_regex "x*y");
+         ]
+       ~constraints:
+         [ { lhs = Var "v1"; rhs = "c1" }; { lhs = Var "v1"; rhs = "c2" } ]);
+
+  (* Example 2 (§3.1.1): concatenation makes solutions disjunctive.
+     The paper's two maximal assignments are
+       A1 = [v1 ↦ xyy,          v2 ↦ z|yyz]
+       A2 = [v1 ↦ x(yy|yyyy),   v2 ↦ z]     *)
+  solve_and_print "section 3.1.1, example 2 (disjunctive)"
+    (System.make_exn
+       ~consts:
+         [
+           ("c1", System.const_of_regex "x(yy)+");
+           ("c2", System.const_of_regex "(yy)*z");
+           ("c3", System.const_of_regex "xyyz|xyyyyz");
+         ]
+       ~constraints:
+         [
+           { lhs = Var "v1"; rhs = "c1" };
+           { lhs = Var "v2"; rhs = "c2" };
+           { lhs = Concat (Var "v1", Var "v2"); rhs = "c3" };
+         ]);
+
+  (* The same systems can be written in the concrete syntax and parsed
+     with Dprle.Sysparse — handy for files and the CLI. *)
+  let parsed =
+    Dprle.Sysparse.parse_exn
+      {| let lower = /^[a-z]+$/;
+         let short = /^.{1,3}$/;
+         word <= lower;
+         word <= short; |}
+  in
+  solve_and_print "parsed from concrete syntax" parsed

@@ -1,0 +1,1 @@
+lib/automata/dfa.ml: Array Buffer Charset Fmt Fun Hashtbl Int List Nfa Option Printf Queue Set String

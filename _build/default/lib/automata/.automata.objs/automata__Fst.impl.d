@@ -1,0 +1,1 @@
+lib/automata/fst.ml: Array Buffer Charset Dfa Hashtbl List Nfa Option Queue String

@@ -1,0 +1,1 @@
+lib/automata/fst.mli: Charset Nfa

@@ -1,0 +1,1 @@
+lib/automata/lang.ml: Dfa Nfa

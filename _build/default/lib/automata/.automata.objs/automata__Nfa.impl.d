@@ -1,0 +1,1 @@
+lib/automata/nfa.ml: Array Buffer Charset Fmt Fun Hashtbl Int List Map Option Printf Queue Set String

@@ -1,0 +1,1 @@
+lib/automata/ops.ml: Array Charset Fun Hashtbl List Nfa Queue Stats

@@ -1,0 +1,1 @@
+lib/automata/relabel.ml: Char Charset Fun List Nfa

@@ -1,0 +1,1 @@
+lib/automata/stats.ml: Fmt

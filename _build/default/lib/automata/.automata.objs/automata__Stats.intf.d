@@ -1,0 +1,1 @@
+lib/automata/stats.mli: Fmt

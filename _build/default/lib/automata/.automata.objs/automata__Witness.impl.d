@@ -1,0 +1,1 @@
+lib/automata/witness.ml: Charset Dfa List Nfa Ops Seq String

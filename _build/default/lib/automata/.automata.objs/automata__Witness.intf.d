@@ -1,0 +1,1 @@
+lib/automata/witness.mli: Charset Nfa Seq

@@ -1,0 +1,470 @@
+type state = int
+
+type t = {
+  n : int;
+  start : state;
+  finals : bool array;
+  trans : (Charset.t * state) list array; (* labels disjoint per state *)
+}
+
+let num_states d = d.n
+let start d = d.start
+let is_final d q = d.finals.(q)
+let transitions d q = d.trans.(q)
+
+let step d q c =
+  List.find_map
+    (fun (cs, q') -> if Charset.mem c cs then Some q' else None)
+    d.trans.(q)
+
+let accepts d w =
+  let rec go q i =
+    if i = String.length w then d.finals.(q)
+    else match step d q w.[i] with None -> false | Some q' -> go q' (i + 1)
+  in
+  go d.start 0
+
+(* Merge edges sharing a target into one charset-labelled edge. *)
+let merge_edges edges =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (cs, q) ->
+      let existing = Option.value (Hashtbl.find_opt tbl q) ~default:Charset.empty in
+      Hashtbl.replace tbl q (Charset.union existing cs))
+    edges;
+  Hashtbl.fold (fun q cs acc -> (cs, q) :: acc) tbl []
+
+let of_nfa (m : Nfa.t) =
+  let module SS = Nfa.StateSet in
+  let key set = SS.elements set in
+  let table : (Nfa.state list, state) Hashtbl.t = Hashtbl.create 64 in
+  let finals = ref [] in
+  let edges = ref [] in
+  let count = ref 0 in
+  let worklist = Queue.create () in
+  let materialize set =
+    let k = key set in
+    match Hashtbl.find_opt table k with
+    | Some q -> q
+    | None ->
+        let q = !count in
+        incr count;
+        Hashtbl.add table k q;
+        if SS.mem (Nfa.final m) set then finals := q :: !finals;
+        Queue.add (set, q) worklist;
+        q
+  in
+  let initial = Nfa.eps_closure m (SS.singleton (Nfa.start m)) in
+  let start_q = materialize initial in
+  while not (Queue.is_empty worklist) do
+    let set, src = Queue.take worklist in
+    let labels =
+      SS.fold (fun s acc -> List.map fst (Nfa.char_transitions m s) @ acc) set []
+    in
+    let blocks = Charset.refine labels in
+    let out =
+      List.filter_map
+        (fun block ->
+          let c = Charset.choose block in
+          let dst_set = Nfa.step m set c in
+          if SS.is_empty dst_set then None else Some (block, materialize dst_set))
+        blocks
+    in
+    edges := (src, merge_edges out) :: !edges
+  done;
+  let trans = Array.make !count [] in
+  List.iter (fun (src, out) -> trans.(src) <- out) !edges;
+  let finals_arr = Array.make !count false in
+  List.iter (fun q -> finals_arr.(q) <- true) !finals;
+  { n = !count; start = start_q; finals = finals_arr; trans }
+
+let to_nfa d =
+  let b = Nfa.Builder.create () in
+  let _ = Nfa.Builder.add_states b d.n in
+  let final = Nfa.Builder.add_state b in
+  Array.iteri
+    (fun q out ->
+      List.iter (fun (cs, q') -> Nfa.Builder.add_trans b q cs q') out;
+      if d.finals.(q) then Nfa.Builder.add_eps b q final)
+    d.trans;
+  Nfa.Builder.finish b ~start:d.start ~final
+
+(* Totalize: add an explicit non-accepting sink with a Σ self-loop and
+   route every missing label to it. *)
+let complete d =
+  let sink = d.n in
+  let trans = Array.make (d.n + 1) [] in
+  Array.iteri
+    (fun q out ->
+      let covered = List.fold_left (fun acc (cs, _) -> Charset.union acc cs) Charset.empty out in
+      let missing = Charset.complement covered in
+      trans.(q) <- (if Charset.is_empty missing then out else (missing, sink) :: out))
+    d.trans;
+  trans.(sink) <- [ (Charset.full, sink) ];
+  let finals = Array.make (d.n + 1) false in
+  Array.blit d.finals 0 finals 0 d.n;
+  { n = d.n + 1; start = d.start; finals; trans }
+
+(* Keep only states reachable from the start and co-reachable to some
+   final state; compact ids. An empty result is the canonical
+   one-state rejecting machine. *)
+let trim d =
+  let fwd = Array.make d.n false in
+  let rec visit q =
+    if not fwd.(q) then begin
+      fwd.(q) <- true;
+      List.iter (fun (_, q') -> visit q') d.trans.(q)
+    end
+  in
+  visit d.start;
+  let preds = Array.make d.n [] in
+  Array.iteri
+    (fun q out -> List.iter (fun (_, q') -> preds.(q') <- q :: preds.(q')) out)
+    d.trans;
+  let bwd = Array.make d.n false in
+  let rec visit_back q =
+    if not bwd.(q) then begin
+      bwd.(q) <- true;
+      List.iter visit_back preds.(q)
+    end
+  in
+  Array.iteri (fun q is_f -> if is_f then visit_back q) d.finals;
+  let live q = fwd.(q) && bwd.(q) in
+  if not (live d.start) then
+    { n = 1; start = 0; finals = [| false |]; trans = [| [] |] }
+  else begin
+    let rename = Array.make d.n (-1) in
+    let count = ref 0 in
+    for q = 0 to d.n - 1 do
+      if live q then begin
+        rename.(q) <- !count;
+        incr count
+      end
+    done;
+    let trans = Array.make !count [] in
+    let finals = Array.make !count false in
+    for q = 0 to d.n - 1 do
+      if live q then begin
+        trans.(rename.(q)) <-
+          List.filter_map
+            (fun (cs, q') -> if live q' then Some (cs, rename.(q')) else None)
+            d.trans.(q);
+        finals.(rename.(q)) <- d.finals.(q)
+      end
+    done;
+    { n = !count; start = rename.(d.start); finals; trans }
+  end
+
+let complement d =
+  let c = complete d in
+  { c with finals = Array.map not c.finals }
+
+(* Product of two completed machines; [combine] picks the accepting
+   predicate, so the same construction yields ∩ and ∪. *)
+let product combine d1 d2 =
+  let d1 = complete d1 and d2 = complete d2 in
+  let table = Hashtbl.create 64 in
+  let worklist = Queue.create () in
+  let count = ref 0 in
+  let cells = ref [] in
+  let materialize pair =
+    match Hashtbl.find_opt table pair with
+    | Some q -> q
+    | None ->
+        let q = !count in
+        incr count;
+        Hashtbl.add table pair q;
+        Queue.add (pair, q) worklist;
+        cells := (q, pair) :: !cells;
+        q
+  in
+  let start_q = materialize (d1.start, d2.start) in
+  let edges = ref [] in
+  while not (Queue.is_empty worklist) do
+    let (p, q), src = Queue.take worklist in
+    let out =
+      List.concat_map
+        (fun (cs1, p') ->
+          List.filter_map
+            (fun (cs2, q') ->
+              let label = Charset.inter cs1 cs2 in
+              if Charset.is_empty label then None
+              else Some (label, materialize (p', q')))
+            d2.trans.(q))
+        d1.trans.(p)
+    in
+    edges := (src, merge_edges out) :: !edges
+  done;
+  let trans = Array.make !count [] in
+  List.iter (fun (src, out) -> trans.(src) <- out) !edges;
+  let finals = Array.make !count false in
+  List.iter
+    (fun (q, (p1, p2)) -> finals.(q) <- combine d1.finals.(p1) d2.finals.(p2))
+    !cells;
+  trim { n = !count; start = start_q; finals; trans }
+
+let inter d1 d2 = product ( && ) d1 d2
+let union d1 d2 = product ( || ) d1 d2
+
+let is_empty_lang d =
+  let d = trim d in
+  not (Array.exists Fun.id d.finals)
+
+(* Moore partition refinement over the completed machine. The
+   transition alphabet is refined globally into blocks so each state's
+   behaviour is a finite signature of block→class entries. *)
+let minimize d0 =
+  let d = complete (trim d0) in
+  let blocks = ref [] in
+  Array.iter
+    (fun out -> List.iter (fun (cs, _) -> blocks := cs :: !blocks) out)
+    d.trans;
+  let alphabet = Charset.refine !blocks in
+  let reps = List.map Charset.choose alphabet in
+  let total_step q c =
+    match step d q c with
+    | Some q' -> q'
+    | None -> assert false (* machine is complete *)
+  in
+  let cls = Array.make d.n 0 in
+  Array.iteri (fun q is_f -> cls.(q) <- (if is_f then 1 else 0)) d.finals;
+  let changed = ref true in
+  let num_classes = ref 2 in
+  while !changed do
+    changed := false;
+    let signatures = Hashtbl.create d.n in
+    let next = Array.make d.n 0 in
+    let fresh = ref 0 in
+    for q = 0 to d.n - 1 do
+      let signature = (cls.(q), List.map (fun c -> cls.(total_step q c)) reps) in
+      let id =
+        match Hashtbl.find_opt signatures signature with
+        | Some id -> id
+        | None ->
+            let id = !fresh in
+            incr fresh;
+            Hashtbl.add signatures signature id;
+            id
+      in
+      next.(q) <- id
+    done;
+    if !fresh <> !num_classes then begin
+      changed := true;
+      num_classes := !fresh
+    end;
+    Array.blit next 0 cls 0 d.n
+  done;
+  let k = !num_classes in
+  let trans = Array.make k [] in
+  let finals = Array.make k false in
+  let seen = Array.make k false in
+  for q = 0 to d.n - 1 do
+    let c = cls.(q) in
+    if not seen.(c) then begin
+      seen.(c) <- true;
+      finals.(c) <- d.finals.(q);
+      let out =
+        List.filter_map
+          (fun block ->
+            let ch = Charset.choose block in
+            Some (block, cls.(total_step q ch)))
+          alphabet
+      in
+      trans.(c) <- merge_edges out
+    end
+  done;
+  trim { n = k; start = cls.(d.start); finals; trans }
+
+(* Determinization of the reversed machine, directly on DFA states
+   (predecessor subset construction). No ε-edges are introduced, so
+   the input's determinism makes the reversal co-deterministic — the
+   hypothesis Brzozowski's theorem needs. *)
+let reverse_det d =
+  let d = trim d in
+  let labels = ref [] in
+  Array.iter (fun out -> List.iter (fun (cs, _) -> labels := cs :: !labels) out) d.trans;
+  let alphabet = Charset.refine !labels in
+  let start_set =
+    Array.to_list d.finals
+    |> List.mapi (fun q is_f -> (q, is_f))
+    |> List.filter_map (fun (q, is_f) -> if is_f then Some q else None)
+  in
+  let module IS = Set.Make (Int) in
+  let start_set = IS.of_list start_set in
+  let table = Hashtbl.create 64 in
+  let worklist = Queue.create () in
+  let count = ref 0 in
+  let finals = ref [] in
+  let materialize set =
+    let k = IS.elements set in
+    match Hashtbl.find_opt table k with
+    | Some q -> q
+    | None ->
+        let q = !count in
+        incr count;
+        Hashtbl.add table k q;
+        if IS.mem d.start set then finals := q :: !finals;
+        Queue.add (set, q) worklist;
+        q
+  in
+  let start_q = materialize start_set in
+  let edges = ref [] in
+  while not (Queue.is_empty worklist) do
+    let set, src = Queue.take worklist in
+    let out =
+      List.filter_map
+        (fun block ->
+          let c = Charset.choose block in
+          let preds =
+            List.fold_left
+              (fun acc q ->
+                match step d q c with
+                | Some q' when IS.mem q' set -> IS.add q acc
+                | _ -> acc)
+              IS.empty (List.init d.n Fun.id)
+          in
+          if IS.is_empty preds then None else Some (block, materialize preds))
+        alphabet
+    in
+    edges := (src, merge_edges out) :: !edges
+  done;
+  let trans = Array.make !count [] in
+  List.iter (fun (src, out) -> trans.(src) <- out) !edges;
+  let finals_arr = Array.make !count false in
+  List.iter (fun q -> finals_arr.(q) <- true) !finals;
+  trim { n = !count; start = start_q; finals = finals_arr; trans }
+
+let minimize_brzozowski d = reverse_det (reverse_det d)
+
+(* Pairwise bisimulation check between completed machines. *)
+let equiv d1 d2 =
+  let d1 = complete (trim d1) and d2 = complete (trim d2) in
+  let visited = Hashtbl.create 64 in
+  let worklist = Queue.create () in
+  Queue.add (d1.start, d2.start) worklist;
+  Hashtbl.add visited (d1.start, d2.start) ();
+  let ok = ref true in
+  while !ok && not (Queue.is_empty worklist) do
+    let p, q = Queue.take worklist in
+    if d1.finals.(p) <> d2.finals.(q) then ok := false
+    else begin
+      let labels = List.map fst d1.trans.(p) @ List.map fst d2.trans.(q) in
+      List.iter
+        (fun block ->
+          let c = Charset.choose block in
+          match (step d1 p c, step d2 q c) with
+          | Some p', Some q' ->
+              if not (Hashtbl.mem visited (p', q')) then begin
+                Hashtbl.add visited (p', q') ();
+                Queue.add (p', q') worklist
+              end
+          | _ -> assert false (* both machines are complete *))
+        (Charset.refine labels)
+    end
+  done;
+  !ok
+
+let counterexample a b =
+  (* BFS on the product of [a] with the completion of [b], looking for
+     a state accepting in [a] but not in [b]. *)
+  let b = complete b in
+  let visited = Hashtbl.create 64 in
+  let worklist = Queue.create () in
+  Queue.add ((a.start, b.start), []) worklist;
+  Hashtbl.add visited (a.start, b.start) ();
+  let result = ref None in
+  (try
+     while not (Queue.is_empty worklist) do
+       let (p, q), word = Queue.take worklist in
+       if a.finals.(p) && not b.finals.(q) then begin
+         result := Some (List.rev word);
+         raise Exit
+       end;
+       List.iter
+         (fun (cs1, p') ->
+           List.iter
+             (fun (cs2, q') ->
+               let label = Charset.inter cs1 cs2 in
+               if not (Charset.is_empty label) && not (Hashtbl.mem visited (p', q'))
+               then begin
+                 Hashtbl.add visited (p', q') ();
+                 Queue.add ((p', q'), Charset.choose label :: word) worklist
+               end)
+             b.trans.(q))
+         a.trans.(p)
+     done
+   with Exit -> ());
+  Option.map
+    (fun chars -> String.init (List.length chars) (List.nth chars))
+    !result
+
+let subset a b = Option.is_none (counterexample a b)
+
+let shortest_word d =
+  let visited = Array.make d.n false in
+  let worklist = Queue.create () in
+  Queue.add (d.start, []) worklist;
+  visited.(d.start) <- true;
+  let result = ref None in
+  (try
+     while not (Queue.is_empty worklist) do
+       let q, word = Queue.take worklist in
+       if d.finals.(q) then begin
+         result := Some (List.rev word);
+         raise Exit
+       end;
+       List.iter
+         (fun (cs, q') ->
+           if not visited.(q') then begin
+             visited.(q') <- true;
+             Queue.add (q', Charset.choose cs :: word) worklist
+           end)
+         d.trans.(q)
+     done
+   with Exit -> ());
+  Option.map
+    (fun chars -> String.init (List.length chars) (List.nth chars))
+    !result
+
+let sample_words d ~max_len ~max_count =
+  let results = ref [] in
+  let count = ref 0 in
+  let worklist = Queue.create () in
+  Queue.add (d.start, "") worklist;
+  (try
+     while not (Queue.is_empty worklist) do
+       let q, word = Queue.take worklist in
+       if d.finals.(q) then begin
+         results := word :: !results;
+         incr count;
+         if !count >= max_count then raise Exit
+       end;
+       if String.length word < max_len then
+         List.iter
+           (fun (cs, q') ->
+             Queue.add (q', word ^ String.make 1 (Charset.choose cs)) worklist)
+           d.trans.(q)
+     done
+   with Exit -> ());
+  List.rev !results
+
+let to_dot ?(name = "dfa") d =
+  let buf = Buffer.create 256 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "digraph %s {\n  rankdir=LR;\n  node [shape=circle];\n" name;
+  pf "  __start [shape=point];\n  __start -> q%d;\n" d.start;
+  Array.iteri (fun q is_f -> if is_f then pf "  q%d [shape=doublecircle];\n" q) d.finals;
+  Array.iteri
+    (fun q out ->
+      List.iter
+        (fun (cs, q') ->
+          pf "  q%d -> q%d [label=\"%s\"];\n" q q' (String.escaped (Charset.to_string cs)))
+        out)
+    d.trans;
+  pf "}\n";
+  Buffer.contents buf
+
+let pp_summary ppf d =
+  let trans = Array.fold_left (fun acc l -> acc + List.length l) 0 d.trans in
+  let finals = Array.fold_left (fun acc f -> if f then acc + 1 else acc) 0 d.finals in
+  Fmt.pf ppf "states=%d transitions=%d finals=%d start=%d" d.n trans finals d.start

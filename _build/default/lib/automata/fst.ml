@@ -1,0 +1,237 @@
+type output = Copy | Map of (char -> char) | Drop | Wrap of string * string | Subst of string
+
+type edge = Consume of Charset.t * output * int | Emit of string * int
+
+type t = { n : int; start : int; finals : bool array; edges : edge list array }
+
+let output_string out c =
+  match out with
+  | Copy -> String.make 1 c
+  | Map f -> String.make 1 (f c)
+  | Drop -> ""
+  | Wrap (pre, post) -> pre ^ String.make 1 c ^ post
+  | Subst s -> s
+
+module Builder = struct
+  type b = { mutable count : int; mutable acc : (int * edge) list }
+
+  let create () = { count = 0; acc = [] }
+
+  let add_state b =
+    let q = b.count in
+    b.count <- b.count + 1;
+    q
+
+  let check b q = if q < 0 || q >= b.count then invalid_arg "Fst.Builder: bad state"
+
+  let consume b src cs out dst =
+    check b src;
+    check b dst;
+    if not (Charset.is_empty cs) then b.acc <- (src, Consume (cs, out, dst)) :: b.acc
+
+  let emit b src s dst =
+    check b src;
+    check b dst;
+    b.acc <- (src, Emit (s, dst)) :: b.acc
+
+  let finish b ~start ~finals =
+    check b start;
+    List.iter (check b) finals;
+    let edges = Array.make b.count [] in
+    List.iter (fun (src, e) -> edges.(src) <- e :: edges.(src)) b.acc;
+    let finals_arr = Array.make b.count false in
+    List.iter (fun q -> finals_arr.(q) <- true) finals;
+    { n = b.count; start; finals = finals_arr; edges }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Stock sanitizers: single-state total transducers                   *)
+
+let single_state consumers =
+  let b = Builder.create () in
+  let q = Builder.add_state b in
+  List.iter (fun (cs, out) -> Builder.consume b q cs out q) consumers;
+  Builder.finish b ~start:q ~finals:[ q ]
+
+let identity = single_state [ (Charset.full, Copy) ]
+
+let addslashes =
+  let specials = Charset.of_string "'\"\\" in
+  single_state
+    [ (specials, Wrap ("\\", "")); (Charset.complement specials, Copy) ]
+
+let delete_chars cs =
+  single_state [ (cs, Drop); (Charset.complement cs, Copy) ]
+
+let replace_char c s =
+  let needle = Charset.singleton c in
+  single_state [ (needle, Subst s); (Charset.complement needle, Copy) ]
+
+let map_chars f = single_state [ (Charset.full, Map f) ]
+
+(* ------------------------------------------------------------------ *)
+(* Application to a concrete string: depth-first over (state, position),
+   guarding ε-output cycles by never revisiting a (state, position). *)
+
+let apply t input =
+  let n = String.length input in
+  let buf = Buffer.create (n * 2) in
+  (* fuel bounds ε-output cycles in pathological transducers *)
+  let fuel = ref (((n + 2) * t.n * 8) + 64) in
+  let exception Done of string in
+  let rec go state pos =
+    decr fuel;
+    if !fuel <= 0 then ()
+    else begin
+      if pos = n && t.finals.(state) then raise (Done (Buffer.contents buf));
+      List.iter
+        (fun edge ->
+          match edge with
+          | Consume (cs, out, dst) when pos < n && Charset.mem input.[pos] cs ->
+              let s = output_string out input.[pos] in
+              let mark = Buffer.length buf in
+              Buffer.add_string buf s;
+              go dst (pos + 1);
+              Buffer.truncate buf mark
+          | Consume _ -> ()
+          | Emit (s, dst) ->
+              let mark = Buffer.length buf in
+              Buffer.add_string buf s;
+              go dst pos;
+              Buffer.truncate buf mark)
+        t.edges.(state)
+    end
+  in
+  match go t.start 0 with () -> None | exception Done s -> Some s
+
+(* ------------------------------------------------------------------ *)
+(* Image: replace every transition by an NFA path spelling its
+   output. Grouping whole charsets is sound for single-character
+   outputs (choosing any image character corresponds to choosing an
+   input character), and fixed strings do not depend on the input. *)
+
+let image t m =
+  (* product with m directly: states are (fst state, m state) *)
+  let b = Nfa.Builder.create () in
+  let table = Hashtbl.create 64 in
+  let worklist = Queue.create () in
+  let materialize pair =
+    match Hashtbl.find_opt table pair with
+    | Some q -> q
+    | None ->
+        let q = Nfa.Builder.add_state b in
+        Hashtbl.add table pair q;
+        Queue.add pair worklist;
+        q
+  in
+  let final = Nfa.Builder.add_state b in
+  let start = materialize (t.start, Nfa.start m) in
+  let add_word_path src word dst =
+    let rec go src i =
+      if i = String.length word then Nfa.Builder.add_eps b src dst
+      else begin
+        let mid =
+          if i = String.length word - 1 then dst else Nfa.Builder.add_state b
+        in
+        Nfa.Builder.add_trans b src (Charset.singleton word.[i]) mid;
+        go mid (i + 1)
+      end
+    in
+    if word = "" then Nfa.Builder.add_eps b src dst else go src 0
+  in
+  while not (Queue.is_empty worklist) do
+    let ((fq, mq) as pair) = Queue.take worklist in
+    let src = Hashtbl.find table pair in
+    if t.finals.(fq) && mq = Nfa.final m then Nfa.Builder.add_eps b src final;
+    (* ε-moves of m *)
+    List.iter
+      (fun mq' -> Nfa.Builder.add_eps b src (materialize (fq, mq')))
+      (Nfa.eps_transitions_from m mq);
+    List.iter
+      (fun edge ->
+        match edge with
+        | Emit (s, fq') -> add_word_path src s (materialize (fq', mq))
+        | Consume (cs, out, fq') ->
+            List.iter
+              (fun (mcs, mq') ->
+                let common = Charset.inter cs mcs in
+                if not (Charset.is_empty common) then
+                  let dst = materialize (fq', mq') in
+                  match out with
+                  | Copy -> Nfa.Builder.add_trans b src common dst
+                  | Map f ->
+                      Nfa.Builder.add_trans b src
+                        (Charset.fold
+                           (fun c acc -> Charset.union acc (Charset.singleton (f c)))
+                           common Charset.empty)
+                        dst
+                  | Drop -> Nfa.Builder.add_eps b src dst
+                  | Subst s -> add_word_path src s dst
+                  | Wrap (pre, post) ->
+                      let after_pre = Nfa.Builder.add_state b in
+                      let after_c = Nfa.Builder.add_state b in
+                      add_word_path src pre after_pre;
+                      Nfa.Builder.add_trans b after_pre common after_c;
+                      add_word_path after_c post dst)
+              (Nfa.char_transitions m mq))
+      t.edges.(fq)
+  done;
+  Nfa.Builder.finish b ~start ~final
+
+(* ------------------------------------------------------------------ *)
+(* Preimage: product of the transducer with the DFA of the target;
+   consuming c with output s moves the DFA by the whole of s. *)
+
+let preimage t m =
+  let d = Dfa.of_nfa m in
+  let run_word a word =
+    String.fold_left
+      (fun acc c -> match acc with None -> None | Some a -> Dfa.step d a c)
+      (Some a) word
+  in
+  let b = Nfa.Builder.create () in
+  let table = Hashtbl.create 64 in
+  let worklist = Queue.create () in
+  let materialize pair =
+    match Hashtbl.find_opt table pair with
+    | Some q -> q
+    | None ->
+        let q = Nfa.Builder.add_state b in
+        Hashtbl.add table pair q;
+        Queue.add pair worklist;
+        q
+  in
+  let final = Nfa.Builder.add_state b in
+  let start = materialize (t.start, Dfa.start d) in
+  while not (Queue.is_empty worklist) do
+    let ((fq, a) as pair) = Queue.take worklist in
+    let src = Hashtbl.find table pair in
+    if t.finals.(fq) && Dfa.is_final d a then Nfa.Builder.add_eps b src final;
+    List.iter
+      (fun edge ->
+        match edge with
+        | Emit (s, fq') -> (
+            match run_word a s with
+            | Some a' -> Nfa.Builder.add_eps b src (materialize (fq', a'))
+            | None -> ())
+        | Consume (cs, out, fq') ->
+            (* group the consumed characters by the DFA state their
+               output reaches *)
+            let buckets = Hashtbl.create 8 in
+            Charset.iter
+              (fun c ->
+                match run_word a (output_string out c) with
+                | Some a' ->
+                    let existing =
+                      Option.value (Hashtbl.find_opt buckets a') ~default:Charset.empty
+                    in
+                    Hashtbl.replace buckets a' (Charset.union existing (Charset.singleton c))
+                | None -> ())
+              cs;
+            Hashtbl.iter
+              (fun a' chars ->
+                Nfa.Builder.add_trans b src chars (materialize (fq', a')))
+              buckets)
+      t.edges.(fq)
+  done;
+  Nfa.Builder.finish b ~start ~final

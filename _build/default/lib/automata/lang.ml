@@ -1,0 +1,15 @@
+let equal a b = Dfa.equiv (Dfa.of_nfa a) (Dfa.of_nfa b)
+
+let subset a b = Dfa.subset (Dfa.of_nfa a) (Dfa.of_nfa b)
+
+let counterexample a b = Dfa.counterexample (Dfa.of_nfa a) (Dfa.of_nfa b)
+
+let is_empty a = Nfa.is_empty_lang a
+
+let difference a b =
+  Dfa.to_nfa (Dfa.inter (Dfa.of_nfa a) (Dfa.complement (Dfa.of_nfa b)))
+
+let compact a =
+  let trimmed, _ = Nfa.trim a in
+  let minimized = Dfa.to_nfa (Dfa.minimize (Dfa.of_nfa trimmed)) in
+  if Nfa.num_states minimized < Nfa.num_states trimmed then minimized else trimmed

@@ -1,0 +1,22 @@
+(** Language-level decision procedures lifted to NFAs.
+
+    Thin wrappers that determinize on demand; they are the semantic
+    oracle used by the solver's validators and the test suite. *)
+
+val equal : Nfa.t -> Nfa.t -> bool
+
+(** [subset a b] iff [L(a) ⊆ L(b)]. *)
+val subset : Nfa.t -> Nfa.t -> bool
+
+(** A word of [L(a) \ L(b)], if any. *)
+val counterexample : Nfa.t -> Nfa.t -> string option
+
+val is_empty : Nfa.t -> bool
+
+(** [L(a) \ L(b)] as an NFA. *)
+val difference : Nfa.t -> Nfa.t -> Nfa.t
+
+(** Language-preserving state reduction: trims, then determinizes and
+    minimizes if that shrinks the machine. Used for the minimization
+    ablation of the paper's §4 discussion. *)
+val compact : Nfa.t -> Nfa.t

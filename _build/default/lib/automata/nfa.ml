@@ -1,0 +1,353 @@
+type state = int
+
+module StateSet = Set.Make (Int)
+module StateMap = Map.Make (Int)
+
+type t = {
+  n : int;
+  start : state;
+  final : state;
+  delta : (Charset.t * state) list array; (* indexed by source state *)
+  eps : state list array;
+}
+
+let num_states m = m.n
+let start m = m.start
+let final m = m.final
+let states m = List.init m.n Fun.id
+let char_transitions m q = m.delta.(q)
+let eps_transitions_from m q = m.eps.(q)
+
+let all_eps_edges m =
+  let acc = ref [] in
+  for q = m.n - 1 downto 0 do
+    List.iter (fun q' -> acc := (q, q') :: !acc) m.eps.(q)
+  done;
+  !acc
+
+let has_eps_edge m p q = List.mem q m.eps.(p)
+
+let fold_char_transitions m ~init ~f =
+  let acc = ref init in
+  for q = 0 to m.n - 1 do
+    List.iter (fun (cs, q') -> acc := f !acc q cs q') m.delta.(q)
+  done;
+  !acc
+
+let induce_from_final m q =
+  if q < 0 || q >= m.n then invalid_arg "Nfa.induce_from_final";
+  { m with final = q }
+
+let induce_from_start m q =
+  if q < 0 || q >= m.n then invalid_arg "Nfa.induce_from_start";
+  { m with start = q }
+
+module Builder = struct
+  type b = {
+    mutable count : int;
+    mutable trans : (state * Charset.t * state) list;
+    mutable eps_edges : (state * state) list;
+  }
+
+  let create () = { count = 0; trans = []; eps_edges = [] }
+
+  let add_state b =
+    let q = b.count in
+    b.count <- b.count + 1;
+    q
+
+  let add_states b k =
+    let q = b.count in
+    b.count <- b.count + k;
+    q
+
+  let check b q = if q < 0 || q >= b.count then invalid_arg "Nfa.Builder: bad state"
+
+  let add_trans b src cs dst =
+    check b src;
+    check b dst;
+    if not (Charset.is_empty cs) then b.trans <- (src, cs, dst) :: b.trans
+
+  let add_eps b src dst =
+    check b src;
+    check b dst;
+    b.eps_edges <- (src, dst) :: b.eps_edges
+
+  let finish b ~start ~final =
+    check b start;
+    check b final;
+    let delta = Array.make b.count [] in
+    let eps = Array.make b.count [] in
+    List.iter (fun (src, cs, dst) -> delta.(src) <- (cs, dst) :: delta.(src)) b.trans;
+    List.iter
+      (fun (src, dst) ->
+        if not (List.mem dst eps.(src)) then eps.(src) <- dst :: eps.(src))
+      b.eps_edges;
+    { n = b.count; start; final; delta; eps }
+end
+
+let empty_lang =
+  let b = Builder.create () in
+  let s = Builder.add_state b in
+  let f = Builder.add_state b in
+  Builder.finish b ~start:s ~final:f
+
+let epsilon_lang =
+  let b = Builder.create () in
+  let s = Builder.add_state b in
+  let f = Builder.add_state b in
+  Builder.add_eps b s f;
+  Builder.finish b ~start:s ~final:f
+
+let of_charset cs =
+  let b = Builder.create () in
+  let s = Builder.add_state b in
+  let f = Builder.add_state b in
+  Builder.add_trans b s cs f;
+  Builder.finish b ~start:s ~final:f
+
+let of_word w =
+  let len = String.length w in
+  let b = Builder.create () in
+  let first = Builder.add_states b (len + 1) in
+  for i = 0 to len - 1 do
+    Builder.add_trans b (first + i) (Charset.singleton w.[i]) (first + i + 1)
+  done;
+  Builder.finish b ~start:first ~final:(first + len)
+
+let sigma_star =
+  (* A single state with a Σ self-loop is both start and final; this
+     keeps the Σ* machines that seed every variable node small. *)
+  let b = Builder.create () in
+  let s = Builder.add_state b in
+  Builder.add_trans b s Charset.full s;
+  Builder.finish b ~start:s ~final:s
+
+let eps_closure m set =
+  let rec go frontier acc =
+    if StateSet.is_empty frontier then acc
+    else
+      let next =
+        StateSet.fold
+          (fun q acc' ->
+            List.fold_left
+              (fun acc'' q' ->
+                if StateSet.mem q' acc then acc'' else StateSet.add q' acc'')
+              acc' m.eps.(q))
+          frontier StateSet.empty
+      in
+      go next (StateSet.union acc next)
+  in
+  go set set
+
+let step m set c =
+  let moved =
+    StateSet.fold
+      (fun q acc ->
+        List.fold_left
+          (fun acc (cs, q') -> if Charset.mem c cs then StateSet.add q' acc else acc)
+          acc m.delta.(q))
+      set StateSet.empty
+  in
+  eps_closure m moved
+
+let accepts m w =
+  let initial = eps_closure m (StateSet.singleton m.start) in
+  let final_set =
+    String.fold_left (fun set c -> step m set c) initial w
+  in
+  StateSet.mem m.final final_set
+
+let reachable_from m q0 =
+  let rec go frontier acc =
+    if StateSet.is_empty frontier then acc
+    else
+      let next =
+        StateSet.fold
+          (fun q acc' ->
+            let push q' acc'' =
+              if StateSet.mem q' acc then acc'' else StateSet.add q' acc''
+            in
+            let acc' = List.fold_left (fun a (_, q') -> push q' a) acc' m.delta.(q) in
+            List.fold_left (fun a q' -> push q' a) acc' m.eps.(q))
+          frontier StateSet.empty
+      in
+      go next (StateSet.union acc next)
+  in
+  go (StateSet.singleton q0) (StateSet.singleton q0)
+
+(* Predecessor adjacency, computed once per call; callers needing many
+   co-reachability queries should reverse the machine instead. *)
+let coreachable_to m q0 =
+  let preds = Array.make m.n [] in
+  for q = 0 to m.n - 1 do
+    List.iter (fun (_, q') -> preds.(q') <- q :: preds.(q')) m.delta.(q);
+    List.iter (fun q' -> preds.(q') <- q :: preds.(q')) m.eps.(q)
+  done;
+  let rec go frontier acc =
+    if StateSet.is_empty frontier then acc
+    else
+      let next =
+        StateSet.fold
+          (fun q acc' ->
+            List.fold_left
+              (fun acc'' p ->
+                if StateSet.mem p acc then acc'' else StateSet.add p acc'')
+              acc' preds.(q))
+          frontier StateSet.empty
+      in
+      go next (StateSet.union acc next)
+  in
+  go (StateSet.singleton q0) (StateSet.singleton q0)
+
+let is_empty_lang m = not (StateSet.mem m.final (reachable_from m m.start))
+
+let accepts_empty m =
+  StateSet.mem m.final (eps_closure m (StateSet.singleton m.start))
+
+let shortest_word m =
+  (* BFS over single states; ε-edges cost nothing but BFS layers are
+     by word length, so we expand ε-closures eagerly. *)
+  let visited = Array.make m.n false in
+  let q = Queue.create () in
+  let enqueue_closure st word =
+    StateSet.iter
+      (fun s ->
+        if not visited.(s) then begin
+          visited.(s) <- true;
+          Queue.add (s, word) q
+        end)
+      (eps_closure m (StateSet.singleton st))
+  in
+  enqueue_closure m.start [];
+  let result = ref None in
+  (try
+     while not (Queue.is_empty q) do
+       let s, word = Queue.take q in
+       if s = m.final then begin
+         result := Some (List.rev word);
+         raise Exit
+       end;
+       List.iter
+         (fun (cs, s') ->
+           if not visited.(s') then enqueue_closure s' (Charset.choose cs :: word))
+         m.delta.(s)
+     done
+   with Exit -> ());
+  Option.map (fun chars -> String.init (List.length chars) (List.nth chars)) !result
+
+let sample_words m ~max_len ~max_count =
+  let results = ref [] in
+  let count = ref 0 in
+  let q = Queue.create () in
+  Queue.add (eps_closure m (StateSet.singleton m.start), "") q;
+  (* BFS on ε-closed state sets; each set is paired with one concrete
+     word, so the sample is a subset of the language, not a cover. *)
+  let seen = Hashtbl.create 64 in
+  (try
+     while not (Queue.is_empty q) do
+       let set, word = Queue.take q in
+       if StateSet.mem m.final set && not (Hashtbl.mem seen word) then begin
+         Hashtbl.add seen word ();
+         results := word :: !results;
+         incr count;
+         if !count >= max_count then raise Exit
+       end;
+       if String.length word < max_len then begin
+         let labels =
+           StateSet.fold (fun s acc -> List.map fst m.delta.(s) @ acc) set []
+         in
+         let blocks = Charset.refine labels in
+         List.iter
+           (fun block ->
+             let c = Charset.choose block in
+             let set' = step m set c in
+             if not (StateSet.is_empty set') then
+               Queue.add (set', word ^ String.make 1 c) q)
+           blocks
+       end
+     done
+   with Exit -> ());
+  List.rev !results
+
+let trim m =
+  let live = StateSet.inter (reachable_from m m.start) (coreachable_to m m.final) in
+  if not (StateSet.mem m.start live) || not (StateSet.mem m.final live) then
+    (* Empty language: canonical two-state empty machine; the renaming
+       is empty since no original state survives. *)
+    (empty_lang, StateMap.empty)
+  else begin
+    let rename = ref StateMap.empty in
+    let b = Builder.create () in
+    StateSet.iter
+      (fun q -> rename := StateMap.add q (Builder.add_state b) !rename)
+      live;
+    let lookup q = StateMap.find_opt q !rename in
+    StateSet.iter
+      (fun q ->
+        let q_new = StateMap.find q !rename in
+        List.iter
+          (fun (cs, q') ->
+            match lookup q' with
+            | Some q'_new -> Builder.add_trans b q_new cs q'_new
+            | None -> ())
+          m.delta.(q);
+        List.iter
+          (fun q' ->
+            match lookup q' with
+            | Some q'_new -> Builder.add_eps b q_new q'_new
+            | None -> ())
+          m.eps.(q))
+      live;
+    let machine =
+      Builder.finish b ~start:(StateMap.find m.start !rename)
+        ~final:(StateMap.find m.final !rename)
+    in
+    (machine, !rename)
+  end
+
+let reverse m =
+  let b = Builder.create () in
+  let _ = Builder.add_states b m.n in
+  for q = 0 to m.n - 1 do
+    List.iter (fun (cs, q') -> Builder.add_trans b q' cs q) m.delta.(q);
+    List.iter (fun q' -> Builder.add_eps b q' q) m.eps.(q)
+  done;
+  Builder.finish b ~start:m.final ~final:m.start
+
+let embed_two m1 m2 =
+  let b = Builder.create () in
+  let _ = Builder.add_states b m1.n in
+  let offset = Builder.add_states b m2.n in
+  for q = 0 to m1.n - 1 do
+    List.iter (fun (cs, q') -> Builder.add_trans b q cs q') m1.delta.(q);
+    List.iter (fun q' -> Builder.add_eps b q q') m1.eps.(q)
+  done;
+  for q = 0 to m2.n - 1 do
+    List.iter (fun (cs, q') -> Builder.add_trans b (q + offset) cs (q' + offset)) m2.delta.(q);
+    List.iter (fun q' -> Builder.add_eps b (q + offset) (q' + offset)) m2.eps.(q)
+  done;
+  (b, offset)
+
+let to_dot ?(name = "nfa") ?(highlight = []) m =
+  let buf = Buffer.create 256 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "digraph %s {\n  rankdir=LR;\n  node [shape=circle];\n" name;
+  pf "  __start [shape=point];\n  __start -> q%d;\n" m.start;
+  pf "  q%d [shape=doublecircle];\n" m.final;
+  List.iter (fun q -> pf "  q%d [shape=doublecircle, color=blue];\n" q) highlight;
+  for q = 0 to m.n - 1 do
+    List.iter
+      (fun (cs, q') ->
+        pf "  q%d -> q%d [label=\"%s\"];\n" q q' (String.escaped (Charset.to_string cs)))
+      m.delta.(q);
+    List.iter (fun q' -> pf "  q%d -> q%d [label=\"ε\"];\n" q q') m.eps.(q)
+  done;
+  pf "}\n";
+  Buffer.contents buf
+
+let pp_summary ppf m =
+  let trans = Array.fold_left (fun acc l -> acc + List.length l) 0 m.delta in
+  let epses = Array.fold_left (fun acc l -> acc + List.length l) 0 m.eps in
+  Fmt.pf ppf "states=%d transitions=%d eps=%d start=%d final=%d" m.n trans epses
+    m.start m.final

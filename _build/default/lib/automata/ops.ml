@@ -1,0 +1,141 @@
+type concat_result = {
+  machine : Nfa.t;
+  left_embed : Nfa.state -> Nfa.state;
+  right_embed : Nfa.state -> Nfa.state;
+  bridge : Nfa.state * Nfa.state;
+}
+
+let concat m1 m2 =
+  Stats.count_concat ();
+  Stats.visit_states (Nfa.num_states m1 + Nfa.num_states m2);
+  let b, offset = Nfa.embed_two m1 m2 in
+  let f1 = Nfa.final m1 in
+  let s2 = Nfa.start m2 + offset in
+  Nfa.Builder.add_eps b f1 s2;
+  let machine =
+    Nfa.Builder.finish b ~start:(Nfa.start m1) ~final:(Nfa.final m2 + offset)
+  in
+  {
+    machine;
+    left_embed = Fun.id;
+    right_embed = (fun q -> q + offset);
+    bridge = (f1, s2);
+  }
+
+let concat_lang m1 m2 = (concat m1 m2).machine
+
+type product_result = {
+  machine : Nfa.t;
+  pair_of : Nfa.state -> Nfa.state * Nfa.state;
+  state_of_pair : Nfa.state * Nfa.state -> Nfa.state option;
+}
+
+let intersect m1 m2 =
+  Stats.count_product ();
+  let b = Nfa.Builder.create () in
+  let table : (Nfa.state * Nfa.state, Nfa.state) Hashtbl.t = Hashtbl.create 64 in
+  let pairs = ref [] in
+  let worklist = Queue.create () in
+  let materialize pair =
+    match Hashtbl.find_opt table pair with
+    | Some q -> q
+    | None ->
+        Stats.visit_states 1;
+        let q = Nfa.Builder.add_state b in
+        Hashtbl.add table pair q;
+        pairs := (q, pair) :: !pairs;
+        Queue.add pair worklist;
+        q
+  in
+  let start_pair = (Nfa.start m1, Nfa.start m2) in
+  let final_pair = (Nfa.final m1, Nfa.final m2) in
+  let start_q = materialize start_pair in
+  (* The final pair must exist even if it turns out unreachable, so
+     the result is a well-formed single-final machine. *)
+  let final_q = materialize final_pair in
+  while not (Queue.is_empty worklist) do
+    let ((p, q) as pair) = Queue.take worklist in
+    let src = Hashtbl.find table pair in
+    (* ε-moves are taken independently in either component. *)
+    List.iter
+      (fun p' -> Nfa.Builder.add_eps b src (materialize (p', q)))
+      (Nfa.eps_transitions_from m1 p);
+    List.iter
+      (fun q' -> Nfa.Builder.add_eps b src (materialize (p, q')))
+      (Nfa.eps_transitions_from m2 q);
+    (* Character moves require both components to advance on a common
+       label. *)
+    List.iter
+      (fun (cs1, p') ->
+        List.iter
+          (fun (cs2, q') ->
+            let label = Charset.inter cs1 cs2 in
+            if not (Charset.is_empty label) then
+              Nfa.Builder.add_trans b src label (materialize (p', q')))
+          (Nfa.char_transitions m2 q))
+      (Nfa.char_transitions m1 p)
+  done;
+  let machine = Nfa.Builder.finish b ~start:start_q ~final:final_q in
+  let pair_array = Array.make (Nfa.num_states machine) (0, 0) in
+  List.iter (fun (q, pair) -> pair_array.(q) <- pair) !pairs;
+  {
+    machine;
+    pair_of = (fun q -> pair_array.(q));
+    state_of_pair = (fun pair -> Hashtbl.find_opt table pair);
+  }
+
+let inter_lang m1 m2 = (intersect m1 m2).machine
+
+let union_lang m1 m2 =
+  let b, offset = Nfa.embed_two m1 m2 in
+  let s = Nfa.Builder.add_state b in
+  let f = Nfa.Builder.add_state b in
+  Nfa.Builder.add_eps b s (Nfa.start m1);
+  Nfa.Builder.add_eps b s (Nfa.start m2 + offset);
+  Nfa.Builder.add_eps b (Nfa.final m1) f;
+  Nfa.Builder.add_eps b (Nfa.final m2 + offset) f;
+  Nfa.Builder.finish b ~start:s ~final:f
+
+(* Copy [m] into a fresh builder, returning the embedded start/final. *)
+let embed m b =
+  let first = Nfa.Builder.add_states b (Nfa.num_states m) in
+  List.iter
+    (fun q ->
+      List.iter
+        (fun (cs, q') -> Nfa.Builder.add_trans b (q + first) cs (q' + first))
+        (Nfa.char_transitions m q);
+      List.iter
+        (fun q' -> Nfa.Builder.add_eps b (q + first) (q' + first))
+        (Nfa.eps_transitions_from m q))
+    (Nfa.states m);
+  (Nfa.start m + first, Nfa.final m + first)
+
+let star m =
+  let b = Nfa.Builder.create () in
+  let s = Nfa.Builder.add_state b in
+  let f = Nfa.Builder.add_state b in
+  let ms, mf = embed m b in
+  Nfa.Builder.add_eps b s ms;
+  Nfa.Builder.add_eps b mf f;
+  Nfa.Builder.add_eps b s f;
+  Nfa.Builder.add_eps b mf ms;
+  Nfa.Builder.finish b ~start:s ~final:f
+
+let plus m = concat_lang m (star m)
+
+let opt m = union_lang m Nfa.epsilon_lang
+
+let repeat m ~min_count ~max_count =
+  if min_count < 0 then invalid_arg "Ops.repeat: negative min";
+  (match max_count with
+  | Some mx when mx < min_count -> invalid_arg "Ops.repeat: max < min"
+  | _ -> ());
+  let rec copies k = if k = 0 then Nfa.epsilon_lang else concat_lang m (copies (k - 1)) in
+  match max_count with
+  | None -> concat_lang (copies min_count) (star m)
+  | Some mx ->
+      (* mandatory prefix followed by (max-min) optional copies *)
+      let rec optionals k =
+        if k = 0 then Nfa.epsilon_lang else opt (concat_lang m (optionals (k - 1)))
+      in
+      concat_lang (copies min_count) (optionals (mx - min_count))

@@ -1,0 +1,24 @@
+let relabel edge_map m =
+  let b = Nfa.Builder.create () in
+  let _ = Nfa.Builder.add_states b (Nfa.num_states m) in
+  List.iter
+    (fun q ->
+      List.iter
+        (fun (cs, q') -> Nfa.Builder.add_trans b q (edge_map cs) q')
+        (Nfa.char_transitions m q);
+      List.iter (fun q' -> Nfa.Builder.add_eps b q q') (Nfa.eps_transitions_from m q))
+    (Nfa.states m);
+  Nfa.Builder.finish b ~start:(Nfa.start m) ~final:(Nfa.final m)
+
+let preimage f m =
+  relabel
+    (fun cs ->
+      Charset.of_ranges
+        (List.filter_map
+           (fun byte ->
+             if Charset.mem (f (Char.chr byte)) cs then Some (byte, byte) else None)
+           (List.init 256 Fun.id)))
+    m
+
+let image f m =
+  relabel (fun cs -> Charset.fold (fun c acc -> Charset.union acc (Charset.singleton (f c))) cs Charset.empty) m

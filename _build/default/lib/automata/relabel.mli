@@ -1,0 +1,18 @@
+(** Images and preimages of regular languages under character-to-
+    character maps.
+
+    For a function [f : char → char], both [f(L)] and [f⁻¹(L) = { w |
+    f(w) ∈ L }] are regular, obtained by relabelling each transition
+    charset — no product construction needed. This is how the solver
+    pushes constraints back through PHP's [strtolower]/[strtoupper]:
+    a constraint on [lower(x)] is solved for a fresh variable and the
+    answer pulled back with {!preimage} (cf. the FST-based reversal of
+    string functions in the paper's related work). *)
+
+(** [preimage f m] accepts [{ w | f(w) ∈ L(m) }]: each edge label [cs]
+    becomes [{ c | f c ∈ cs }]. *)
+val preimage : (char -> char) -> Nfa.t -> Nfa.t
+
+(** [image f m] accepts [f(L(m))]: each edge label [cs] becomes
+    [{ f c | c ∈ cs }]. *)
+val image : (char -> char) -> Nfa.t -> Nfa.t

@@ -1,0 +1,34 @@
+(* Instrumentation counters for the complexity experiments of §3.5 of
+   the paper. The paper measures algorithm cost as the number of NFA
+   states visited during automaton constructions; we do the same so
+   the bench harness can reproduce the O(Q²)/O(Q³)/O(Q⁵) growth
+   curves independently of wall-clock noise. *)
+
+let states_visited = ref 0
+let products_built = ref 0
+let concats_built = ref 0
+
+let reset () =
+  states_visited := 0;
+  products_built := 0;
+  concats_built := 0
+
+let visit_states n = states_visited := !states_visited + n
+let count_product () = incr products_built
+let count_concat () = incr concats_built
+
+type snapshot = {
+  visited : int;  (* NFA states visited by constructions *)
+  products : int; (* cross-product constructions performed *)
+  concats : int;  (* concatenation constructions performed *)
+}
+
+let snapshot () =
+  {
+    visited = !states_visited;
+    products = !products_built;
+    concats = !concats_built;
+  }
+
+let pp ppf s =
+  Fmt.pf ppf "visited=%d products=%d concats=%d" s.visited s.products s.concats

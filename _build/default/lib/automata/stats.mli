@@ -1,0 +1,31 @@
+(** Instrumentation counters for the complexity experiments of §3.5
+    of the paper: cost measured as NFA states visited during the
+    concatenation and cross-product constructions, so the
+    O(Q²)/O(Q³)/O(Q⁵) growth curves can be reproduced independently
+    of wall-clock noise.
+
+    The counters are global and mutable; callers bracket the
+    construction of interest with {!reset} and {!snapshot} (see
+    {!Dprle.Report.solve_with_report}). *)
+
+(** Reset all counters to zero. *)
+val reset : unit -> unit
+
+(** Record [n] NFA states visited (called by {!Ops}). *)
+val visit_states : int -> unit
+
+(** Record one cross-product construction. *)
+val count_product : unit -> unit
+
+(** Record one concatenation construction. *)
+val count_concat : unit -> unit
+
+type snapshot = {
+  visited : int;  (** NFA states visited by constructions *)
+  products : int;  (** cross-product constructions performed *)
+  concats : int;  (** concatenation constructions performed *)
+}
+
+val snapshot : unit -> snapshot
+
+val pp : snapshot Fmt.t

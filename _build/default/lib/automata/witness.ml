@@ -1,0 +1,30 @@
+(* Breadth-first traversal of the determinized machine, carrying the
+   word spelled so far. The frontier is processed lazily: forcing the
+   next element of the Seq advances the BFS just far enough. *)
+
+let enumerate_dfa concretize (d : Dfa.t) =
+  let rec layer queue () =
+    match queue with
+    | [] -> Seq.Nil
+    | (state, word) :: rest ->
+        let successors =
+          List.concat_map
+            (fun (cs, q') ->
+              List.map (fun c -> (q', word ^ String.make 1 c)) (concretize cs))
+            (Dfa.transitions d state)
+        in
+        let tail = layer (rest @ successors) in
+        if Dfa.is_final d state then Seq.Cons (word, tail) else tail ()
+  in
+  layer [ (Dfa.start d, "") ]
+
+(* Minimizing first trims dead branches, so forcing the sequence never
+   spins in a part of the machine that cannot produce another word. *)
+let enumerate m =
+  enumerate_dfa (fun cs -> [ Charset.choose cs ]) (Dfa.minimize (Dfa.of_nfa m))
+
+let exhaustive ~alphabet m =
+  let restricted = Ops.inter_lang m (Ops.star (Nfa.of_charset alphabet)) in
+  enumerate_dfa Charset.to_list (Dfa.minimize (Dfa.of_nfa restricted))
+
+let take n m = List.of_seq (Seq.take n (enumerate m))

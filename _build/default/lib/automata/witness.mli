@@ -1,0 +1,24 @@
+(** Lazy witness enumeration.
+
+    {!Nfa.sample_words} returns a bounded list; this module exposes
+    the language as an on-demand {!Seq.t} in shortest-first order,
+    which the testcase generator uses to print as many exploits as a
+    client asks for without pre-committing to a bound.
+
+    Enumeration is over the determinized machine, so each word is
+    produced once; charset edges are concretized one representative
+    per refined block, i.e. the sequence {e samples} each structural
+    path rather than spelling out all byte choices (a single [Σ] edge
+    yields one witness, not 256). Use {!exhaustive} for the complete
+    language restricted to a small alphabet. *)
+
+(** Shortest-first sampled enumeration (see above). The sequence is
+    finite iff the sampled language is. *)
+val enumerate : Nfa.t -> string Seq.t
+
+(** Complete shortest-first enumeration of [L(m) ∩ alphabet*]. The
+    sequence is infinite when that language is. *)
+val exhaustive : alphabet:Charset.t -> Nfa.t -> string Seq.t
+
+(** First [n] of {!enumerate}. *)
+val take : int -> Nfa.t -> string list

@@ -1,0 +1,112 @@
+(** Sets of characters (bytes 0–255), represented as sorted disjoint
+    inclusive intervals.
+
+    Charsets label automaton transitions throughout the library. The
+    interval representation keeps automata small for large classes
+    such as [Σ] or [0-9] and makes the refinement operations needed by
+    the subset construction cheap. *)
+
+type t
+
+(** {1 Constants and constructors} *)
+
+val empty : t
+
+(** The full alphabet Σ = bytes 0–255. *)
+val full : t
+
+val singleton : char -> t
+
+(** [range lo hi] is the set of characters [c] with [lo <= c <= hi].
+    Raises [Invalid_argument] if [lo > hi]. *)
+val range : char -> char -> t
+
+val of_list : char list -> t
+
+(** [of_string s] contains exactly the characters occurring in [s]. *)
+val of_string : string -> t
+
+(** {1 Common character classes (PCRE-style)} *)
+
+val digit : t (* \d  = [0-9] *)
+
+val word : t (* \w  = [A-Za-z0-9_] *)
+
+val space : t (* \s  = [ \t\n\r\011\012] *)
+
+val lower : t
+
+val upper : t
+
+val alpha : t
+
+val printable : t (* bytes 32–126 *)
+
+(** {1 Set operations} *)
+
+val union : t -> t -> t
+
+val inter : t -> t -> t
+
+val diff : t -> t -> t
+
+val complement : t -> t
+
+(** {1 Queries} *)
+
+val mem : char -> t -> bool
+
+val is_empty : t -> bool
+
+val is_full : t -> bool
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val subset : t -> t -> bool
+
+(** [intersects a b] iff [inter a b] is nonempty, without building it. *)
+val intersects : t -> t -> bool
+
+val cardinal : t -> int
+
+(** Smallest character of the set. Raises [Not_found] on [empty]. *)
+val min_elt : t -> char
+
+(** [choose cs] is a deterministic representative; prefers a printable
+    character when the set contains one. Raises [Not_found] on
+    [empty]. *)
+val choose : t -> char
+
+(** {1 Traversal} *)
+
+val iter : (char -> unit) -> t -> unit
+
+val fold : (char -> 'a -> 'a) -> t -> 'a -> 'a
+
+val to_list : t -> char list
+
+(** The underlying sorted disjoint intervals, as inclusive byte
+    bounds. *)
+val ranges : t -> (int * int) list
+
+val of_ranges : (int * int) list -> t
+
+(** {1 Partition refinement}
+
+    [refine sets] returns pairwise-disjoint nonempty blocks whose
+    union is the union of [sets], such that every input set is a
+    union of blocks. Used by the subset construction to pick
+    transition labels without enumerating all 256 characters. *)
+val refine : t list -> t list
+
+(** {1 Pretty printing} *)
+
+(** Prints in character-class syntax, e.g. [[a-z0-9_]], [Σ], [∅]. *)
+val pp : t Fmt.t
+
+val to_string : t -> string
+
+(** [hash cs] is a structural hash consistent with [equal]. *)
+val hash : t -> int

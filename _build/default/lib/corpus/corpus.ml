@@ -1,0 +1,259 @@
+module Ast = Webapp.Ast
+
+(* Small deterministic PRNG (xorshift) so corpus generation is
+   reproducible across runs and platforms. *)
+module Prng = struct
+  type t = { mutable state : int }
+
+  let create seed = { state = (if seed = 0 then 0x2545F491 else seed) }
+
+  let next t =
+    let x = t.state in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 7) in
+    let x = x lxor (x lsl 17) in
+    t.state <- x land max_int;
+    t.state
+
+  let int t bound = if bound <= 1 then 0 else next t mod bound
+
+  let pick t items = List.nth items (int t (List.length items))
+
+  let of_string s =
+    create (String.fold_left (fun acc c -> (acc * 131) + Char.code c) 7 s)
+end
+
+let word_pool =
+  [ "news"; "user"; "cart"; "item"; "vote"; "page"; "post"; "shop"; "help";
+    "main"; "pref"; "auth"; "sess"; "cat"; "tag"; "feed" ]
+
+let benign_pattern_pool =
+  [ "/^[a-z]{1,8}$/"; "/^[0-9]{1,6}$/"; "/^[a-zA-Z0-9_]{1,10}$/";
+    "/^[a-z]+$/"; "/^(yes|no)$/"; "/^[0-9]+$/" ]
+
+let pattern s = Regex.Parser.parse_pattern_exn s
+
+module Fig12 = struct
+  type row = {
+    app : string;
+    name : string;
+    fg : int;
+    c : int;
+    paper_ts : float;
+  }
+
+  (* Fig. 12 of the paper, verbatim. *)
+  let rows =
+    [
+      { app = "eve"; name = "edit"; fg = 58; c = 29; paper_ts = 0.32 };
+      { app = "utopia"; name = "login"; fg = 295; c = 16; paper_ts = 0.052 };
+      { app = "utopia"; name = "profile"; fg = 855; c = 16; paper_ts = 0.006 };
+      { app = "utopia"; name = "styles"; fg = 597; c = 156; paper_ts = 0.65 };
+      { app = "utopia"; name = "comm"; fg = 994; c = 102; paper_ts = 0.26 };
+      { app = "warp"; name = "cxapp"; fg = 620; c = 10; paper_ts = 0.054 };
+      { app = "warp"; name = "ax_help"; fg = 610; c = 4; paper_ts = 0.010 };
+      { app = "warp"; name = "usr_reg"; fg = 608; c = 10; paper_ts = 0.53 };
+      { app = "warp"; name = "ax_ed"; fg = 630; c = 10; paper_ts = 0.063 };
+      { app = "warp"; name = "cart_shop"; fg = 856; c = 31; paper_ts = 0.17 };
+      { app = "warp"; name = "req_redir"; fg = 640; c = 41; paper_ts = 0.43 };
+      { app = "warp"; name = "secure"; fg = 648; c = 81; paper_ts = 577.0 };
+      { app = "warp"; name = "a_cont"; fg = 606; c = 10; paper_ts = 0.057 };
+      { app = "warp"; name = "usr_prf"; fg = 740; c = 66; paper_ts = 0.22 };
+      { app = "warp"; name = "xw_mn"; fg = 698; c = 387; paper_ts = 0.50 };
+      { app = "warp"; name = "castvote"; fg = 710; c = 10; paper_ts = 0.052 };
+      { app = "warp"; name = "pay_nfo"; fg = 628; c = 10; paper_ts = 0.18 };
+    ]
+
+  let attack = Webapp.Attack.contains_quote
+
+  (* A benign guard on a distinct input: one ⊆-edge on the surviving
+     path, one If (2 blocks: the exit arm and the join). *)
+  let benign_check rng i =
+    let input = Printf.sprintf "%s_%d" (Prng.pick rng word_pool) i in
+    Ast.If
+      ( Ast.Not (Ast.Preg_match (pattern (Prng.pick rng benign_pattern_pool), Ast.Input input)),
+        [ Ast.Exit ],
+        [] )
+
+  (* A guard testing a concatenation: one ⊆-edge plus one ∘-edge pair
+     (the extra constraint the dependency graph sees), still 2
+     blocks. *)
+  let concat_check rng i =
+    let input = Printf.sprintf "c%s_%d" (Prng.pick rng word_pool) i in
+    Ast.If
+      ( Ast.Not
+          (Ast.Preg_match
+             (pattern "/^u[a-z]{1,6}$/", Ast.Concat (Ast.Str "u", Ast.Input input))),
+        [ Ast.Exit ],
+        [] )
+
+  (* Padding that adds CFG blocks but, being input-independent, is
+     constant-folded by the symbolic executor: no path fork, no
+     constraint — how the paper's [|FG|] dwarfs [|C|] on most rows. *)
+  let padding_if3 rng i =
+    let tested = Prng.pick rng word_pool in
+    Ast.If
+      ( Ast.Str_eq (Ast.Var (Printf.sprintf "mode%d" i), tested),
+        [ Ast.Echo (Ast.Str (Printf.sprintf "<div class=%s>" tested)) ],
+        [ Ast.Echo (Ast.Str "<div>") ] )
+
+  let padding_if1 i =
+    Ast.If (Ast.Str_eq (Ast.Var (Printf.sprintf "mode%d" i), "__never"), [], [])
+
+  let padding_if2 i =
+    Ast.If (Ast.Str_eq (Ast.Var (Printf.sprintf "mode%d" i), "__never"), [ Ast.Exit ], [])
+
+  (* Large string constants for the [secure] row: the paper attributes
+     its 577 s outlier to explicitly-represented large constants. *)
+  let big_literal rng len =
+    String.init len (fun _ ->
+        let chars = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 =,()<>" in
+        chars.[Prng.int rng (String.length chars)])
+
+  (* Per-row budget (see the module doc): with G guards (2 blocks, one
+     ⊆-edge each), q of them concatenation guards (one extra ∘-pair
+     each), and a sink of one ⊆-edge + one ∘-pair:
+       c  = G + q + 2
+       fg = 1 + 2·G + padding blocks                                  *)
+  let program { app; name; fg; c; _ } =
+    let rng = Prng.of_string (app ^ "/" ^ name) in
+    let is_secure = name = "secure" in
+    (* the secure row's four re-validation checks contribute 8 blocks
+       (4 Ifs) and 8 constraints (4 ⊆-edges + 4 ∘-pairs) on top of
+       the shared structure below *)
+    let fg = if is_secure then fg - 8 else fg in
+    let c = if is_secure then c - 8 else c in
+    let guard_total = min (c - 2) ((fg - 1) / 2) in
+    let concat_guards = c - 2 - guard_total in
+    assert (guard_total >= 1 && concat_guards >= 0 && concat_guards <= guard_total);
+    (* the faulty filter on posted_id is one of the plain guards *)
+    let plain_guards = guard_total - concat_guards - 1 in
+    assert (plain_guards >= 0);
+    let guards =
+      List.init plain_guards (fun i -> benign_check rng i)
+      @ List.init concat_guards (fun i -> concat_check rng i)
+    in
+    let block_budget = fg - 1 - (2 * guard_total) in
+    let p3, extra =
+      match block_budget mod 3 with
+      | 0 -> (block_budget / 3, [])
+      | 1 -> ((block_budget - 1) / 3, [ padding_if1 0 ])
+      | _ -> ((block_budget - 2) / 3, [ padding_if2 0 ])
+    in
+    let mode_setup =
+      List.init (max p3 1) (fun i ->
+          Ast.Assign (Printf.sprintf "mode%d" i, Ast.Str (Prng.pick rng word_pool)))
+    in
+    let padding = extra @ List.init p3 (fun i -> padding_if3 rng i) in
+    let faulty_filter =
+      Ast.If
+        ( Ast.Not (Ast.Preg_match (pattern "/[\\d]+$/", Ast.Input "posted_id")),
+          [ Ast.Exit ],
+          [] )
+    in
+    let table = Prng.pick rng word_pool in
+    let sink =
+      if is_secure then begin
+        (* The paper attributes this row's 577 s outlier to large
+           string constants "explicitly represented and tracked
+           through state machine transformations". We reproduce the
+           cause: the query embeds a multi-kilobyte template, and the
+           code then re-validates the *built* query several times, so
+           every check drags the big constant through another
+           concat-intersect. All checks share [posted_id], coupling
+           them into one CI-group. *)
+        let prefix =
+          big_literal rng 8000 ^ " SELECT * FROM " ^ table ^ " WHERE id=nid_"
+        in
+        let recheck pat =
+          Ast.If
+            ( Ast.Not (Ast.Preg_match (pattern pat, Ast.Var "q")),
+              [ Ast.Exit ],
+              [] )
+        in
+        [ Ast.Assign ("q", Ast.Concat (Ast.Str prefix, Ast.Input "posted_id")) ]
+        @ List.map recheck [ "/SELECT/"; "/FROM/"; "/WHERE/"; "/id=nid_/" ]
+        @ [ Ast.Query (Ast.Var "q") ]
+      end
+      else
+        [
+          Ast.Assign
+            ( "q",
+              Ast.Concat
+                ( Ast.Str ("SELECT * FROM " ^ table ^ " WHERE id=nid_"),
+                  Ast.Input "posted_id" ) );
+          Ast.Query (Ast.Var "q");
+        ]
+    in
+    mode_setup @ guards @ padding @ [ faulty_filter ] @ sink
+end
+
+module Fig11 = struct
+  type app = {
+    name : string;
+    version : string;
+    files : int;
+    loc : int;
+    vulnerable : int;
+  }
+
+  (* Fig. 11 of the paper, verbatim. *)
+  let apps =
+    [
+      { name = "eve"; version = "1.0"; files = 8; loc = 905; vulnerable = 1 };
+      { name = "utopia"; version = "1.3.0"; files = 24; loc = 5438; vulnerable = 4 };
+      { name = "warp"; version = "1.2.1"; files = 44; loc = 24365; vulnerable = 12 };
+    ]
+
+  (* A benign page: correctly-anchored filters, safe fixed queries. *)
+  let benign_program rng ~target_loc =
+    let stmts = ref [] in
+    let emit s = stmts := s :: !stmts in
+    let input = Printf.sprintf "%s_id" (Prng.pick rng word_pool) in
+    emit
+      (Ast.If
+         ( Ast.Not (Ast.Preg_match (pattern "/^[0-9]+$/", Ast.Input input)),
+           [ Ast.Exit ],
+           [] ));
+    emit
+      (Ast.Assign
+         ( "q",
+           Ast.Concat
+             ( Ast.Str ("SELECT * FROM " ^ Prng.pick rng word_pool ^ " WHERE id="),
+               Ast.Input input ) ));
+    emit (Ast.Query (Ast.Var "q"));
+    (* filler output statements until the page is long enough *)
+    let current () = Ast.loc (List.rev !stmts) in
+    while current () < target_loc do
+      emit
+        (Ast.If
+           ( Ast.Str_eq (Ast.Var "q", Prng.pick rng word_pool),
+             [ Ast.Echo (Ast.Str ("<p>" ^ Prng.pick rng word_pool ^ "</p>")) ],
+             [ Ast.Echo (Ast.Str "<hr>") ] ))
+    done;
+    List.rev !stmts
+
+  let generate app =
+    let rng = Prng.of_string (app.name ^ app.version) in
+    let vuln_rows =
+      List.filter (fun { Fig12.app = a; _ } -> a = app.name) Fig12.rows
+    in
+    assert (List.length vuln_rows = app.vulnerable);
+    let vuln_files =
+      List.map
+        (fun ({ Fig12.name; _ } as row) -> (name ^ ".mphp", Fig12.program row))
+        vuln_rows
+    in
+    let vuln_loc =
+      List.fold_left (fun acc (_, p) -> acc + Ast.loc p) 0 vuln_files
+    in
+    let benign_count = app.files - app.vulnerable in
+    let remaining = max 0 (app.loc - vuln_loc) in
+    let per_file = max 8 (remaining / max 1 benign_count) in
+    let benign_files =
+      List.init benign_count (fun i ->
+          ( Printf.sprintf "page_%02d.mphp" i,
+            benign_program rng ~target_loc:per_file ))
+    in
+    vuln_files @ benign_files
+end

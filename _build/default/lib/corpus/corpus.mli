@@ -1,0 +1,61 @@
+(** Synthetic reconstruction of the paper's evaluation corpus.
+
+    The original data set — three PHP web applications analysed by
+    Wassermann and Su, with 17 reproducible SQL-injection defect
+    reports — is not redistributable, and the constraint generator the
+    authors used was never released. This module regenerates, for
+    every row of the paper's Fig. 12, a mini-PHP program whose
+    vulnerable path matches the row's published metrics:
+
+    - [|FG|]: basic blocks in the file's CFG;
+    - [|C|]: constraints produced by symbolic execution of the
+      vulnerable path (branch conditions + the sink constraint);
+    - for the [secure] row, the paper's stated cause of its 577 s
+      outlier — very large string constants tracked through the
+      machines — is reproduced with multi-kilobyte literals.
+
+    Because the decision procedure only ever sees the constraint
+    system, matching the system's shape (count, constant sizes,
+    concatenation structure) exercises the same code paths as the
+    original corpus. See DESIGN.md §4. *)
+
+module Fig12 : sig
+  type row = {
+    app : string;  (** eve | utopia | warp *)
+    name : string;  (** the paper's vulnerability label *)
+    fg : int;  (** published [|FG|] *)
+    c : int;  (** published [|C|] *)
+    paper_ts : float;  (** published solve time, seconds *)
+  }
+
+  (** The 17 rows of Fig. 12, in the paper's order. *)
+  val rows : row list
+
+  (** Deterministically generate the row's program. The program's
+      [Ast.basic_blocks] equals [fg], and symbolic execution of its
+      vulnerable path yields exactly [c] constraints. *)
+  val program : row -> Webapp.Ast.program
+
+  (** The attack language used for the sink constraints (the paper's
+      "contains a quote" approximation). *)
+  val attack : Automata.Nfa.t
+end
+
+module Fig11 : sig
+  type app = {
+    name : string;
+    version : string;
+    files : int;  (** published file count *)
+    loc : int;  (** published LOC *)
+    vulnerable : int;  (** published count of vulnerable files *)
+  }
+
+  (** The three programs of Fig. 11. *)
+  val apps : app list
+
+  (** Generate the app's full file set: [vulnerable] files from the
+      corresponding Fig. 12 rows plus benign filler files, [files]
+      files in total, with total {!Webapp.Ast.loc} close to [loc]
+      (within a few percent — filler statements are quantized). *)
+  val generate : app -> (string * Webapp.Ast.program) list
+end

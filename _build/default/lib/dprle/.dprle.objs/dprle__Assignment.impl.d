@@ -1,0 +1,1 @@
+lib/dprle/assignment.ml: Automata Fmt List Map Printf Regex String

@@ -1,0 +1,1 @@
+lib/dprle/assignment.mli: Automata Fmt

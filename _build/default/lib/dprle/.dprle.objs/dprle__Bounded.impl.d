@@ -1,0 +1,1 @@
+lib/dprle/bounded.ml: Automata Char Charset List Option Queue Set String System

@@ -1,0 +1,1 @@
+lib/dprle/bounded.mli: System

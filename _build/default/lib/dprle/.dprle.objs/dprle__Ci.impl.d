@@ -1,0 +1,1 @@
+lib/dprle/ci.ml: Automata List

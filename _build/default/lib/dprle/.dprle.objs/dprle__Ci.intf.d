@@ -1,0 +1,1 @@
+lib/dprle/ci.mli: Automata

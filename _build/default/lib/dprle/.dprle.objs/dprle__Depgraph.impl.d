@@ -1,0 +1,1 @@
+lib/dprle/depgraph.ml: Buffer Fmt Hashtbl List Option Printf Set Stdlib System

@@ -1,0 +1,1 @@
+lib/dprle/depgraph.mli: Fmt System

@@ -1,0 +1,1 @@
+lib/dprle/report.ml: Automata Depgraph Fmt Hashtbl List Option Solver

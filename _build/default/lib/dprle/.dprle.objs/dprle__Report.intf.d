@@ -1,0 +1,1 @@
+lib/dprle/report.mli: Automata Depgraph Fmt Solver

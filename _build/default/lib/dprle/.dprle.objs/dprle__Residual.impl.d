@@ -1,0 +1,1 @@
+lib/dprle/residual.ml: Array Assignment Automata Charset Fun Hashtbl Int List Queue Set System

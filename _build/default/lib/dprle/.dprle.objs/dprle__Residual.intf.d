@@ -1,0 +1,1 @@
+lib/dprle/residual.mli: Assignment Automata System

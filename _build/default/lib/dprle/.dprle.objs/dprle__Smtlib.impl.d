@@ -1,0 +1,1 @@
+lib/dprle/smtlib.ml: Automata Buffer Char Charset List Printf Regex String System

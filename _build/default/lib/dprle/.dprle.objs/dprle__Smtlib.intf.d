@@ -1,0 +1,1 @@
+lib/dprle/smtlib.mli: Regex System

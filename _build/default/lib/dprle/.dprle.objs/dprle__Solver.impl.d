@@ -1,0 +1,1 @@
+lib/dprle/solver.ml: Assignment Automata Depgraph Format Fun Hashtbl List Logs Map Option Printf Residual Seq Set System Validate

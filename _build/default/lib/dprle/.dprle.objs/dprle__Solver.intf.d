@@ -1,0 +1,1 @@
+lib/dprle/solver.mli: Assignment Depgraph System

@@ -1,0 +1,1 @@
+lib/dprle/sysparse.ml: Automata Buffer Fmt Fun List Printf Regex String System

@@ -1,0 +1,1 @@
+lib/dprle/sysparse.mli: Fmt System

@@ -1,0 +1,1 @@
+lib/dprle/system.ml: Automata Fmt List Map Printf Regex Set String

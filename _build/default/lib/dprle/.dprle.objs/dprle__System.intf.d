@@ -1,0 +1,1 @@
+lib/dprle/system.mli: Automata Fmt

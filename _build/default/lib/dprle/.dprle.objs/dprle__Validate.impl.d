@@ -1,0 +1,1 @@
+lib/dprle/validate.ml: Array Assignment Automata Ci List System

@@ -1,0 +1,1 @@
+lib/dprle/validate.mli: Assignment Automata Ci System

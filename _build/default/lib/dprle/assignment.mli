@@ -1,0 +1,37 @@
+(** Assignments of regular languages to the variables of a system. *)
+
+type t
+
+val of_list : (string * Automata.Nfa.t) list -> t
+
+val find : t -> string -> Automata.Nfa.t
+
+val find_opt : t -> string -> Automata.Nfa.t option
+
+val bindings : t -> (string * Automata.Nfa.t) list
+
+val variables : t -> string list
+
+(** [subsumes a b] iff [a] is pointwise ⊇ [b] on [b]'s variables —
+    i.e. [b] adds nothing. Used to discard non-maximal disjuncts. *)
+val subsumes : t -> t -> bool
+
+(** Semantic equality: same variables, same languages. *)
+val equal : t -> t -> bool
+
+(** Drop every assignment pointwise subsumed by another in the list
+    (keeping the first of semantically equal ones); preserves order. *)
+val prune_subsumed : t list -> t list
+
+(** A concrete witness string per variable (shortest), e.g. to print a
+    testcase. [None] if some language is empty. *)
+val witness : t -> (string * string) list option
+
+(** Up to [n] sample strings for one variable. *)
+val samples : t -> string -> n:int -> string list
+
+(** Renders each binding as a regex via state elimination. *)
+val pp : t Fmt.t
+
+(** Terse one-line form: [v1 ↦ shortest-witness, …]. *)
+val pp_witnesses : t Fmt.t

@@ -1,0 +1,42 @@
+(** Bounded brute-force baseline solver.
+
+    The paper positions its decision procedure against
+    bounded/SAT-style string solvers (HAMPI and Bjørner et al. in §5
+    fix string lengths and search for {e individual} assignments).
+    This module is that baseline, implemented honestly: enumerate
+    concrete words per variable up to a length bound over a reduced
+    alphabet, and test the constraints by membership.
+
+    It serves two purposes:
+
+    - the benchmark harness compares it against the decision
+      procedure (languages vs. single bounded witnesses — the paper's
+      qualitative argument made measurable);
+    - the test suite uses it as a differential oracle on small random
+      systems: brute-force satisfiability within the bound must agree
+      with the decision procedure's verdict. *)
+
+type result =
+  | Sat of (string * string) list  (** one concrete word per variable *)
+  | Unsat_within_bound
+      (** no assignment with every word ≤ the bound; the system may
+          still be satisfiable with longer words *)
+
+(** [check system words] — do these concrete values satisfy every
+    constraint? (Variables missing from [words] default to [""].) *)
+val check : System.t -> (string * string) list -> bool
+
+(** [solve ~max_len system] searches assignments of words of length
+    ≤ [max_len] over a reduced alphabet: one representative character
+    per refined block of the constants' transition charsets (a word
+    outside those blocks can always be replaced by a representative
+    without changing any membership). Variables are assigned
+    depth-first with constraints checked as soon as all their
+    variables are bound.
+
+    @param candidates_per_var safety cap on enumerated words per
+    variable (default 4096). *)
+val solve : ?candidates_per_var:int -> max_len:int -> System.t -> result
+
+(** The reduced alphabet used by {!solve} for a system. *)
+val alphabet : System.t -> char list

@@ -1,0 +1,39 @@
+module Nfa = Automata.Nfa
+module Ops = Automata.Ops
+
+type solution = { v1 : Nfa.t; v2 : Nfa.t; cut : Nfa.state * Nfa.state }
+
+type result = { solutions : solution list; m5 : Nfa.t; m4 : Nfa.t }
+
+let concat_intersect m1 m2 m3 =
+  (* Fig. 3 line 6: l4 = c1 ∘ c2, joined by a single ε-bridge. *)
+  let cat = Ops.concat m1 m2 in
+  let bridge_src, bridge_dst = cat.bridge in
+  (* Fig. 3 lines 7–8: l5 = l4 ∩ c3 via the cross-product. *)
+  let prod = Ops.intersect cat.machine m3 in
+  let m5 = prod.machine in
+  (* Lines 10–12: the interesting ε-edges are the images of the
+     bridge — product states (bridge_src · d) → (bridge_dst · d). The
+     product construction only creates ε-edges that share the
+     right-hand component, so scanning the states whose left component
+     is [bridge_src] enumerates exactly Qlhs × Qrhs ∩ δ5(·, ε). *)
+  let solutions =
+    List.filter_map
+      (fun qa ->
+        let left, d = prod.pair_of qa in
+        if left <> bridge_src then None
+        else
+          match prod.state_of_pair (bridge_dst, d) with
+          | None -> None
+          | Some qb when not (Nfa.has_eps_edge m5 qa qb) -> None
+          | Some qb ->
+              (* Lines 13–15: slice the big machine at the cut. *)
+              let v1 = Nfa.induce_from_final m5 qa in
+              let v2 = Nfa.induce_from_start m5 qb in
+              if Nfa.is_empty_lang v1 || Nfa.is_empty_lang v2 then None
+              else Some { v1; v2; cut = (qa, qb) })
+      (Nfa.states m5)
+  in
+  { solutions; m5; m4 = cat.machine }
+
+let solve m1 m2 m3 = (concat_intersect m1 m2 m3).solutions

@@ -1,0 +1,39 @@
+(** The Concatenation–Intersection problem (§3.2, Fig. 3 of the
+    paper): given regular languages [c1], [c2], [c3], find all maximal
+    disjunctive assignments for
+
+    {v  v1 ⊆ c1    v2 ⊆ c2    v1 ∘ v2 ⊆ c3  v}
+
+    The algorithm builds [M5 = (M1 ∘ M2) ∩ M3] and slices it at the
+    ε-transitions that are images of the concatenation bridge: each
+    such ε-edge [(qa, qb)] yields one assignment
+    [v1 ↦ induce_from_final (M5, qa)], [v2 ↦ induce_from_start (M5, qb)].
+
+    The paper proves three properties of the output (its Coq theorem);
+    {!Validate} re-checks all three executably, and the test suite
+    exercises them on random instances:
+
+    - {b Regular}: both assigned languages are NFAs by construction.
+    - {b Satisfying}: [⟦v1⟧ ⊆ c1], [⟦v2⟧ ⊆ c2], [⟦v1∘v2⟧ ⊆ c3].
+    - {b All Solutions}: every [w ∈ (c1∘c2) ∩ c3] is in [⟦v1∘v2⟧] of
+      some output assignment. *)
+
+type solution = {
+  v1 : Automata.Nfa.t;
+  v2 : Automata.Nfa.t;
+  cut : Automata.Nfa.state * Automata.Nfa.state;
+      (** the ε-transition of [M5] this solution was sliced at *)
+}
+
+type result = {
+  solutions : solution list;
+  m5 : Automata.Nfa.t;  (** the intermediate machine [(M1∘M2) ∩ M3] *)
+  m4 : Automata.Nfa.t;  (** the concatenation machine [M1∘M2] *)
+}
+
+(** Empty assignments are rejected (Fig. 3 line 15's side condition):
+    a returned solution always has nonempty [v1] and [v2]. *)
+val concat_intersect : Automata.Nfa.t -> Automata.Nfa.t -> Automata.Nfa.t -> result
+
+(** Just the assignments. *)
+val solve : Automata.Nfa.t -> Automata.Nfa.t -> Automata.Nfa.t -> solution list

@@ -1,0 +1,127 @@
+type node = Const of string | Var of string | Tmp of int
+
+let node_equal = ( = )
+let node_compare = Stdlib.compare
+
+let pp_node ppf = function
+  | Const c -> Fmt.string ppf c
+  | Var v -> Fmt.string ppf v
+  | Tmp i -> Fmt.pf ppf "t%d" i
+
+type concat = { left : node; right : node; result : node }
+
+type t = {
+  system : System.t;
+  nodes : node list;
+  subsets : (node * node) list;
+  concats : concat list;
+}
+
+module NSet = Set.Make (struct
+  type t = node
+
+  let compare = node_compare
+end)
+
+(* Fig. 5: descend the expression, returning its vertex and
+   accumulating ∘-edge pairs for every concatenation via fresh
+   temporaries. *)
+let of_system system =
+  let next_tmp = ref 0 in
+  let concats = ref [] in
+  let rec visit : System.expr -> node = function
+    | System.Const c -> Const c
+    | System.Var v -> Var v
+    | System.Concat (a, b) ->
+        let left = visit a in
+        let right = visit b in
+        let result = Tmp !next_tmp in
+        incr next_tmp;
+        concats := { left; right; result } :: !concats;
+        result
+    | System.Union _ -> assert false (* expanded below *)
+  in
+  let subsets =
+    (* the §3.1.2 union extension: [e ⊆ c] splits into one ⊆-edge per
+       union-free alternative of [e] *)
+    List.concat_map
+      (fun { System.lhs; rhs } ->
+        List.map
+          (fun alternative -> (Const rhs, visit alternative))
+          (System.expand_unions lhs))
+      (System.constraints system)
+  in
+  let concats = List.rev !concats in
+  let nodes =
+    let add acc n = NSet.add n acc in
+    let acc =
+      List.fold_left (fun acc (c, n) -> add (add acc c) n) NSet.empty subsets
+    in
+    let acc =
+      List.fold_left
+        (fun acc { left; right; result } -> add (add (add acc left) right) result)
+        acc concats
+    in
+    NSet.elements acc
+  in
+  { system; nodes; subsets; concats }
+
+(* Union-find over nodes joined by ∘-edge pairs. *)
+let ci_groups t =
+  let parent : (node, node) Hashtbl.t = Hashtbl.create 16 in
+  let rec find n =
+    match Hashtbl.find_opt parent n with
+    | None -> n
+    | Some p ->
+        let root = find p in
+        Hashtbl.replace parent n root;
+        root
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if node_compare ra rb <> 0 then Hashtbl.replace parent ra rb
+  in
+  (* Constant operands never join two concatenations into one group:
+     a constant's language is fixed, so it cannot couple the ε-cut
+     choices of otherwise-independent constraints. Only shared
+     variables (and temporaries) propagate group membership. *)
+  let joins = function Const _ -> false | Var _ | Tmp _ -> true in
+  List.iter
+    (fun { left; right; result } ->
+      if joins left then union left result;
+      if joins right then union right result)
+    t.concats;
+  let groups = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      let root = find n in
+      let existing = Option.value (Hashtbl.find_opt groups root) ~default:[] in
+      Hashtbl.replace groups root (n :: existing))
+    t.nodes;
+  Hashtbl.fold (fun _ members acc -> List.rev members :: acc) groups []
+
+let node_id = function
+  | Const c -> "c_" ^ c
+  | Var v -> "v_" ^ v
+  | Tmp i -> Printf.sprintf "t_%d" i
+
+let to_dot t =
+  let buf = Buffer.create 256 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "digraph depgraph {\n  rankdir=TB;\n";
+  List.iter
+    (fun n ->
+      let shape = match n with Const _ -> "box" | Var _ -> "ellipse" | Tmp _ -> "diamond" in
+      pf "  %s [shape=%s, label=\"%s\"];\n" (node_id n) shape
+        (Fmt.str "%a" pp_node n))
+    t.nodes;
+  List.iter
+    (fun (c, n) -> pf "  %s -> %s [style=dashed, label=\"⊆\"];\n" (node_id c) (node_id n))
+    t.subsets;
+  List.iter
+    (fun { left; right; result } ->
+      pf "  %s -> %s [label=\"l\"];\n" (node_id left) (node_id result);
+      pf "  %s -> %s [label=\"r\"];\n" (node_id right) (node_id result))
+    t.concats;
+  pf "}\n";
+  Buffer.contents buf

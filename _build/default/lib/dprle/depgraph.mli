@@ -1,0 +1,40 @@
+(** Dependency graphs over constraint systems (§3.4.1, Fig. 5 of the
+    paper).
+
+    Each unique variable or constant gets one vertex; every
+    concatenation [E ∘ E] in a constraint introduces a fresh temporary
+    vertex [Tmp]. Two edge kinds mirror the paper's:
+
+    - [SubsetEdge (c, n)] — written [c ⇢ n] — requires [⟦n⟧ ⊆ ⟦c⟧];
+      [c] is always a constant vertex.
+    - [ConcatEdgePair { left; right; result }] — a ∘-edge pair —
+      constrains [⟦result⟧] to strings of [⟦left⟧ ∘ ⟦right⟧]. *)
+
+type node = Const of string | Var of string | Tmp of int
+
+val node_equal : node -> node -> bool
+
+val node_compare : node -> node -> int
+
+val pp_node : node Fmt.t
+
+type concat = { left : node; right : node; result : node }
+
+type t = {
+  system : System.t;
+  nodes : node list;  (** every vertex, constants and temporaries included *)
+  subsets : (node * node) list;  (** [(c, n)]: ⟦n⟧ ⊆ ⟦c⟧ *)
+  concats : concat list;  (** in creation order; operands precede results *)
+}
+
+(** Build the graph by recursive descent of each constraint's
+    derivation (the collecting semantics of Fig. 5). *)
+val of_system : System.t -> t
+
+(** The {e CI-groups} of §3.4.3: connected components of the relation
+    "joined by a ∘-edge". Nodes not touching any ∘-edge form singleton
+    groups. Each group lists its member nodes. *)
+val ci_groups : t -> node list list
+
+(** Graphviz rendering (solid arrows: ∘-edge pairs; dashed: ⊆). *)
+val to_dot : t -> string

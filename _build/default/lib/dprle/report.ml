@@ -1,0 +1,67 @@
+type t = {
+  nodes : int;
+  subset_edges : int;
+  concat_pairs : int;
+  groups : int;
+  singleton_vars : int;
+  cut_candidates : int;
+  max_group_combinations : int;
+  solutions : int;
+  automata : Automata.Stats.snapshot;
+}
+
+let pp ppf r =
+  Fmt.pf ppf
+    "@[<v>nodes: %d (⊆-edges %d, ∘-pairs %d)@ CI-groups: %d (+%d singleton \
+     variables)@ ε-cut candidates: %d (largest group: %d combinations)@ \
+     solutions: %d@ automata: %a@]"
+    r.nodes r.subset_edges r.concat_pairs r.groups r.singleton_vars
+    r.cut_candidates r.max_group_combinations r.solutions Automata.Stats.pp
+    r.automata
+
+let solve_with_report ?max_solutions ?combination_limit (g : Depgraph.t) =
+  let census = Solver.cut_census g in
+  let groups = Depgraph.ci_groups g in
+  let concat_groups, singles =
+    List.partition (fun members -> List.length members > 1) groups
+  in
+  let singleton_vars =
+    List.length
+      (List.filter (function [ Depgraph.Var _ ] -> true | _ -> false) singles)
+  in
+  (* combinations multiply within a group; find each group's product *)
+  let triple_group tid =
+    let { Depgraph.result; _ } = List.nth g.concats tid in
+    List.find_opt (List.exists (Depgraph.node_equal result)) concat_groups
+  in
+  let group_products = Hashtbl.create 8 in
+  List.iter
+    (fun (tid, cuts) ->
+      match triple_group tid with
+      | None -> ()
+      | Some members ->
+          let key = List.hd members in
+          let current = Option.value (Hashtbl.find_opt group_products key) ~default:1 in
+          Hashtbl.replace group_products key (current * max 1 cuts))
+    census;
+  let max_group_combinations =
+    Hashtbl.fold (fun _ v acc -> max v acc) group_products 0
+  in
+  Automata.Stats.reset ();
+  let outcome = Solver.solve ?max_solutions ?combination_limit g in
+  let automata = Automata.Stats.snapshot () in
+  let solutions =
+    match outcome with Solver.Sat l -> List.length l | Solver.Unsat _ -> 0
+  in
+  ( outcome,
+    {
+      nodes = List.length g.nodes;
+      subset_edges = List.length g.subsets;
+      concat_pairs = List.length g.concats;
+      groups = List.length concat_groups;
+      singleton_vars;
+      cut_candidates = List.fold_left (fun acc (_, c) -> acc + c) 0 census;
+      max_group_combinations;
+      solutions;
+      automata;
+    } )

@@ -1,0 +1,31 @@
+(** Per-solve instrumentation, for benches and the CLI's [--stats].
+
+    Complements {!Automata.Stats} (low-level states visited) with the
+    solver-level quantities the paper's §3.5 reasons about: how many
+    CI-groups and concatenations a system has, how many ε-cut
+    candidates each concatenation admits, and how many combinations
+    were explored versus admitted. *)
+
+type t = {
+  nodes : int;  (** dependency-graph vertices *)
+  subset_edges : int;
+  concat_pairs : int;
+  groups : int;  (** CI-groups with at least one concatenation *)
+  singleton_vars : int;
+  cut_candidates : int;  (** ε-cuts summed over all concatenations *)
+  max_group_combinations : int;
+      (** largest per-group product of cut candidates *)
+  solutions : int;  (** disjuncts returned (after Maximal pruning) *)
+  automata : Automata.Stats.snapshot;
+      (** NFA construction work done during the solve *)
+}
+
+val pp : t Fmt.t
+
+(** Solve and measure in one pass. Returns the outcome together with
+    the report; resets {!Automata.Stats} for the duration. *)
+val solve_with_report :
+  ?max_solutions:int ->
+  ?combination_limit:int ->
+  Depgraph.t ->
+  Solver.outcome * t

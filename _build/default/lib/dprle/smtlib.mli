@@ -1,0 +1,30 @@
+(** SMT-LIB 2.6 export (theory of strings).
+
+    The modern descendants of this paper (Z3str, CVC4/5) standardized
+    on the SMT-LIB strings theory; this module bridges to them: a
+    constraint system becomes [declare-const … String] plus one
+    [str.in_re] assertion per union-free constraint alternative.
+
+    Semantics note: SMT solvers decide {e word-level} satisfiability —
+    one concrete string per variable — whereas RMA asks for maximal
+    {e languages}. The two agree on satisfiability: constraints are
+    monotone, so an RMA solution yields witnesses per variable, and a
+    word-level model is a satisfying singleton assignment. Maximality
+    and the disjunctive solution set are not expressible; they are
+    DPRLE's value-add over the word-level theory.
+
+    Constant operands inside a concatenation are inlined as string
+    literals when the constant is a single word, and otherwise encoded
+    with a universally quantified assertion
+    [∀u. u ∈ C ⇒ pre·u·post ∈ R] (the ∀-semantics of §4b of
+    DESIGN.md). *)
+
+(** Render a regex as an SMT-LIB [RegLan] term. *)
+val re_term : Regex.Ast.t -> string
+
+(** SMT-LIB string literal (with [""] and [\u{…}] escapes). *)
+val string_literal : string -> string
+
+(** The whole system as an SMT-LIB 2.6 script ending in
+    [(check-sat)] and [(get-model)]. *)
+val of_system : System.t -> string

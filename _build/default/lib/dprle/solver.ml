@@ -1,0 +1,575 @@
+module Nfa = Automata.Nfa
+module Ops = Automata.Ops
+module Lang = Automata.Lang
+
+let log = Logs.Src.create "dprle.solver" ~doc:"RMA constraint solver"
+
+module Log = (val Logs.src_log log)
+
+type outcome = Sat of Assignment.t list | Unsat of string
+
+module NMap = Map.Make (struct
+  type t = Depgraph.node
+
+  let compare = Depgraph.node_compare
+end)
+
+module NSet = Set.Make (struct
+  type t = Depgraph.node
+
+  let compare = Depgraph.node_compare
+end)
+
+(* ------------------------------------------------------------------ *)
+(* Slices: every group node's solution is a sub-machine of a root
+   machine, delimited by endpoints that are either fixed (the root's
+   start/final) or symbolic references to the ε-cut chosen for a
+   concatenation. This is the paper's shared-solution-representation
+   invariant: one machine per constraint tree, nodes as views. *)
+
+type endpoint =
+  | Root_start
+  | Root_final
+  | Cut_source of int  (** source state of triple [i]'s chosen ε-cut *)
+  | Cut_target of int  (** target state of triple [i]'s chosen ε-cut *)
+
+type slice = { entry : endpoint; exit_ : endpoint }
+
+(* A root machine under construction. [cuts] maps each concatenation
+   (by index in [Depgraph.concats]) whose bridge lives in this machine
+   to its candidate ε-cut state pairs. [slices] lists the group nodes
+   whose solutions are views of this machine. *)
+type record = {
+  nfa : Nfa.t;
+  cuts : (int * (Nfa.state * Nfa.state) list) list;
+  slices : (Depgraph.node * slice) list;
+}
+
+exception Unsatisfiable of string
+
+let unsat fmt = Format.kasprintf (fun s -> raise (Unsatisfiable s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Constant-operand preprocessing.
+
+   ε-cut slicing assigns each *variable* operand exactly the language
+   the chosen cut witnesses, so any combination of values drawn from a
+   solution satisfies the constraint. A *constant* operand is not
+   assigned: the constraint quantifies over its whole language, while
+   a cut only witnesses the words reaching that one cut state. For a
+   singleton constant (a string literal — the paper's running example
+   and every system the symbolic executor emits) the two coincide; for
+   a multi-word constant they do not, and raw slicing would be
+   unsound (e.g. [a* ∘ v ⊆ (ab)*] must force [v = ∅]).
+
+   Exact repair for the common shapes: a maximal leading or trailing
+   run of constant leaves containing a multi-word constant is folded
+   into the right-hand side with the universal residual
+   [{w | pre·w·post ⊆ c}] ({!Residual.max_middle}) — an equivalence,
+   not an approximation. Constant-only alternatives are decided by
+   inclusion outright. The remaining case — a multi-word constant
+   {e between} two variables — keeps its slicing but flags the group
+   so every ε-cut combination is verified against the constraints
+   before being admitted (sound, possibly incomplete; noted in
+   DESIGN.md). *)
+
+let is_singleton_lang lang =
+  match Nfa.shortest_word lang with
+  | None -> false
+  | Some w -> Lang.equal lang (Nfa.of_word w)
+
+let leaves expr =
+  let rec go acc = function
+    | System.Concat (a, b) -> go (go acc a) b
+    | leaf -> leaf :: acc
+  in
+  List.rev (go [] expr)
+
+let preprocess system =
+  let const_lang = System.const_lang system in
+  let singleton = Hashtbl.create 16 in
+  let is_singleton name =
+    match Hashtbl.find_opt singleton name with
+    | Some b -> b
+    | None ->
+        let b = is_singleton_lang (const_lang name) in
+        Hashtbl.add singleton name b;
+        b
+  in
+  let fresh = ref 0 in
+  let extra = ref [] in
+  let residual_const ~pre ~post ~upper =
+    let name = Printf.sprintf "#res%d" !fresh in
+    incr fresh;
+    extra := (name, Residual.max_middle ~pre ~post ~upper) :: !extra;
+    name
+  in
+  let run_lang run =
+    List.fold_left
+      (fun acc leaf ->
+        match leaf with
+        | System.Const c -> Ops.concat_lang acc (const_lang c)
+        | _ -> assert false)
+      Nfa.epsilon_lang run
+  in
+  let needs_fold run =
+    run <> []
+    && List.exists
+         (function System.Const c -> not (is_singleton c) | _ -> false)
+         run
+  in
+  let rebuild = function
+    | [] -> None
+    | first :: rest ->
+        Some (List.fold_left (fun acc l -> System.Concat (acc, l)) first rest)
+  in
+  let transform { System.lhs; rhs } =
+    List.filter_map
+      (fun alternative ->
+        let ls = leaves alternative in
+        let is_const = function System.Const _ -> true | _ -> false in
+        let rec split_run acc = function
+          | leaf :: rest when is_const leaf -> split_run (leaf :: acc) rest
+          | rest -> (List.rev acc, rest)
+        in
+        let pre_run, rest = split_run [] ls in
+        let post_run_rev, mid_rev = split_run [] (List.rev rest) in
+        let post_run = List.rev post_run_rev in
+        let mid = List.rev mid_rev in
+        if mid = [] then begin
+          (* constant-only alternative: decide inclusion now *)
+          if not (Lang.subset (run_lang pre_run) (const_lang rhs)) then
+            unsat "constant expression violates its subset constraint";
+          None
+        end
+        else begin
+          let fold_pre = needs_fold pre_run and fold_post = needs_fold post_run in
+          if not (fold_pre || fold_post) then
+            Option.map (fun lhs -> { System.lhs; rhs }) (rebuild ls)
+          else begin
+            let pre = if fold_pre then run_lang pre_run else Nfa.epsilon_lang in
+            let post = if fold_post then run_lang post_run else Nfa.epsilon_lang in
+            let rhs' = residual_const ~pre ~post ~upper:(const_lang rhs) in
+            let kept =
+              (if fold_pre then [] else pre_run)
+              @ mid
+              @ if fold_post then [] else post_run
+            in
+            Option.map (fun lhs -> { System.lhs; rhs = rhs' }) (rebuild kept)
+          end
+        end)
+      (System.expand_unions lhs)
+  in
+  let constraints = List.concat_map transform (System.constraints system) in
+  System.make_exn
+    ~consts:(System.constants system @ List.rev !extra)
+    ~constraints
+
+(* After preprocessing, the only inexact spots are concatenations with
+   a non-singleton constant operand (necessarily between variables). *)
+let group_needs_verification (g : Depgraph.t) members =
+  let member_set = NSet.of_list members in
+  List.exists
+    (fun { Depgraph.left; right; result } ->
+      NSet.mem result member_set
+      && List.exists
+           (function
+             | Depgraph.Const c ->
+                 not (is_singleton_lang (System.const_lang g.system c))
+             | _ -> false)
+           [ left; right ])
+    g.concats
+
+(* ------------------------------------------------------------------ *)
+(* Base languages: the paper's initial node-to-NFA mapping (Σ* for
+   variables, ⟦c⟧ for constants) with every inbound subset edge
+   applied up front — invariant 1 of §3.4.3, subset constraints
+   before concatenations. *)
+
+let base_languages (g : Depgraph.t) =
+  let const_lang c = System.const_lang g.system c in
+  let inbound n =
+    List.filter_map
+      (fun (c, n') ->
+        if Depgraph.node_equal n n' then
+          match c with
+          | Depgraph.Const name -> Some (const_lang name)
+          | _ -> assert false (* RHS of ⊆ is a constant by the grammar *)
+        else None)
+      g.subsets
+  in
+  List.fold_left
+    (fun acc n ->
+      let lang =
+        match n with
+        | Depgraph.Const name ->
+            let own = const_lang name in
+            (* constant-vs-constant constraints are decided here *)
+            List.iter
+              (fun upper ->
+                if not (Lang.subset own upper) then
+                  unsat "constant %a violates a subset constraint" Depgraph.pp_node n)
+              (inbound n);
+            own
+        | Depgraph.Var _ | Depgraph.Tmp _ -> (
+            match inbound n with
+            | [] -> Nfa.sigma_star
+            | first :: rest -> List.fold_left Ops.inter_lang first rest)
+      in
+      NMap.add n lang acc)
+    NMap.empty g.nodes
+
+(* ------------------------------------------------------------------ *)
+(* Machine construction: process the concatenations in creation order
+   (operands precede results), building for each the machine
+   (left ∘ right) ∩ base[result] and re-rooting any structure already
+   accumulated in tmp operands into the new machine. *)
+
+(* Index the product states by their concatenation-machine component:
+   one concat state maps to the product states (and partner base
+   states) it survived in. *)
+let index_product (prod : Ops.product_result) =
+  let table : (Nfa.state, (Nfa.state * Nfa.state) list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  List.iter
+    (fun q ->
+      let p, d = prod.pair_of q in
+      let existing = Option.value (Hashtbl.find_opt table p) ~default:[] in
+      Hashtbl.replace table p ((q, d) :: existing))
+    (Nfa.states prod.machine);
+  fun p -> Option.value (Hashtbl.find_opt table p) ~default:[]
+
+(* Lift the ε-cut pairs of an embedded machine into the product: each
+   old cut (qa, qb) survives as (qa·d, qb·d) for every base state d
+   under which qa is still reachable. This is where disjunctive
+   candidates multiply — the |M3| factor of the paper's §3.5 bound. *)
+let lift_cuts ~embed ~(prod : Ops.product_result) ~index pairs =
+  List.concat_map
+    (fun (qa, qb) ->
+      List.filter_map
+        (fun (q, d) ->
+          match prod.state_of_pair (embed qb, d) with
+          | Some qb' when Nfa.has_eps_edge prod.machine q qb' -> Some (q, qb')
+          | _ -> None)
+        (index (embed qa)))
+    pairs
+
+(* Re-root a record that becomes the [side] operand of a new
+   concatenation: the closed end stays a root endpoint, the open end
+   (the one the bridge extends) becomes a symbolic cut reference. *)
+let relocate_slices ~triple_id ~side slices =
+  let map_endpoint ep =
+    match (ep, side) with
+    | Root_final, `Left -> Cut_source triple_id
+    | Root_start, `Right -> Cut_target triple_id
+    | other, _ -> other
+  in
+  List.map
+    (fun (n, { entry; exit_ }) ->
+      (n, { entry = map_endpoint entry; exit_ = map_endpoint exit_ }))
+    slices
+
+let build_machines (g : Depgraph.t) base =
+  let records : (int, record) Hashtbl.t = Hashtbl.create 16 in
+  (* tmp node id → record index *)
+  let record_of_tmp : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let next_record = ref 0 in
+  let consumed : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let operand n =
+    match n with
+    | Depgraph.Tmp id ->
+        let rid = Hashtbl.find record_of_tmp id in
+        Hashtbl.replace consumed rid ();
+        let r = Hashtbl.find records rid in
+        (r.nfa, Some r)
+    | _ -> (NMap.find n base, None)
+  in
+  List.iteri
+    (fun triple_id { Depgraph.left; right; result } ->
+      let left_nfa, left_rec = operand left in
+      let right_nfa, right_rec = operand right in
+      let cat = Ops.concat left_nfa right_nfa in
+      let prod = Ops.intersect cat.machine (NMap.find result base) in
+      let index = index_product prod in
+      (* this triple's own ε-cut candidates: images of the bridge *)
+      let bridge_src, bridge_dst = cat.bridge in
+      let own_cuts =
+        lift_cuts ~embed:Fun.id ~prod ~index [ (bridge_src, bridge_dst) ]
+      in
+      let lifted_cuts side_rec embed =
+        match side_rec with
+        | None -> []
+        | Some r ->
+            List.map
+              (fun (tid, pairs) -> (tid, lift_cuts ~embed ~prod ~index pairs))
+              r.cuts
+      in
+      let lifted_slices side_rec side =
+        match side_rec with
+        | None -> []
+        | Some r -> relocate_slices ~triple_id ~side r.slices
+      in
+      (* fresh slices for plain-variable operands; constants carry no
+         solution and tmp operands already have their slice *)
+      let operand_slice n side =
+        match n with
+        | Depgraph.Var _ ->
+            let slice =
+              match side with
+              | `Left -> { entry = Root_start; exit_ = Cut_source triple_id }
+              | `Right -> { entry = Cut_target triple_id; exit_ = Root_final }
+            in
+            [ (n, slice) ]
+        | _ -> []
+      in
+      let record =
+        {
+          nfa = prod.machine;
+          cuts =
+            ((triple_id, own_cuts) :: lifted_cuts left_rec cat.left_embed)
+            @ lifted_cuts right_rec cat.right_embed;
+          slices =
+            (result, { entry = Root_start; exit_ = Root_final })
+            :: operand_slice left `Left
+            @ operand_slice right `Right
+            @ lifted_slices left_rec `Left
+            @ lifted_slices right_rec `Right;
+        }
+      in
+      let rid = !next_record in
+      incr next_record;
+      Hashtbl.add records rid record;
+      (match result with
+      | Depgraph.Tmp id -> Hashtbl.add record_of_tmp id rid
+      | _ -> assert false);
+      ())
+    g.concats;
+  (* roots: records never consumed as an operand *)
+  Hashtbl.fold
+    (fun rid r acc -> if Hashtbl.mem consumed rid then acc else r :: acc)
+    records []
+
+(* ------------------------------------------------------------------ *)
+(* Solving one CI-group: enumerate combinations of one ε-cut per
+   concatenation; each combination induces, for every node, the
+   intersection of its slices; reject combinations that force an
+   empty language; drop pointwise-subsumed assignments (Maximal). *)
+
+let resolve_endpoint (nfa : Nfa.t) choice = function
+  | Root_start -> Nfa.start nfa
+  | Root_final -> Nfa.final nfa
+  | Cut_source tid -> fst (List.assoc tid choice)
+  | Cut_target tid -> snd (List.assoc tid choice)
+
+let slice_language (r : record) choice { entry; exit_ } =
+  let m = Nfa.induce_from_start r.nfa (resolve_endpoint r.nfa choice entry) in
+  Nfa.induce_from_final m (resolve_endpoint r.nfa choice exit_)
+
+(* Lazy cartesian product of the per-concatenation cut candidates; the
+   paper's §3.5 notes that the first solution can be produced without
+   enumerating the rest, so combinations are only materialized as
+   consumed. *)
+let rec cartesian = function
+  | [] -> Seq.return []
+  | (tid, candidates) :: rest ->
+      let tails = cartesian rest in
+      Seq.concat_map
+        (fun cut -> Seq.map (fun tail -> (tid, cut) :: tail) tails)
+        (List.to_seq candidates)
+
+let solve_group ~combination_limit ~raw_cap ~verify (roots : record list) base
+    (members : NSet.t) =
+  (* all concatenations of this group, with their candidates *)
+  let cut_menu = List.concat_map (fun r -> r.cuts) roots in
+  List.iter
+    (fun (tid, candidates) ->
+      if candidates = [] then
+        unsat "concatenation %d admits no ε-cut: its language is empty" tid)
+    cut_menu;
+  let total =
+    List.fold_left (fun acc (_, c) -> acc * List.length c) 1 cut_menu
+  in
+  if total > combination_limit then
+    Log.warn (fun m ->
+        m
+          "exploring %d of %d ε-cut combinations (the exponential worst case \
+           of §3.5); the solution list may be incomplete"
+          combination_limit total);
+  let solutions = ref [] in
+  let found = ref 0 in
+  Seq.iter
+    (fun choice ->
+      (* a root's cuts are disjoint from other roots'; each root only
+         needs its own sub-choice, which [List.assoc] finds in the
+         full choice list *)
+      let exception Dead in
+      match
+        NSet.fold
+          (fun n acc ->
+            let slices =
+              List.concat_map
+                (fun r ->
+                  List.filter_map
+                    (fun (n', s) ->
+                      if Depgraph.node_equal n n' then
+                        Some (slice_language r choice s)
+                      else None)
+                    r.slices)
+                roots
+            in
+            match n with
+            | Depgraph.Const _ -> acc
+            | Depgraph.Var _ | Depgraph.Tmp _ ->
+                let lang =
+                  match slices with
+                  | [] -> NMap.find n base
+                  | first :: rest -> List.fold_left Ops.inter_lang first rest
+                in
+                if Nfa.is_empty_lang lang then raise Dead
+                else if match n with Depgraph.Var _ -> true | _ -> false then
+                  (n, lang) :: acc
+                else acc)
+          members []
+      with
+      | bindings ->
+          let assignment =
+            Assignment.of_list
+              (List.map
+                 (fun (n, lang) ->
+                   match n with
+                   | Depgraph.Var v -> (v, Lang.compact lang)
+                   | _ -> assert false)
+                 bindings)
+          in
+          (* groups with a multi-word constant operand: slicing is not
+             exact there, so admit only verified combinations *)
+          if match verify with None -> true | Some check -> check assignment
+          then begin
+            incr found;
+            solutions := assignment :: !solutions
+          end
+      | exception Dead -> ())
+    (Seq.take combination_limit
+       (Seq.take_while (fun _ -> !found < raw_cap) (cartesian cut_menu)));
+  (* Early pruning: drop assignments pointwise contained in another
+     (the final Maximal filter runs after maximalization in [solve]). *)
+  let unsubsumed = Assignment.prune_subsumed (List.rev !solutions) in
+  if unsubsumed = [] then
+    unsat "every ε-cut combination of a CI-group forces an empty language";
+  unsubsumed
+
+(* ------------------------------------------------------------------ *)
+
+let rec expr_variables acc = function
+  | System.Const _ -> acc
+  | System.Var v -> v :: acc
+  | System.Concat (a, b) | System.Union (a, b) ->
+      expr_variables (expr_variables acc a) b
+
+let solve ?(max_solutions = 256) ?(combination_limit = 4096) (g : Depgraph.t) =
+  try
+    let g = Depgraph.of_system (preprocess g.system) in
+    let raw_cap = max 64 (max_solutions * 4) in
+    let base = base_languages g in
+    let roots = build_machines g base in
+    let groups = Depgraph.ci_groups g in
+    let group_solutions =
+      List.filter_map
+        (fun members ->
+          match members with
+          | [ Depgraph.Const _ ] -> None (* handled in base_languages *)
+          | [ (Depgraph.Var v as n) ] ->
+              let lang = NMap.find n base in
+              if Nfa.is_empty_lang lang then
+                unsat "variable %s is constrained to the empty language" v
+              else Some [ Assignment.of_list [ (v, Lang.compact lang) ] ]
+          | members ->
+              let member_set = NSet.of_list members in
+              let group_roots =
+                List.filter
+                  (fun r ->
+                    List.exists (fun (n, _) -> NSet.mem n member_set) r.slices)
+                  roots
+              in
+              let verify =
+                if not (group_needs_verification g members) then None
+                else begin
+                  let group_vars =
+                    List.filter_map
+                      (function Depgraph.Var v -> Some v | _ -> None)
+                      members
+                  in
+                  let relevant =
+                    List.filter
+                      (fun { System.lhs; _ } ->
+                        List.exists
+                          (fun v -> List.mem v group_vars)
+                          (expr_variables [] lhs))
+                      (System.constraints g.system)
+                  in
+                  Some
+                    (fun a ->
+                      List.for_all (Validate.constraint_holds g.system a) relevant)
+                end
+              in
+              Some
+                (solve_group ~combination_limit ~raw_cap ~verify group_roots base
+                   member_set))
+        groups
+    in
+    (* conjunction of independent groups: cartesian combination *)
+    let combined =
+      List.fold_left
+        (fun acc sols ->
+          let merged =
+            List.concat_map
+              (fun a ->
+                List.map
+                  (fun b ->
+                    Assignment.of_list (Assignment.bindings a @ Assignment.bindings b))
+                  sols)
+              acc
+          in
+          (* keep the cap loose until the end so disjunct order stays
+             deterministic *)
+          if List.length merged > max_solutions * 4 then
+            List.filteri (fun i _ -> i < max_solutions * 4) merged
+          else merged)
+        [ Assignment.of_list [] ]
+        group_solutions
+    in
+    (* RMA's Maximal condition: grow every variable of every disjunct
+       as far as the other variables allow (the paper's worked
+       examples merge ε-cut slices exactly this way, e.g.
+       [v1 ↦ x(yy|yyyy)] in §3.1.1), then drop disjuncts the growth
+       made redundant. *)
+    let maximized =
+      Assignment.prune_subsumed
+        (List.map (Residual.maximize g.system) combined)
+    in
+    let capped = List.filteri (fun i _ -> i < max_solutions) maximized in
+    Log.debug (fun m ->
+        m "solved: %d groups, %d disjunctive solutions" (List.length group_solutions)
+          (List.length capped));
+    Sat capped
+  with Unsatisfiable reason -> Unsat reason
+
+let solve_system ?max_solutions ?combination_limit system =
+  solve ?max_solutions ?combination_limit (Depgraph.of_system system)
+
+let first_solution g =
+  match solve ~max_solutions:1 g with
+  | Sat (a :: _) -> Some a
+  | Sat [] | Unsat _ -> None
+
+let cut_census g =
+  match
+    let base = base_languages g in
+    let roots = build_machines g base in
+    List.concat_map
+      (fun r -> List.map (fun (tid, cuts) -> (tid, List.length cuts)) r.cuts)
+      roots
+  with
+  | census -> List.sort compare census
+  | exception Unsatisfiable _ -> []

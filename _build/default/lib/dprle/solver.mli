@@ -1,0 +1,60 @@
+(** The decision procedure for general systems of subset constraints
+    (§3.4 of the paper).
+
+    Pipeline, mirroring the paper's:
+
+    + build the dependency graph ({!Depgraph});
+    + resolve {e basic} constraints — vertices with only inbound
+      ⊆-edges — by NFA intersection (the [reduce] step of Fig. 7,
+      lines 3–8), and check constant-vs-constant inclusions;
+    + split the remaining vertices into {e CI-groups} (nodes connected
+      by ∘-edge pairs, §3.4.3) and solve each with the generalized
+      concat-intersect procedure [gci] (Fig. 8), producing the
+      disjunctive solutions;
+    + combine per-group disjuncts into full assignments (the worklist
+      of Fig. 7 materialized as a cartesian product with a cap).
+
+    The [gci] here follows the paper's two invariants: inbound subset
+    constraints are applied {e before} concatenations (operand
+    machines are pre-narrowed, and each concatenation result is
+    intersected with its subset constant immediately), and solutions
+    share one machine per constraint tree — every group node's
+    language is a {e slice} of a root machine, delimited by the
+    ε-cut chosen for each concatenation (the sub-NFA tracking of
+    Fig. 8). Narrowing a root machine therefore updates every
+    embedded solution at once. Disjunctive solutions are exactly the
+    combinations of one ε-cut per concatenation, with empty-language
+    combinations rejected (as in Fig. 3 line 15) and pointwise
+    subsumed assignments dropped (they would violate Maximal). *)
+
+type outcome =
+  | Sat of Assignment.t list
+      (** all (deduplicated, unsubsumed) disjunctive satisfying
+          assignments, at most [max_solutions] of them *)
+  | Unsat of string  (** human-readable reason *)
+
+(** [solve graph] decides the system.
+
+    @param max_solutions cap on returned disjuncts (default 256).
+    @param combination_limit cap on ε-cut combinations explored per
+    CI-group (default 4096) — the paper's §3.5 exponential worst case
+    made tangible. Combinations are enumerated lazily (the paper
+    notes the first solution needs no full enumeration); when the cap
+    truncates the search a warning is logged and the returned
+    disjunct list may be incomplete (each disjunct is still sound). *)
+val solve : ?max_solutions:int -> ?combination_limit:int -> Depgraph.t -> outcome
+
+(** Convenience: graph construction + solve. *)
+val solve_system :
+  ?max_solutions:int -> ?combination_limit:int -> System.t -> outcome
+
+(** First satisfying assignment only (the mode the paper's §3.5 notes
+    can avoid full enumeration). *)
+val first_solution : Depgraph.t -> Assignment.t option
+
+(** Structural measurement for {!Report}: for every concatenation of
+    the graph (by its index in [Depgraph.concats]), the number of
+    ε-cut candidates in its fully-built root machine — the per-triple
+    disjunction width of §3.5. Empty list if the system is already
+    unsatisfiable at the constant level. *)
+val cut_census : Depgraph.t -> (int * int) list

@@ -1,0 +1,35 @@
+(** Concrete syntax for constraint systems, in the style of the
+    paper's released stand-alone solver. A file is a sequence of
+    statements:
+
+    {v
+      # SQL-injection example (Fig. 1 / §2)
+      let filter = /[\d]+$/;        # preg-style pattern constant
+      let prefix = "nid_";          # literal string constant
+      let unsafe = /'/;             # any string containing a quote
+
+      v1 <= filter;
+      prefix . v1 <= unsafe;
+    v}
+
+    [/…/] constants use [preg_match] semantics: anchors are honored
+    and unanchored sides match arbitrary context (so [/x/] is Σ*xΣ*
+    and [/^x$/] is exactly [x]). ["…"] constants are literal strings
+    with the usual escapes. Identifiers not bound by [let] are
+    variables. [#] starts a line comment.
+
+    Left-hand sides support the paper's §3.1.2 union extension with
+    grouping: [lhs := term ('|' term)*], [term := factor ('.'
+    factor)*], [factor := NAME | '(' lhs ')'] — e.g.
+    [(a | b) . v <= c;]. *)
+
+type error = { line : int; col : int; message : string }
+
+val pp_error : error Fmt.t
+
+val parse : string -> (System.t, error) result
+
+val parse_exn : string -> System.t
+
+(** Parse the contents of a file at [path]. *)
+val parse_file : string -> (System.t, error) result

@@ -1,0 +1,80 @@
+(** Systems of subset constraints over regular languages — the input
+    language of the decision procedure (grammar of Fig. 2 of the
+    paper):
+
+    {v
+      S ::= E ⊆ C          subset constraint
+      E ::= E ∘ E | C | V   concatenation of constants and variables
+    v}
+
+    Constants are named regular languages; variables are free. A
+    system is the conjunction of its constraints. *)
+
+type expr =
+  | Const of string  (** reference to a defined constant *)
+  | Var of string
+  | Concat of expr * expr
+  | Union of expr * expr
+      (** the §3.1.2 extension: [(e1|e2) ⊆ c ≡ e1 ⊆ c ∧ e2 ⊆ c];
+          solved by distributing over concatenation and splitting the
+          constraint (see {!expand_unions}) *)
+
+type constr = { lhs : expr; rhs : string  (** constant name *) }
+
+(** Rewrite an expression into union-free alternatives: unions split,
+    and distribute over concatenation ([(a|b)∘c → a∘c, b∘c]). A
+    constraint [e ⊆ c] is equivalent to the conjunction of
+    [e' ⊆ c] over the alternatives [e']. The expansion is exponential
+    in the number of nested unions — the price of the encoding, noted
+    in DESIGN.md. *)
+val expand_unions : expr -> expr list
+
+type t
+
+(** {1 Construction} *)
+
+(** [make ~consts ~constraints] checks that every constant reference
+    resolves and that no name is both a constant and a variable.
+    Constant names must be unique. *)
+val make :
+  consts:(string * Automata.Nfa.t) list ->
+  constraints:constr list ->
+  (t, string) result
+
+val make_exn :
+  consts:(string * Automata.Nfa.t) list -> constraints:constr list -> t
+
+(** Convenience constructors for constant languages. *)
+
+val const_of_regex : string -> Automata.Nfa.t
+(** [const_of_regex "a(b|c)*"] — exact (fully anchored) language.
+    Raises [Invalid_argument] on a malformed regex. *)
+
+val const_of_pattern : string -> Automata.Nfa.t
+(** [const_of_pattern "/[\\d]+$/"] — the language {e accepted} by a
+    [preg_match]-style check, honoring its anchors. *)
+
+val const_of_word : string -> Automata.Nfa.t
+(** Singleton language. *)
+
+(** {1 Accessors} *)
+
+val constants : t -> (string * Automata.Nfa.t) list
+
+val constraints : t -> constr list
+
+val const_lang : t -> string -> Automata.Nfa.t
+
+(** Variables occurring anywhere in the system, sorted. *)
+val variables : t -> string list
+
+(** Number of constraints. *)
+val size : t -> int
+
+(** {1 Printing} *)
+
+val pp_expr : expr Fmt.t
+
+val pp_constr : constr Fmt.t
+
+val pp : t Fmt.t

@@ -1,0 +1,67 @@
+module Nfa = Automata.Nfa
+module Ops = Automata.Ops
+module Lang = Automata.Lang
+
+let rec expr_lang system a : System.expr -> Nfa.t = function
+  | System.Const c -> System.const_lang system c
+  | System.Var v -> Assignment.find a v
+  | System.Concat (e1, e2) ->
+      Ops.concat_lang (expr_lang system a e1) (expr_lang system a e2)
+  | System.Union (e1, e2) ->
+      Ops.union_lang (expr_lang system a e1) (expr_lang system a e2)
+
+let constraint_holds system a { System.lhs; rhs } =
+  Lang.subset (expr_lang system a lhs) (System.const_lang system rhs)
+
+let satisfying system a =
+  List.for_all (constraint_holds system a) (System.constraints system)
+
+let ci_satisfying ~c1 ~c2 ~c3 { Ci.v1; v2; _ } =
+  Lang.subset v1 c1 && Lang.subset v2 c2
+  && Lang.subset (Ops.concat_lang v1 v2) c3
+
+let ci_all_solutions ~c1 ~c2 ~c3 solutions =
+  let target = Ops.inter_lang (Ops.concat_lang c1 c2) c3 in
+  let covered =
+    List.fold_left
+      (fun acc { Ci.v1; v2; _ } -> Ops.union_lang acc (Ops.concat_lang v1 v2))
+      Nfa.empty_lang solutions
+  in
+  Lang.equal covered target
+
+(* Candidate extension strings for a variable: strings allowed by some
+   constraint constant but missing from the assigned language. These
+   are the plausible ways an assignment could fail to be maximal. *)
+let extension_candidates ?(samples = 5) system a v =
+  let lang = Assignment.find a v in
+  List.concat_map
+    (fun (_, const) ->
+      let missing = Lang.difference const lang in
+      Nfa.sample_words missing ~max_len:8 ~max_count:samples)
+    (System.constants system)
+
+let maximal_probe ?(samples = 5) system a =
+  List.for_all
+    (fun v ->
+      let lang = Assignment.find a v in
+      List.for_all
+        (fun w ->
+          let extended =
+            Assignment.of_list
+              ((v, Ops.union_lang lang (Nfa.of_word w))
+              :: List.remove_assoc v (Assignment.bindings a))
+          in
+          not (satisfying system extended))
+        (extension_candidates ~samples system a v))
+    (Assignment.variables a)
+
+let pairwise_incomparable solutions =
+  let arr = Array.of_list solutions in
+  let n = Array.length arr in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && Assignment.subsumes arr.(i) arr.(j) then ok := false
+    done
+  done;
+  !ok

@@ -1,0 +1,1 @@
+lib/regex/ast.ml: Buffer Char Charset Fmt List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/regex/compile.ml: Ast Automata Charset

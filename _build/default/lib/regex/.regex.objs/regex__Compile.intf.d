@@ -1,0 +1,1 @@
+lib/regex/compile.mli: Ast Automata

@@ -1,0 +1,1 @@
+lib/regex/derivative.ml: Ast Charset Option String

@@ -1,0 +1,1 @@
+lib/regex/derivative.mli: Ast

@@ -1,0 +1,1 @@
+lib/regex/parser.mli: Ast Fmt

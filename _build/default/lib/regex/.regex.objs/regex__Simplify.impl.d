@@ -1,0 +1,1 @@
+lib/regex/simplify.ml: Ast Automata Charset Compile List State_elim

@@ -1,0 +1,1 @@
+lib/regex/simplify.mli: Ast Automata

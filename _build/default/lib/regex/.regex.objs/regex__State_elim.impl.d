@@ -1,0 +1,1 @@
+lib/regex/state_elim.ml: Array Ast Automata List

@@ -1,0 +1,190 @@
+type t =
+  | Empty
+  | Epsilon
+  | Chars of Charset.t
+  | Seq of t * t
+  | Alt of t * t
+  | Star of t
+  | Plus of t
+  | Opt of t
+  | Repeat of t * int * int option
+
+type pattern = { re : t; anchored_start : bool; anchored_end : bool }
+
+let whole re = { re; anchored_start = true; anchored_end = true }
+
+let equal = ( = )
+let compare = Stdlib.compare
+
+let rec size = function
+  | Empty | Epsilon | Chars _ -> 1
+  | Seq (a, b) | Alt (a, b) -> 1 + size a + size b
+  | Star a | Plus a | Opt a | Repeat (a, _, _) -> 1 + size a
+
+let chars cs = if Charset.is_empty cs then Empty else Chars cs
+
+let seq a b =
+  match (a, b) with
+  | Empty, _ | _, Empty -> Empty
+  | Epsilon, r | r, Epsilon -> r
+  | _ -> Seq (a, b)
+
+let star = function
+  | Empty | Epsilon -> Epsilon
+  | Star _ as s -> s
+  | Plus r | Opt r -> Star r
+  | r -> Star r
+
+let plus = function
+  | Empty -> Empty
+  | Epsilon -> Epsilon
+  | Star _ as s -> s
+  | r -> Plus r
+
+let opt = function
+  | Empty -> Epsilon
+  | Epsilon -> Epsilon
+  | (Star _ | Opt _) as r -> r
+  | Plus r -> Star r
+  | r -> Opt r
+
+let alt a b =
+  match (a, b) with
+  | Empty, r | r, Empty -> r
+  | Epsilon, r | r, Epsilon -> opt r
+  | Chars c1, Chars c2 -> Chars (Charset.union c1 c2)
+  | _ when equal a b -> a
+  | _ -> Alt (a, b)
+
+let str s =
+  if s = "" then Epsilon
+  else
+    String.fold_left (fun acc c -> seq acc (Chars (Charset.singleton c))) Epsilon s
+
+let repeat r lo hi =
+  if lo < 0 then invalid_arg "Ast.repeat: negative bound";
+  (match hi with
+  | Some h when h < lo -> invalid_arg "Ast.repeat: max < min"
+  | _ -> ());
+  match (r, lo, hi) with
+  | _, 0, Some 0 -> Epsilon
+  | _, 1, Some 1 -> r
+  | _, 0, None -> star r
+  | _, 1, None -> plus r
+  | _, 0, Some 1 -> opt r
+  | Empty, _, _ -> Empty
+  | Epsilon, _, _ -> Epsilon
+  | _ -> Repeat (r, lo, hi)
+
+let any = Chars Charset.full
+
+(* Printing in a reparseable concrete syntax. Precedence levels:
+   0 = alternation, 1 = sequence, 2 = postfix, 3 = atom. *)
+
+let escape_literal c =
+  match c with
+  | '\\' | '|' | '(' | ')' | '[' | ']' | '{' | '}' | '*' | '+' | '?' | '.' | '^'
+  | '$' | '/' ->
+      Printf.sprintf "\\%c" c
+  | '\n' -> "\\n"
+  | '\t' -> "\\t"
+  | '\r' -> "\\r"
+  | c when Char.code c >= 32 && Char.code c <= 126 -> String.make 1 c
+  | c -> Printf.sprintf "\\x%02x" (Char.code c)
+
+let escape_in_class c =
+  match c with
+  | '\\' | ']' | '^' | '-' -> Printf.sprintf "\\%c" c
+  | '\n' -> "\\n"
+  | '\t' -> "\\t"
+  | '\r' -> "\\r"
+  | c when Char.code c >= 32 && Char.code c <= 126 -> String.make 1 c
+  | c -> Printf.sprintf "\\x%02x" (Char.code c)
+
+let class_body buf cs =
+  List.iter
+    (fun (lo, hi) ->
+      if hi = lo then Buffer.add_string buf (escape_in_class (Char.chr lo))
+      else if hi = lo + 1 then begin
+        Buffer.add_string buf (escape_in_class (Char.chr lo));
+        Buffer.add_string buf (escape_in_class (Char.chr hi))
+      end
+      else begin
+        Buffer.add_string buf (escape_in_class (Char.chr lo));
+        Buffer.add_char buf '-';
+        Buffer.add_string buf (escape_in_class (Char.chr hi))
+      end)
+    (Charset.ranges cs)
+
+let charset_syntax cs =
+  if Charset.is_full cs then "."
+  else if Charset.equal cs Charset.digit then "\\d"
+  else if Charset.equal cs Charset.word then "\\w"
+  else if Charset.equal cs Charset.space then "\\s"
+  else if Charset.equal cs (Charset.complement Charset.digit) then "\\D"
+  else if Charset.equal cs (Charset.complement Charset.word) then "\\W"
+  else if Charset.equal cs (Charset.complement Charset.space) then "\\S"
+  else
+    match Charset.ranges cs with
+    | [ (lo, hi) ] when lo = hi -> escape_literal (Char.chr lo)
+    | ranges ->
+        let buf = Buffer.create 16 in
+        (* Prefer the negated form when it is syntactically smaller. *)
+        let negated = Charset.complement cs in
+        if List.length (Charset.ranges negated) < List.length ranges / 2 then begin
+          Buffer.add_string buf "[^";
+          class_body buf negated
+        end
+        else begin
+          Buffer.add_char buf '[';
+          class_body buf cs
+        end;
+        Buffer.add_char buf ']';
+        Buffer.contents buf
+
+let rec print buf level re =
+  let group min_level body =
+    if level > min_level then begin
+      Buffer.add_string buf "(?:";
+      body ();
+      Buffer.add_char buf ')'
+    end
+    else body ()
+  in
+  match re with
+  | Empty -> Buffer.add_string buf "[^\\x00-\\xff]"
+  | Epsilon -> Buffer.add_string buf "(?:)"
+  | Chars cs -> Buffer.add_string buf (charset_syntax cs)
+  | Seq (a, b) ->
+      group 1 (fun () ->
+          print buf 1 a;
+          print buf 1 b)
+  | Alt (a, b) ->
+      group 0 (fun () ->
+          print buf 0 a;
+          Buffer.add_char buf '|';
+          print buf 0 b)
+  | Star a -> postfix buf a "*"
+  | Plus a -> postfix buf a "+"
+  | Opt a -> postfix buf a "?"
+  | Repeat (a, lo, Some hi) ->
+      postfix buf a
+        (if lo = hi then Printf.sprintf "{%d}" lo else Printf.sprintf "{%d,%d}" lo hi)
+  | Repeat (a, lo, None) -> postfix buf a (Printf.sprintf "{%d,}" lo)
+
+and postfix buf a suffix =
+  print buf 2 a;
+  Buffer.add_string buf suffix
+
+let to_string re =
+  let buf = Buffer.create 32 in
+  print buf 0 re;
+  Buffer.contents buf
+
+let pp ppf re = Fmt.string ppf (to_string re)
+
+let pp_pattern ppf { re; anchored_start; anchored_end } =
+  Fmt.pf ppf "/%s%s%s/"
+    (if anchored_start then "^" else "")
+    (to_string re)
+    (if anchored_end then "$" else "")

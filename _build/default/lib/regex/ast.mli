@@ -1,0 +1,68 @@
+(** Abstract syntax of the PCRE-subset regular expressions used as
+    language constants throughout the solver.
+
+    The subset matches what the paper's evaluation needs: literals,
+    character classes (incl. [\d], [\w], [\s] and negations), [.],
+    grouping, alternation, and the counted quantifiers. Anchoring is
+    {e pattern-level} (see {!pattern}): [preg_match]-style patterns
+    match substrings unless tied down with [^]/[$], which is exactly
+    the distinction the paper's motivating vulnerability hinges on. *)
+
+type t =
+  | Empty  (** ∅ — matches nothing *)
+  | Epsilon  (** matches the empty string *)
+  | Chars of Charset.t  (** one character from the set *)
+  | Seq of t * t
+  | Alt of t * t
+  | Star of t
+  | Plus of t
+  | Opt of t
+  | Repeat of t * int * int option  (** [r{n,m}]; [None] = unbounded *)
+
+(** A [preg_match]-style pattern: a bare regex plus end anchoring.
+    [/[\d]+$/] is [{ re = Plus (Chars digit); anchored_start = false;
+    anchored_end = true }] — the faulty filter of the paper's Fig. 1. *)
+type pattern = { re : t; anchored_start : bool; anchored_end : bool }
+
+(** Fully anchored pattern (the regex must cover the whole string). *)
+val whole : t -> pattern
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+(** Syntactic size (number of AST nodes). *)
+val size : t -> int
+
+(** {1 Smart constructors}
+
+    Perform the obvious algebraic identities ([∅·r = ∅], [ε·r = r],
+    [r|∅ = r], deduplicated alternation of char sets, …) so that
+    generated expressions — in particular the output of state
+    elimination — stay readable. *)
+
+val seq : t -> t -> t
+
+val alt : t -> t -> t
+
+val star : t -> t
+
+val plus : t -> t
+
+val opt : t -> t
+
+val chars : Charset.t -> t
+
+(** [str s] matches exactly the literal string [s]. *)
+val str : string -> t
+
+val repeat : t -> int -> int option -> t
+
+(** [any] is [.] — here a true "any byte", not "any but newline". *)
+val any : t
+
+val pp : t Fmt.t
+val pp_pattern : pattern Fmt.t
+
+(** Concrete syntax accepted back by {!Parser.parse}. *)
+val to_string : t -> string

@@ -1,0 +1,23 @@
+module Nfa = Automata.Nfa
+module Ops = Automata.Ops
+
+let rec to_nfa : Ast.t -> Nfa.t = function
+  | Empty -> Nfa.empty_lang
+  | Epsilon -> Nfa.epsilon_lang
+  | Chars cs -> if Charset.is_empty cs then Nfa.empty_lang else Nfa.of_charset cs
+  | Seq (a, b) -> Ops.concat_lang (to_nfa a) (to_nfa b)
+  | Alt (a, b) -> Ops.union_lang (to_nfa a) (to_nfa b)
+  | Star a -> Ops.star (to_nfa a)
+  | Plus a -> Ops.plus (to_nfa a)
+  | Opt a -> Ops.opt (to_nfa a)
+  | Repeat (a, lo, hi) -> Ops.repeat (to_nfa a) ~min_count:lo ~max_count:hi
+
+let pattern_to_nfa { Ast.re; anchored_start; anchored_end } =
+  let core = to_nfa re in
+  let with_prefix =
+    if anchored_start then core else Ops.concat_lang Nfa.sigma_star core
+  in
+  if anchored_end then with_prefix else Ops.concat_lang with_prefix Nfa.sigma_star
+
+let pattern_reject_nfa pattern =
+  Automata.Dfa.to_nfa (Automata.Dfa.complement (Automata.Dfa.of_nfa (pattern_to_nfa pattern)))

@@ -1,0 +1,15 @@
+(** Thompson compilation of regexes to single-start/single-final
+    ε-NFAs, the machine format the solver consumes. *)
+
+val to_nfa : Ast.t -> Automata.Nfa.t
+
+(** Language of inputs {e accepted by} a [preg_match]-style check: an
+    unanchored side is padded with Σ*, so e.g. the paper's faulty
+    [/[\d]+$/] compiles to [Σ* · [0-9]+] — every string that merely
+    {e ends} with digits. *)
+val pattern_to_nfa : Ast.pattern -> Automata.Nfa.t
+
+(** Language of inputs {e rejected} by the check (complement of
+    {!pattern_to_nfa}); used when an analysis follows the
+    pattern-failed branch. *)
+val pattern_reject_nfa : Ast.pattern -> Automata.Nfa.t

@@ -1,0 +1,20 @@
+(** Brzozowski-derivative matcher.
+
+    A second, automaton-free implementation of regex matching, used as
+    the reference oracle against which the Thompson compiler is
+    property-tested. Also useful on its own for one-off membership
+    checks without building a machine. *)
+
+(** Does the regex accept the empty string? *)
+val nullable : Ast.t -> bool
+
+(** [deriv c r] is the Brzozowski derivative: a regex for
+    [{ w | c·w ∈ L(r) }]. Uses the smart constructors of {!Ast}, so
+    derivatives stay small. *)
+val deriv : char -> Ast.t -> Ast.t
+
+(** Membership by repeated derivation. *)
+val matches : Ast.t -> string -> bool
+
+(** Pattern-level matching with [preg_match] substring semantics. *)
+val pattern_matches : Ast.pattern -> string -> bool

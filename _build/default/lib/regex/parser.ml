@@ -1,0 +1,270 @@
+type error = { position : int; message : string }
+
+let pp_error ppf { position; message } =
+  Fmt.pf ppf "parse error at %d: %s" position message
+
+exception Parse_failure of error
+
+let fail pos message = raise (Parse_failure { position = pos; message })
+
+(* Mutable cursor over the input; the grammar is LL(1) so one
+   character of lookahead suffices everywhere. *)
+type cursor = { input : string; mutable pos : int }
+
+let peek cur = if cur.pos < String.length cur.input then Some cur.input.[cur.pos] else None
+
+let advance cur = cur.pos <- cur.pos + 1
+
+let expect cur c =
+  match peek cur with
+  | Some c' when c' = c -> advance cur
+  | _ -> fail cur.pos (Printf.sprintf "expected '%c'" c)
+
+let hex_value pos c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> fail pos "expected hex digit"
+
+(* Shared by literal and in-class escapes. Returns either a concrete
+   character or a full character class (for \d etc.). *)
+let parse_escape cur =
+  match peek cur with
+  | None -> fail cur.pos "dangling backslash"
+  | Some c ->
+      advance cur;
+      let chr c = `Char c in
+      (match c with
+      | 'd' -> `Class Charset.digit
+      | 'D' -> `Class (Charset.complement Charset.digit)
+      | 'w' -> `Class Charset.word
+      | 'W' -> `Class (Charset.complement Charset.word)
+      | 's' -> `Class Charset.space
+      | 'S' -> `Class (Charset.complement Charset.space)
+      | 'n' -> chr '\n'
+      | 't' -> chr '\t'
+      | 'r' -> chr '\r'
+      | '0' -> chr '\000'
+      | 'x' ->
+          let d1 =
+            match peek cur with
+            | Some c -> hex_value cur.pos c
+            | None -> fail cur.pos "truncated \\x escape"
+          in
+          advance cur;
+          let d2 =
+            match peek cur with
+            | Some c -> hex_value cur.pos c
+            | None -> fail cur.pos "truncated \\x escape"
+          in
+          advance cur;
+          chr (Char.chr ((d1 * 16) + d2))
+      | c -> chr c)
+
+let parse_class cur =
+  (* cursor is just past the '['. *)
+  let negated =
+    match peek cur with
+    | Some '^' ->
+        advance cur;
+        true
+    | _ -> false
+  in
+  let acc = ref Charset.empty in
+  let add cs = acc := Charset.union !acc cs in
+  let rec items () =
+    match peek cur with
+    | None -> fail cur.pos "unterminated character class"
+    | Some ']' -> advance cur
+    | Some c ->
+        advance cur;
+        let lo =
+          if c = '\\' then
+            match parse_escape cur with
+            | `Char c -> Some c
+            | `Class cs ->
+                add cs;
+                None
+          else Some c
+        in
+        (match lo with
+        | None -> ()
+        | Some lo -> (
+            (* possible range lo-hi; '-' before ']' is a literal *)
+            match (peek cur, cur.pos + 1 < String.length cur.input) with
+            | Some '-', true when cur.input.[cur.pos + 1] <> ']' ->
+                advance cur;
+                let hi =
+                  match peek cur with
+                  | None -> fail cur.pos "unterminated range"
+                  | Some '\\' ->
+                      advance cur;
+                      (match parse_escape cur with
+                      | `Char c -> c
+                      | `Class _ -> fail cur.pos "class escape in range")
+                  | Some c ->
+                      advance cur;
+                      c
+                in
+                if Char.code hi < Char.code lo then fail cur.pos "inverted range";
+                add (Charset.range lo hi)
+            | _ -> add (Charset.singleton lo)));
+        items ()
+  in
+  items ();
+  if negated then Charset.complement !acc else !acc
+
+let parse_int cur =
+  let start = cur.pos in
+  let rec go acc =
+    match peek cur with
+    | Some ('0' .. '9' as c) ->
+        advance cur;
+        go ((acc * 10) + Char.code c - Char.code '0')
+    | _ -> if cur.pos = start then fail cur.pos "expected number" else acc
+  in
+  go 0
+
+let parse_braces cur re =
+  (* cursor is just past the '{'. *)
+  let lo = parse_int cur in
+  match peek cur with
+  | Some '}' ->
+      advance cur;
+      Ast.repeat re lo (Some lo)
+  | Some ',' -> (
+      advance cur;
+      match peek cur with
+      | Some '}' ->
+          advance cur;
+          Ast.repeat re lo None
+      | _ ->
+          let hi = parse_int cur in
+          if hi < lo then fail cur.pos "quantifier max < min";
+          expect cur '}';
+          Ast.repeat re lo (Some hi))
+  | _ -> fail cur.pos "malformed {…} quantifier"
+
+let rec parse_alt cur =
+  let first = parse_seq cur in
+  match peek cur with
+  | Some '|' ->
+      advance cur;
+      Ast.alt first (parse_alt cur)
+  | _ -> first
+
+and parse_seq cur =
+  let rec go acc =
+    match peek cur with
+    | None | Some ('|' | ')') -> acc
+    | Some _ -> go (Ast.seq acc (parse_postfix cur))
+  in
+  go Ast.Epsilon
+
+and parse_postfix cur =
+  let atom = parse_atom cur in
+  let rec quantifiers re =
+    match peek cur with
+    | Some '*' ->
+        advance cur;
+        quantifiers (Ast.star re)
+    | Some '+' ->
+        advance cur;
+        quantifiers (Ast.plus re)
+    | Some '?' ->
+        advance cur;
+        quantifiers (Ast.opt re)
+    | Some '{' ->
+        advance cur;
+        quantifiers (parse_braces cur re)
+    | _ -> re
+  in
+  quantifiers atom
+
+and parse_atom cur =
+  match peek cur with
+  | None -> fail cur.pos "expected atom"
+  | Some '(' -> (
+      advance cur;
+      (* allow the explicit non-capturing marker; groups never capture *)
+      (match (peek cur, cur.pos + 1 < String.length cur.input) with
+      | Some '?', true when cur.input.[cur.pos + 1] = ':' ->
+          advance cur;
+          advance cur
+      | _ -> ());
+      match peek cur with
+      | Some ')' ->
+          advance cur;
+          Ast.Epsilon
+      | _ ->
+          let inner = parse_alt cur in
+          expect cur ')';
+          inner)
+  | Some '[' ->
+      advance cur;
+      Ast.chars (parse_class cur)
+  | Some '.' ->
+      advance cur;
+      Ast.any
+  | Some '\\' -> (
+      advance cur;
+      match parse_escape cur with
+      | `Char c -> Ast.Chars (Charset.singleton c)
+      | `Class cs -> Ast.chars cs)
+  | Some (('*' | '+' | '?' | '{' | '}' | ']') as c) ->
+      fail cur.pos (Printf.sprintf "unexpected '%c'" c)
+  | Some ('^' | '$') -> fail cur.pos "anchors are only allowed at the pattern ends"
+  | Some c ->
+      advance cur;
+      Ast.Chars (Charset.singleton c)
+
+let run parse_fn input =
+  let cur = { input; pos = 0 } in
+  match parse_fn cur with
+  | result ->
+      if cur.pos <> String.length input then
+        Error { position = cur.pos; message = "trailing input" }
+      else Ok result
+  | exception Parse_failure e -> Error e
+
+let parse input = run parse_alt input
+
+(* Count trailing backslashes to decide whether a final '$' is an
+   anchor or an escaped literal. *)
+let ends_with_anchor s =
+  let n = String.length s in
+  if n = 0 || s.[n - 1] <> '$' then false
+  else begin
+    let backslashes = ref 0 in
+    let i = ref (n - 2) in
+    while !i >= 0 && s.[!i] = '\\' do
+      incr backslashes;
+      decr i
+    done;
+    !backslashes mod 2 = 0
+  end
+
+let parse_pattern input =
+  let body =
+    let n = String.length input in
+    if n >= 2 && input.[0] = '/' && input.[n - 1] = '/' then String.sub input 1 (n - 2)
+    else input
+  in
+  let anchored_start = String.length body > 0 && body.[0] = '^' in
+  let body = if anchored_start then String.sub body 1 (String.length body - 1) else body in
+  let anchored_end = ends_with_anchor body in
+  let body = if anchored_end then String.sub body 0 (String.length body - 1) else body in
+  Result.map
+    (fun re -> { Ast.re; anchored_start; anchored_end })
+    (parse body)
+
+let parse_exn s =
+  match parse s with
+  | Ok re -> re
+  | Error e -> invalid_arg (Fmt.str "Regex.Parser.parse_exn: %a" pp_error e)
+
+let parse_pattern_exn s =
+  match parse_pattern s with
+  | Ok p -> p
+  | Error e -> invalid_arg (Fmt.str "Regex.Parser.parse_pattern_exn: %a" pp_error e)

@@ -1,0 +1,27 @@
+(** Hand-written recursive-descent parser for the PCRE subset.
+
+    Supported syntax: literals, [.], escapes ([\d \D \w \W \s \S \n
+    \t \r \xHH] and escaped metacharacters), character classes with
+    ranges and [^] negation, grouping [( )] / [(?: )], alternation
+    [|], and the quantifiers [* + ? {n} {n,} {n,m}].
+
+    Anchors [^]/[$] are only meaningful at the ends of the whole
+    pattern (the paper's constraint language needs no more); a
+    mid-pattern anchor is a parse error. *)
+
+type error = { position : int; message : string }
+
+val pp_error : error Fmt.t
+
+(** Parse a bare regex (no delimiters, no anchors). *)
+val parse : string -> (Ast.t, error) result
+
+(** Parse a [preg_match]-style pattern: optional [/…/] delimiters,
+    optional [^] prefix and [$] suffix anchors. *)
+val parse_pattern : string -> (Ast.pattern, error) result
+
+(** [parse_exn s] is [parse s], raising [Invalid_argument] on
+    malformed input. Convenient for literals in examples/tests. *)
+val parse_exn : string -> Ast.t
+
+val parse_pattern_exn : string -> Ast.pattern

@@ -1,0 +1,171 @@
+(* Bottom-up rewriting to a fixpoint, with [Ast.size] as the cost
+   function so rewriting terminates even when rules could ping-pong. *)
+
+let rec flatten_alt = function
+  | Ast.Alt (a, b) -> flatten_alt a @ flatten_alt b
+  | r -> [ r ]
+
+let rec flatten_seq = function
+  | Ast.Seq (a, b) -> flatten_seq a @ flatten_seq b
+  | r -> [ r ]
+
+(* View a factor as a repetition of a base: [a* = a{0,∞}], etc. *)
+let as_repeat = function
+  | Ast.Star r -> (r, 0, None)
+  | Ast.Plus r -> (r, 1, None)
+  | Ast.Opt r -> (r, 0, Some 1)
+  | Ast.Repeat (r, lo, hi) -> (r, lo, hi)
+  | r -> (r, 1, Some 1)
+
+let rebuild_repeat (base, lo, hi) = Ast.repeat base lo hi
+
+(* Fuse adjacent factors over the same base: a{i,j} a{k,l} = a{i+k, j+l}. *)
+let fuse_seq factors =
+  let rec go = function
+    | [] -> []
+    | [ f ] -> [ f ]
+    | f1 :: f2 :: rest ->
+        let b1, lo1, hi1 = as_repeat f1 in
+        let b2, lo2, hi2 = as_repeat f2 in
+        if Ast.equal b1 b2 then
+          let hi =
+            match (hi1, hi2) with Some h1, Some h2 -> Some (h1 + h2) | _ -> None
+          in
+          go (rebuild_repeat (b1, lo1 + lo2, hi) :: rest)
+        else f1 :: go (f2 :: rest)
+  in
+  go factors
+
+let build_seq factors = List.fold_left Ast.seq Ast.Epsilon factors
+
+let build_alt branches =
+  match branches with
+  | [] -> Ast.Empty
+  | first :: rest -> List.fold_left Ast.alt first rest
+
+(* Factor a common first factor out of alternation branches:
+   ab|ac → a(b|c). Only factors when at least two branches share the
+   head, and keeps the remaining branches untouched. *)
+let factor_heads branches =
+  let heads =
+    List.map
+      (fun branch ->
+        match flatten_seq branch with
+        | head :: tail -> (head, tail)
+        | [] -> (Ast.Epsilon, []))
+      branches
+  in
+  let rec group = function
+    | [] -> []
+    | (head, tail) :: rest ->
+        let same, other = List.partition (fun (h, _) -> Ast.equal h head) rest in
+        if same = [] then build_seq (head :: tail) :: group other
+        else
+          let tails = tail :: List.map snd same in
+          Ast.seq head (build_alt (List.map build_seq tails)) :: group other
+  in
+  group heads
+
+let factor_tails branches =
+  let rev_seq branch = List.rev (flatten_seq branch) in
+  let rec group = function
+    | [] -> []
+    | first :: rest -> (
+        match rev_seq first with
+        | [] -> first :: group rest
+        | last :: rev_front ->
+            let same, other =
+              List.partition
+                (fun b ->
+                  match rev_seq b with
+                  | l :: _ -> Ast.equal l last
+                  | [] -> false)
+                rest
+            in
+            if same = [] then first :: group other
+            else
+              let fronts =
+                List.rev rev_front
+                :: List.map (fun b -> List.rev (List.tl (rev_seq b))) same
+              in
+              Ast.seq (build_alt (List.map build_seq fronts)) last :: group other)
+  in
+  group branches
+
+let simp_alt branches =
+  (* dedup, merge charsets, strip ε into a trailing [opt] *)
+  let branches = List.sort_uniq Ast.compare branches in
+  let chars, others =
+    List.partition_map
+      (function Ast.Chars cs -> Left cs | r -> Right r)
+      branches
+  in
+  let merged_chars =
+    match chars with
+    | [] -> []
+    | _ -> [ Ast.chars (List.fold_left Charset.union Charset.empty chars) ]
+  in
+  let has_eps = List.mem Ast.Epsilon others in
+  let others = List.filter (fun r -> r <> Ast.Epsilon) others in
+  let candidates = merged_chars @ others in
+  let factored_h = factor_heads candidates in
+  let factored_t = factor_tails candidates in
+  let pick xs ys =
+    let size_of l = List.fold_left (fun acc r -> acc + Ast.size r) 0 l in
+    if size_of xs <= size_of ys then xs else ys
+  in
+  let result = build_alt (pick (pick candidates factored_h) factored_t) in
+  if has_eps then Ast.opt result else result
+
+let rec once r =
+  match r with
+  | Ast.Empty | Ast.Epsilon | Ast.Chars _ -> r
+  | Ast.Seq _ -> build_seq (fuse_seq (List.map once (flatten_seq r)))
+  | Ast.Alt _ -> simp_alt (List.map once (flatten_alt r))
+  | Ast.Star a -> Ast.star (once a)
+  | Ast.Plus a -> Ast.plus (once a)
+  | Ast.Opt a -> Ast.opt (once a)
+  | Ast.Repeat (a, lo, hi) -> Ast.repeat (once a) lo hi
+
+let simplify r =
+  let rec fixpoint r budget =
+    let r' = once r in
+    if budget = 0 || Ast.equal r' r || Ast.size r' >= Ast.size r then
+      if Ast.size r' < Ast.size r then r' else r
+    else fixpoint r' (budget - 1)
+  in
+  fixpoint r 8
+
+(* Semantic pruning: drop an alternation branch whose language is
+   contained in a sibling's. Quadratic in the number of branches, one
+   determinization per comparison. *)
+let prune_alternatives r =
+  let rec go r =
+    match r with
+    | Ast.Alt _ ->
+        let branches = List.map go (flatten_alt r) in
+        let compiled = List.map (fun b -> (b, Compile.to_nfa b)) branches in
+        let keep =
+          List.filteri
+            (fun i (_, mi) ->
+              not
+                (List.exists
+                   (fun (j, (_, mj)) ->
+                     i <> j
+                     && Automata.Lang.subset mi mj
+                     && ((not (Automata.Lang.subset mj mi)) || j < i))
+                   (List.mapi (fun j x -> (j, x)) compiled)))
+            compiled
+        in
+        build_alt (List.map fst keep)
+    | Ast.Seq (a, b) -> Ast.seq (go a) (go b)
+    | Ast.Star a -> Ast.star (go a)
+    | Ast.Plus a -> Ast.plus (go a)
+    | Ast.Opt a -> Ast.opt (go a)
+    | Ast.Repeat (a, lo, hi) -> Ast.repeat (go a) lo hi
+    | leaf -> leaf
+  in
+  go r
+
+let pretty m =
+  Ast.to_string (simplify (prune_alternatives (simplify (State_elim.to_regex m))))

@@ -1,0 +1,24 @@
+(** Algebraic regex simplification.
+
+    State elimination ({!State_elim}) produces correct but noisy
+    expressions; this module rewrites them into smaller equivalent
+    ones. All rewrites are language-preserving (property-tested
+    against the Thompson/derivative semantics).
+
+    [simplify] is purely syntactic: flattening, deduplication,
+    charset-merging in alternations, quantifier fusion on equal bases
+    ([a a* → a+], [a{1,2}a{0,3} → a{1,5}]), and common prefix/suffix
+    factoring ([ab|ac → a(b|c)]).
+
+    [prune_alternatives] additionally uses the language oracle to
+    drop alternation branches subsumed by another branch
+    ([ab|a.* → a.*]); it determinizes, so reserve it for
+    user-facing output. *)
+
+val simplify : Ast.t -> Ast.t
+
+val prune_alternatives : Ast.t -> Ast.t
+
+(** [pretty m] = state-eliminate, simplify, prune: the nicest
+    rendering of a machine's language we can produce. *)
+val pretty : Automata.Nfa.t -> string

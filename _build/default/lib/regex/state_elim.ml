@@ -1,0 +1,62 @@
+module Nfa = Automata.Nfa
+
+(* Generalized NFA: a dense matrix of regex edge labels over the
+   machine's states plus a fresh source/sink pair. Eliminating state q
+   rewrites every i→j label to account for paths through q:
+
+     R[i][j] := R[i][j] | R[i][q] · R[q][q]* · R[q][j]
+
+   We eliminate low-degree states first; on the machines the solver
+   produces this keeps intermediate expressions markedly smaller than
+   elimination in id order. *)
+
+let to_regex m =
+  (* Trimming first both shrinks the matrix and guarantees that a
+     machine denoting ∅ collapses to the canonical empty machine. *)
+  let m, _ = Nfa.trim m in
+  if Nfa.is_empty_lang m then Ast.Empty
+  else begin
+    let n = Nfa.num_states m in
+    let source = n and sink = n + 1 in
+    let total = n + 2 in
+    let edge = Array.make_matrix total total Ast.Empty in
+    let add i j r = edge.(i).(j) <- Ast.alt edge.(i).(j) r in
+    List.iter
+      (fun q ->
+        List.iter (fun (cs, q') -> add q q' (Ast.chars cs)) (Nfa.char_transitions m q);
+        List.iter (fun q' -> add q q' Ast.Epsilon) (Nfa.eps_transitions_from m q))
+      (Nfa.states m);
+    add source (Nfa.start m) Ast.Epsilon;
+    add (Nfa.final m) sink Ast.Epsilon;
+    let alive = Array.make total true in
+    let degree q =
+      let ins = ref 0 and outs = ref 0 in
+      for i = 0 to total - 1 do
+        if alive.(i) && i <> q then begin
+          if edge.(i).(q) <> Ast.Empty then incr ins;
+          if edge.(q).(i) <> Ast.Empty then incr outs
+        end
+      done;
+      !ins * !outs
+    in
+    for _ = 1 to n do
+      (* pick the cheapest remaining internal state *)
+      let best = ref (-1) in
+      for q = 0 to n - 1 do
+        if alive.(q) && (!best < 0 || degree q < degree !best) then best := q
+      done;
+      let q = !best in
+      alive.(q) <- false;
+      let loop = Ast.star edge.(q).(q) in
+      for i = 0 to total - 1 do
+        if alive.(i) && edge.(i).(q) <> Ast.Empty then
+          for j = 0 to total - 1 do
+            if alive.(j) && edge.(q).(j) <> Ast.Empty then
+              add i j (Ast.seq edge.(i).(q) (Ast.seq loop edge.(q).(j)))
+          done
+      done
+    done;
+    edge.(source).(sink)
+  end
+
+let to_string m = Ast.to_string (to_regex m)

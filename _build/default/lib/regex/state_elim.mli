@@ -1,0 +1,12 @@
+(** NFA → regex conversion by GNFA state elimination.
+
+    The solver's answers are NFAs (sub-machines of the intermediate
+    product machines); this converts them back to regular-expression
+    syntax so testcases and reports are human-readable. The output
+    language is exactly the machine's language (property-tested), but
+    the expression is not guaranteed minimal. *)
+
+val to_regex : Automata.Nfa.t -> Ast.t
+
+(** Render directly as concrete syntax. *)
+val to_string : Automata.Nfa.t -> string

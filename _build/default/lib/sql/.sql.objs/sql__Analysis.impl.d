@@ -1,0 +1,1 @@
+lib/sql/analysis.ml: Ast Fmt List Option Parser

@@ -1,0 +1,1 @@
+lib/sql/analysis.mli: Ast Fmt

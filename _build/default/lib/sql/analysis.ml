@@ -1,0 +1,114 @@
+type truth = Tautology | Contradiction | Unknown
+
+(* Kleene three-valued evaluation with column atoms as Unknown;
+   literal-vs-literal comparisons evaluate exactly. *)
+let rec truth_of : Ast.expr -> truth = function
+  | Ast.Col _ | Ast.Null -> Unknown
+  | Ast.Int_lit n -> if n <> 0 then Tautology else Contradiction
+  | Ast.Str_lit _ -> Unknown
+  | Ast.Cmp (a, op, b) -> (
+      match (literal a, literal b) with
+      | Some va, Some vb -> (
+          let result =
+            match op with
+            | "=" -> Some (va = vb)
+            | "<>" -> Some (va <> vb)
+            | "<" -> Some (va < vb)
+            | ">" -> Some (va > vb)
+            | "<=" -> Some (va <= vb)
+            | ">=" -> Some (va >= vb)
+            | _ -> None
+          in
+          match result with
+          | Some true -> Tautology
+          | Some false -> Contradiction
+          | None -> Unknown)
+      | _ -> Unknown)
+  | Ast.In_list (e, items) -> (
+      match literal e with
+      | None -> Unknown
+      | Some v ->
+          let hits = List.map (fun item -> Option.map (( = ) v) (literal item)) items in
+          if List.exists (( = ) (Some true)) hits then Tautology
+          else if List.for_all (( = ) (Some false)) hits then Contradiction
+          else Unknown)
+  | Ast.And (a, b) -> (
+      match (truth_of a, truth_of b) with
+      | Contradiction, _ | _, Contradiction -> Contradiction
+      | Tautology, Tautology -> Tautology
+      | _ -> Unknown)
+  | Ast.Or (a, b) -> (
+      match (truth_of a, truth_of b) with
+      | Tautology, _ | _, Tautology -> Tautology
+      | Contradiction, Contradiction -> Contradiction
+      | _ -> Unknown)
+  | Ast.Not e -> (
+      match truth_of e with
+      | Tautology -> Contradiction
+      | Contradiction -> Tautology
+      | Unknown -> Unknown)
+
+and literal : Ast.expr -> string option = function
+  | Ast.Int_lit n -> Some (string_of_int n)
+  | Ast.Str_lit s -> Some s
+  | _ -> None
+
+let has_tautological_where stmt =
+  List.exists (fun w -> truth_of w = Tautology) (Ast.where_clauses stmt)
+
+type reason =
+  | Malformed
+  | Extra_statements of int
+  | Kind_changed of string * string
+  | Tautology_introduced
+  | Union_added
+  | Table_changed of string * string
+
+let pp_reason ppf = function
+  | Malformed -> Fmt.string ppf "query no longer parses"
+  | Extra_statements n ->
+      if n >= 0 then Fmt.pf ppf "%d stacked statement(s) appended" n
+      else Fmt.pf ppf "%d statement(s) truncated away" (-n)
+  | Kind_changed (a, b) -> Fmt.pf ppf "statement kind changed: %s → %s" a b
+  | Tautology_introduced -> Fmt.string ppf "WHERE clause became a tautology"
+  | Union_added -> Fmt.string ppf "UNION branch injected"
+  | Table_changed (a, b) -> Fmt.pf ppf "target table changed: %s → %s" a b
+
+let tables = function
+  | Ast.Select selects -> List.map (fun s -> s.Ast.table) selects
+  | Ast.Insert { table; _ } | Ast.Update { table; _ } | Ast.Delete { table; _ }
+  | Ast.Drop table ->
+      [ table ]
+
+let union_width = function Ast.Select selects -> List.length selects | _ -> 1
+
+let compare_stmt intended actual =
+  if Ast.kind intended <> Ast.kind actual then
+    Some (Kind_changed (Ast.kind intended, Ast.kind actual))
+  else if union_width actual > union_width intended then Some Union_added
+  else if
+    has_tautological_where actual && not (has_tautological_where intended)
+  then Some Tautology_introduced
+  else
+    match (tables intended, tables actual) with
+    | t1 :: _, t2 :: _ when t1 <> t2 -> Some (Table_changed (t1, t2))
+    | _ -> None
+
+let compare_queries ~intended ~actual =
+  match Parser.parse actual with
+  | Error _ -> Some Malformed
+  | Ok actual_stmts -> (
+      match Parser.parse intended with
+      | Error _ -> None (* nothing to compare against; actual parses *)
+      | Ok intended_stmts ->
+          if List.length actual_stmts <> List.length intended_stmts then
+            Some
+              (Extra_statements
+                 (List.length actual_stmts - List.length intended_stmts))
+          else
+            List.find_map
+              (fun (i, a) -> compare_stmt i a)
+              (List.combine intended_stmts actual_stmts))
+
+let is_injection ~intended ~actual =
+  Option.is_some (compare_queries ~intended ~actual)

@@ -1,0 +1,36 @@
+(** Structural injection analysis — the Su–Wassermann criterion the
+    paper's constraint generator approximates: an input is an
+    injection when it changes the {e syntactic structure} of the
+    query the program intended to issue. *)
+
+(** Three-valued truth of a WHERE expression, abstracting column
+    atoms to Unknown: [Tautology] means the clause is true for every
+    row (the classic [' OR 1=1] payload). *)
+type truth = Tautology | Contradiction | Unknown
+
+val truth_of : Ast.expr -> truth
+
+(** A WHERE clause of the statement is a tautology. *)
+val has_tautological_where : Ast.stmt -> bool
+
+(** Reasons a query is judged structurally subverted relative to the
+    intended one. *)
+type reason =
+  | Malformed  (** the actual query no longer parses *)
+  | Extra_statements of int  (** stacked queries: [; DROP …] *)
+  | Kind_changed of string * string  (** intended kind, actual kind *)
+  | Tautology_introduced
+  | Union_added
+  | Table_changed of string * string
+
+val pp_reason : reason Fmt.t
+
+(** [compare_queries ~intended ~actual] — [None] when the actual
+    query has the same structure as the intended one (modulo literal
+    values, which honest inputs are allowed to change); [Some reason]
+    otherwise. If the {e intended} query itself fails to parse the
+    comparison degrades to well-formedness of [actual]. *)
+val compare_queries : intended:string -> actual:string -> reason option
+
+(** Convenience wrapper: is [actual] an injection w.r.t. [intended]? *)
+val is_injection : intended:string -> actual:string -> bool

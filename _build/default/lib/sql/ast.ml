@@ -1,0 +1,86 @@
+type expr =
+  | Col of string
+  | Int_lit of int
+  | Str_lit of string
+  | Null
+  | Cmp of expr * string * expr
+  | In_list of expr * expr list
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+
+type select_columns = Star | Columns of string list
+
+type select = {
+  columns : select_columns;
+  table : string;
+  where : expr option;
+  order_by : (string * bool) list;
+  limit : int option;
+}
+
+type stmt =
+  | Select of select list
+  | Insert of { table : string; columns : string list; values : expr list }
+  | Update of { table : string; assignments : (string * expr) list; where : expr option }
+  | Delete of { table : string; where : expr option }
+  | Drop of string
+
+let kind = function
+  | Select _ -> "SELECT"
+  | Insert _ -> "INSERT"
+  | Update _ -> "UPDATE"
+  | Delete _ -> "DELETE"
+  | Drop _ -> "DROP"
+
+let where_clauses = function
+  | Select selects -> List.filter_map (fun s -> s.where) selects
+  | Update { where; _ } | Delete { where; _ } -> Option.to_list where
+  | Insert _ | Drop _ -> []
+
+let rec pp_expr ppf = function
+  | Col c -> Fmt.string ppf c
+  | Int_lit n -> Fmt.int ppf n
+  | Str_lit s -> Fmt.pf ppf "'%s'" s
+  | Null -> Fmt.string ppf "NULL"
+  | Cmp (a, op, b) -> Fmt.pf ppf "%a %s %a" pp_atom a op pp_atom b
+  | In_list (e, items) ->
+      Fmt.pf ppf "%a IN (%a)" pp_atom e Fmt.(list ~sep:comma pp_expr) items
+  | And (a, b) -> Fmt.pf ppf "%a AND %a" pp_atom a pp_atom b
+  | Or (a, b) -> Fmt.pf ppf "%a OR %a" pp_atom a pp_atom b
+  | Not e -> Fmt.pf ppf "NOT %a" pp_atom e
+
+and pp_atom ppf = function
+  | (And _ | Or _ | Not _) as e -> Fmt.pf ppf "(%a)" pp_expr e
+  | e -> pp_expr ppf e
+
+let pp_select ppf { columns; table; where; order_by; limit } =
+  Fmt.pf ppf "SELECT %s FROM %s"
+    (match columns with Star -> "*" | Columns cs -> String.concat ", " cs)
+    table;
+  Option.iter (fun w -> Fmt.pf ppf " WHERE %a" pp_expr w) where;
+  (match order_by with
+  | [] -> ()
+  | items ->
+      Fmt.pf ppf " ORDER BY %s"
+        (String.concat ", "
+           (List.map (fun (c, desc) -> c ^ if desc then " DESC" else "") items)));
+  Option.iter (fun l -> Fmt.pf ppf " LIMIT %d" l) limit
+
+let pp_stmt ppf = function
+  | Select selects -> Fmt.(list ~sep:(any " UNION ") pp_select) ppf selects
+  | Insert { table; columns; values } ->
+      Fmt.pf ppf "INSERT INTO %s (%s) VALUES (%a)" table
+        (String.concat ", " columns)
+        Fmt.(list ~sep:comma pp_expr)
+        values
+  | Update { table; assignments; where } ->
+      Fmt.pf ppf "UPDATE %s SET %a" table
+        Fmt.(
+          list ~sep:comma (fun ppf (c, e) -> Fmt.pf ppf "%s = %a" c pp_expr e))
+        assignments;
+      Option.iter (fun w -> Fmt.pf ppf " WHERE %a" pp_expr w) where
+  | Delete { table; where } ->
+      Fmt.pf ppf "DELETE FROM %s" table;
+      Option.iter (fun w -> Fmt.pf ppf " WHERE %a" pp_expr w) where
+  | Drop table -> Fmt.pf ppf "DROP TABLE %s" table

@@ -1,0 +1,39 @@
+(** Abstract syntax for the SQL subset used by the corpus queries. *)
+
+type expr =
+  | Col of string
+  | Int_lit of int
+  | Str_lit of string
+  | Null
+  | Cmp of expr * string * expr  (** [=], [<>], [<], [>], [<=], [>=], [LIKE] *)
+  | In_list of expr * expr list
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+
+type select_columns = Star | Columns of string list
+
+type select = {
+  columns : select_columns;
+  table : string;
+  where : expr option;
+  order_by : (string * bool (* descending *)) list;
+  limit : int option;
+}
+
+type stmt =
+  | Select of select list  (** nonempty; length > 1 means UNION-chained *)
+  | Insert of { table : string; columns : string list; values : expr list }
+  | Update of { table : string; assignments : (string * expr) list; where : expr option }
+  | Delete of { table : string; where : expr option }
+  | Drop of string
+
+(** One-word description of the statement's kind: SELECT, INSERT, … *)
+val kind : stmt -> string
+
+(** [where_clause stmt] — the WHERE expressions of the statement (one
+    per UNION branch for selects). *)
+val where_clauses : stmt -> expr list
+
+val pp_expr : expr Fmt.t
+val pp_stmt : stmt Fmt.t

@@ -1,0 +1,130 @@
+type error = { position : int; message : string }
+
+let pp_error ppf { position; message } =
+  Fmt.pf ppf "SQL lexical error at %d: %s" position message
+
+exception Failed of error
+
+let fail position message = raise (Failed { position; message })
+
+let is_ident_start = function 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let tokenize input =
+  let n = String.length input in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some input.[!pos] else None in
+  let peek2 () = if !pos + 1 < n then Some input.[!pos + 1] else None in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let rec run () =
+    match peek () with
+    | None -> ()
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        incr pos;
+        run ()
+    | Some '-' when peek2 () = Some '-' ->
+        (* line comment: discard to end of line (or input) *)
+        while !pos < n && input.[!pos] <> '\n' do
+          incr pos
+        done;
+        run ()
+    | Some '/' when peek2 () = Some '*' ->
+        let start = !pos in
+        pos := !pos + 2;
+        let rec close () =
+          if !pos + 1 >= n then fail start "unterminated block comment"
+          else if input.[!pos] = '*' && input.[!pos + 1] = '/' then pos := !pos + 2
+          else begin
+            incr pos;
+            close ()
+          end
+        in
+        close ();
+        run ()
+    | Some '\'' ->
+        let start = !pos in
+        incr pos;
+        let buf = Buffer.create 16 in
+        let rec str () =
+          if !pos >= n then fail start "unterminated string literal"
+          else if input.[!pos] = '\'' then
+            if !pos + 1 < n && input.[!pos + 1] = '\'' then begin
+              (* '' escapes a quote inside the literal *)
+              Buffer.add_char buf '\'';
+              pos := !pos + 2;
+              str ()
+            end
+            else incr pos
+          else begin
+            Buffer.add_char buf input.[!pos];
+            incr pos;
+            str ()
+          end
+        in
+        str ();
+        emit (Token.Str (Buffer.contents buf));
+        run ()
+    | Some ('0' .. '9') ->
+        let start = !pos in
+        while !pos < n && input.[!pos] >= '0' && input.[!pos] <= '9' do
+          incr pos
+        done;
+        emit (Token.Int (int_of_string (String.sub input start (!pos - start))));
+        run ()
+    | Some c when is_ident_start c ->
+        let start = !pos in
+        while !pos < n && is_ident_char input.[!pos] do
+          incr pos
+        done;
+        let word = String.sub input start (!pos - start) in
+        let upper = String.uppercase_ascii word in
+        if List.mem upper Token.keywords then emit (Token.Kw upper)
+        else emit (Token.Ident word);
+        run ()
+    | Some '(' ->
+        incr pos;
+        emit Token.Lparen;
+        run ()
+    | Some ')' ->
+        incr pos;
+        emit Token.Rparen;
+        run ()
+    | Some ',' ->
+        incr pos;
+        emit Token.Comma;
+        run ()
+    | Some ';' ->
+        incr pos;
+        emit Token.Semi;
+        run ()
+    | Some ('<' | '>') ->
+        let c = input.[!pos] in
+        incr pos;
+        (match (c, peek ()) with
+        | '<', Some '=' ->
+            incr pos;
+            emit (Token.Op "<=")
+        | '>', Some '=' ->
+            incr pos;
+            emit (Token.Op ">=")
+        | '<', Some '>' ->
+            incr pos;
+            emit (Token.Op "<>")
+        | _ -> emit (Token.Op (String.make 1 c)));
+        run ()
+    | Some (('=' | '+' | '-' | '*' | '/') as c) ->
+        incr pos;
+        emit (Token.Op (String.make 1 c));
+        run ()
+    | Some c -> fail !pos (Printf.sprintf "unexpected character %C" c)
+  in
+  match run () with
+  | () -> Ok (List.rev !tokens)
+  | exception Failed e -> Error e
+
+let tokenize_exn input =
+  match tokenize input with
+  | Ok tokens -> tokens
+  | Error e -> invalid_arg (Fmt.str "Sql.Lexer.tokenize_exn: %a" pp_error e)

@@ -1,0 +1,16 @@
+(** SQL tokenizer.
+
+    Handles the lexical features the injection examples rely on:
+    ['…'] string literals with [''] escaping, [--] line comments and
+    [/* … */] block comments (both {e discarded}, which is exactly how
+    comment-truncation attacks work), and case-insensitive
+    keywords. *)
+
+type error = { position : int; message : string }
+
+val pp_error : error Fmt.t
+
+val tokenize : string -> (Token.t list, error) result
+
+(** Raises [Invalid_argument]. *)
+val tokenize_exn : string -> Token.t list

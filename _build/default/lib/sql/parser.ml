@@ -1,0 +1,248 @@
+type error = { position : int; message : string }
+
+let pp_error ppf { position; message } =
+  Fmt.pf ppf "SQL parse error at token %d: %s" position message
+
+exception Failed of error
+
+type state = { tokens : Token.t array; mutable pos : int }
+
+let fail st message = raise (Failed { position = st.pos; message })
+
+let peek st = if st.pos < Array.length st.tokens then Some st.tokens.(st.pos) else None
+
+let advance st = st.pos <- st.pos + 1
+
+let expect st token what =
+  match peek st with
+  | Some t when Token.equal t token -> advance st
+  | _ -> fail st ("expected " ^ what)
+
+let kw st k =
+  match peek st with
+  | Some (Token.Kw k') when k' = k -> advance st
+  | _ -> fail st ("expected " ^ k)
+
+let has_kw st k =
+  match peek st with
+  | Some (Token.Kw k') when k' = k ->
+      advance st;
+      true
+  | _ -> false
+
+let ident st =
+  match peek st with
+  | Some (Token.Ident i) ->
+      advance st;
+      i
+  | _ -> fail st "expected identifier"
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let first = parse_and st in
+  if has_kw st "OR" then Ast.Or (first, parse_or st) else first
+
+and parse_and st =
+  let first = parse_not st in
+  if has_kw st "AND" then Ast.And (first, parse_and st) else first
+
+and parse_not st =
+  if has_kw st "NOT" then Ast.Not (parse_not st) else parse_cmp st
+
+and parse_cmp st =
+  let left = parse_atom st in
+  match peek st with
+  | Some (Token.Op (("=" | "<>" | "<" | ">" | "<=" | ">=") as op)) ->
+      advance st;
+      Ast.Cmp (left, op, parse_atom st)
+  | Some (Token.Kw "LIKE") ->
+      advance st;
+      Ast.Cmp (left, "LIKE", parse_atom st)
+  | Some (Token.Kw "IN") ->
+      advance st;
+      expect st Token.Lparen "'('";
+      let rec items acc =
+        let item = parse_expr st in
+        match peek st with
+        | Some Token.Comma ->
+            advance st;
+            items (item :: acc)
+        | _ -> List.rev (item :: acc)
+      in
+      let list = items [] in
+      expect st Token.Rparen "')'";
+      Ast.In_list (left, list)
+  | _ -> left
+
+and parse_atom st =
+  match peek st with
+  | Some (Token.Int n) ->
+      advance st;
+      Ast.Int_lit n
+  | Some (Token.Str s) ->
+      advance st;
+      Ast.Str_lit s
+  | Some (Token.Kw "NULL") ->
+      advance st;
+      Ast.Null
+  | Some (Token.Ident i) ->
+      advance st;
+      Ast.Col i
+  | Some Token.Lparen ->
+      advance st;
+      let e = parse_expr st in
+      expect st Token.Rparen "')'";
+      e
+  | _ -> fail st "expected expression"
+
+let parse_where st = if has_kw st "WHERE" then Some (parse_expr st) else None
+
+let parse_select_body st =
+  (* after the SELECT keyword *)
+  let columns =
+    match peek st with
+    | Some (Token.Op "*") ->
+        advance st;
+        Ast.Star
+    | _ ->
+        let rec cols acc =
+          let c = ident st in
+          match peek st with
+          | Some Token.Comma ->
+              advance st;
+              cols (c :: acc)
+          | _ -> List.rev (c :: acc)
+        in
+        Ast.Columns (cols [])
+  in
+  kw st "FROM";
+  let table = ident st in
+  let where = parse_where st in
+  let order_by =
+    if has_kw st "ORDER" then begin
+      kw st "BY";
+      let rec items acc =
+        let c = ident st in
+        let desc = if has_kw st "DESC" then true else (ignore (has_kw st "ASC"); false) in
+        match peek st with
+        | Some Token.Comma ->
+            advance st;
+            items ((c, desc) :: acc)
+        | _ -> List.rev ((c, desc) :: acc)
+      in
+      items []
+    end
+    else []
+  in
+  let limit =
+    if has_kw st "LIMIT" then
+      match peek st with
+      | Some (Token.Int n) ->
+          advance st;
+          Some n
+      | _ -> fail st "expected LIMIT bound"
+    else None
+  in
+  { Ast.columns; table; where; order_by; limit }
+
+let parse_stmt st =
+  match peek st with
+  | Some (Token.Kw "SELECT") ->
+      advance st;
+      let first = parse_select_body st in
+      let rec unions acc =
+        if has_kw st "UNION" then begin
+          ignore (has_kw st "ALL");
+          kw st "SELECT";
+          unions (parse_select_body st :: acc)
+        end
+        else List.rev acc
+      in
+      Ast.Select (unions [ first ])
+  | Some (Token.Kw "INSERT") ->
+      advance st;
+      kw st "INTO";
+      let table = ident st in
+      expect st Token.Lparen "'('";
+      let rec cols acc =
+        let c = ident st in
+        match peek st with
+        | Some Token.Comma ->
+            advance st;
+            cols (c :: acc)
+        | _ -> List.rev (c :: acc)
+      in
+      let columns = cols [] in
+      expect st Token.Rparen "')'";
+      kw st "VALUES";
+      expect st Token.Lparen "'('";
+      let rec vals acc =
+        let v = parse_expr st in
+        match peek st with
+        | Some Token.Comma ->
+            advance st;
+            vals (v :: acc)
+        | _ -> List.rev (v :: acc)
+      in
+      let values = vals [] in
+      expect st Token.Rparen "')'";
+      Ast.Insert { table; columns; values }
+  | Some (Token.Kw "UPDATE") ->
+      advance st;
+      let table = ident st in
+      kw st "SET";
+      let rec assignments acc =
+        let c = ident st in
+        expect st (Token.Op "=") "'='";
+        let e = parse_expr st in
+        match peek st with
+        | Some Token.Comma ->
+            advance st;
+            assignments ((c, e) :: acc)
+        | _ -> List.rev ((c, e) :: acc)
+      in
+      let assignments = assignments [] in
+      let where = parse_where st in
+      Ast.Update { table; assignments; where }
+  | Some (Token.Kw "DELETE") ->
+      advance st;
+      kw st "FROM";
+      let table = ident st in
+      let where = parse_where st in
+      Ast.Delete { table; where }
+  | Some (Token.Kw "DROP") ->
+      advance st;
+      kw st "TABLE";
+      Ast.Drop (ident st)
+  | _ -> fail st "expected a statement"
+
+let parse_script st =
+  let rec stmts acc =
+    match peek st with
+    | None -> List.rev acc
+    | Some Token.Semi ->
+        advance st;
+        stmts acc
+    | Some _ -> stmts (parse_stmt st :: acc)
+  in
+  stmts []
+
+let parse input =
+  match Lexer.tokenize input with
+  | Error { position; message } -> Error { position; message }
+  | Ok tokens -> (
+      let st = { tokens = Array.of_list tokens; pos = 0 } in
+      match parse_script st with
+      | stmts ->
+          if st.pos <> Array.length st.tokens then
+            Error { position = st.pos; message = "trailing tokens" }
+          else Ok stmts
+      | exception Failed e -> Error e)
+
+let parse_exn input =
+  match parse input with
+  | Ok stmts -> stmts
+  | Error e -> invalid_arg (Fmt.str "Sql.Parser.parse_exn: %a" pp_error e)
+
+let well_formed input = Result.is_ok (parse input)

@@ -1,0 +1,30 @@
+(** Recursive-descent parser over {!Lexer} tokens.
+
+    Grammar (a practical subset):
+
+    {v
+      script  := stmt (';' stmt?)*
+      stmt    := select ('UNION' ('ALL')? select )*
+               | INSERT INTO ident '(' idents ')' VALUES '(' exprs ')'
+               | UPDATE ident SET ident '=' expr (',' …)* (WHERE expr)?
+               | DELETE FROM ident (WHERE expr)?
+               | DROP TABLE ident
+      select  := SELECT ('*' | idents) FROM ident (WHERE expr)?
+                 (ORDER BY ident (ASC|DESC)? (',' …)* )? (LIMIT int)?
+      expr    := or; or := and ('OR' and)*; and := not ('AND' not)*
+      not     := 'NOT' not | cmp
+      cmp     := atom (( '=' | '<>' | < | > | <= | >= | LIKE ) atom
+               | IN '(' exprs ')')?
+      atom    := int | string | NULL | ident | '(' expr ')'
+    v} *)
+
+type error = { position : int  (** token index *); message : string }
+
+val pp_error : error Fmt.t
+
+val parse : string -> (Ast.stmt list, error) result
+
+val parse_exn : string -> Ast.stmt list
+
+(** Does the string parse as a well-formed script? *)
+val well_formed : string -> bool

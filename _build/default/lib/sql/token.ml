@@ -1,0 +1,30 @@
+type t =
+  | Kw of string
+  | Ident of string
+  | Int of int
+  | Str of string
+  | Op of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Semi
+
+let keywords =
+  [
+    "SELECT"; "FROM"; "WHERE"; "AND"; "OR"; "NOT"; "INSERT"; "INTO"; "VALUES";
+    "UPDATE"; "SET"; "DELETE"; "DROP"; "TABLE"; "ORDER"; "BY"; "ASC"; "DESC";
+    "LIMIT"; "IN"; "NULL"; "LIKE"; "UNION"; "ALL";
+  ]
+
+let equal = ( = )
+
+let pp ppf = function
+  | Kw k -> Fmt.string ppf k
+  | Ident i -> Fmt.string ppf i
+  | Int n -> Fmt.int ppf n
+  | Str s -> Fmt.pf ppf "'%s'" s
+  | Op o -> Fmt.string ppf o
+  | Lparen -> Fmt.string ppf "("
+  | Rparen -> Fmt.string ppf ")"
+  | Comma -> Fmt.string ppf ","
+  | Semi -> Fmt.string ppf ";"

@@ -1,0 +1,25 @@
+(** SQL tokens.
+
+    The attack languages of {!Webapp.Attack} are regular
+    approximations; this library provides the ground truth they
+    approximate: a real tokenizer and parser for the SQL subset the
+    corpus queries use, so exploits can be confirmed {e structurally}
+    (the Su–Wassermann criterion the paper builds on: an injection is
+    an input that changes the query's syntactic structure). *)
+
+type t =
+  | Kw of string  (** keyword, uppercased: SELECT, FROM, … *)
+  | Ident of string  (** table/column identifier *)
+  | Int of int
+  | Str of string  (** contents of a '…' literal, unescaped *)
+  | Op of string  (** = <> < > <= >= + - * / *)
+  | Lparen
+  | Rparen
+  | Comma
+  | Semi
+
+val keywords : string list
+
+val equal : t -> t -> bool
+
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/webapp/ast.ml: Buffer Fmt List Regex Set String

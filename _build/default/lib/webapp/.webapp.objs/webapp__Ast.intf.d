@@ -1,0 +1,1 @@
+lib/webapp/ast.mli: Fmt Regex

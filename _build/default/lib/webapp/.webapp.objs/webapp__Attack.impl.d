@@ -1,0 +1,1 @@
+lib/webapp/attack.ml: Automata List Printf Regex

@@ -1,0 +1,1 @@
+lib/webapp/attack.mli: Automata

@@ -1,0 +1,1 @@
+lib/webapp/eval.ml: Ast Automata List Map Option Printf Regex String

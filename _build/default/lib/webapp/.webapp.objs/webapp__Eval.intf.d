@@ -1,0 +1,1 @@
+lib/webapp/eval.mli: Ast Automata

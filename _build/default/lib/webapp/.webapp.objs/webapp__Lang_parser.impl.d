@@ -1,0 +1,1 @@
+lib/webapp/lang_parser.ml: Ast Buffer Fmt Printf Regex String

@@ -1,0 +1,1 @@
+lib/webapp/lang_parser.mli: Ast Fmt

@@ -1,0 +1,1 @@
+lib/webapp/symexec.ml: Ast Automata Char Charset Dprle Fmt Hashtbl List Option Printf Regex String

@@ -1,0 +1,1 @@
+lib/webapp/symexec.mli: Ast Automata Dprle

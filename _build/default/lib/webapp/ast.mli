@@ -1,0 +1,62 @@
+(** Abstract syntax of the mini-PHP string language.
+
+    This models the fragment of PHP that the paper's evaluation
+    analyses: straight-line string manipulation with input reads,
+    concatenation, [preg_match] guards, and database query sinks —
+    exactly the features of the Fig. 1 vulnerability. Loops are
+    omitted: the analysis (like the paper's) works on loop-free path
+    slices. *)
+
+type expr =
+  | Str of string  (** string literal *)
+  | Var of string  (** local variable [$x] *)
+  | Input of string  (** [$_POST['name']] — attacker-controlled *)
+  | Concat of expr * expr  (** PHP's [.] operator *)
+  | Lower of expr  (** [strtolower(e)] — solved via regular preimages *)
+  | Upper of expr  (** [strtoupper(e)] *)
+  | Addslashes of expr
+      (** [addslashes(e)] — the classic sanitizer; solved via
+          transducer preimages ({!Automata.Fst}) *)
+  | Replace of char * string * expr
+      (** [str_replace("c", "s", e)] with a single-character needle *)
+
+type cmp = Len_eq | Len_le | Len_ge
+
+type cond =
+  | Preg_match of Regex.Ast.pattern * expr
+      (** [preg_match('/…/', e)] — the paper's central primitive *)
+  | Str_eq of expr * string  (** [e == "lit"] *)
+  | Strlen of expr * cmp * int
+      (** [strlen(e) ==/<=/>= n] — the §3.1.2 length-restriction
+          extension; compiles to the regular language [.{n}] /
+          [.{0,n}] / [.{n,}] *)
+  | Not of cond
+
+type stmt =
+  | Assign of string * expr  (** [$x = e;] *)
+  | If of cond * stmt list * stmt list
+  | Exit  (** [exit;] — abandons the request *)
+  | Query of expr  (** [query(e);] — the SQL sink *)
+  | Echo of expr  (** output; irrelevant to the analysis but
+                       realistic padding in corpus programs *)
+
+type program = stmt list
+
+(** All input names read by the program. *)
+val inputs : program -> string list
+
+(** Number of basic blocks of the program's CFG — the paper's [|FG|]
+    metric (Fig. 12). Counted as: one entry block, plus, per [If], a
+    join block and one block per non-empty arm. *)
+val basic_blocks : program -> int
+
+(** Source lines of the pretty-printed program, the Fig. 11 LOC
+    metric. *)
+val loc : program -> int
+
+val pp_expr : expr Fmt.t
+val pp_cond : cond Fmt.t
+val pp_program : program Fmt.t
+
+(** Render as concrete mini-PHP syntax (reparseable). *)
+val to_source : program -> string

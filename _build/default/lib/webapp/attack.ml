@@ -1,0 +1,34 @@
+let pattern s = Regex.Compile.pattern_to_nfa (Regex.Parser.parse_pattern_exn s)
+
+let contains_quote = pattern "/'/"
+
+let tautology = pattern "/' *[oO][rR] *1=1/"
+
+let stacked_drop = pattern "/; *([dD][rR][oO][pP]|[dD][eE][lL][eE][tT][eE]) /"
+
+let comment_tail = pattern "/--.*$/"
+
+(* Strings with an odd number of unescaped quotes: in a quote-delimited
+   SQL context, such a value breaks out of its string literal. With
+   U = ([^'\]|\.)* (no bare quotes), odd parity is (U'U')*U'U. *)
+let unbalanced_quote =
+  let u = "(?:[^'\\\\]|\\\\.)*" in
+  pattern (Printf.sprintf "/^(?:%s'%s')*%s'%s$/" u u u u)
+
+let any_attack =
+  List.fold_left Automata.Ops.union_lang contains_quote
+    [ tautology; stacked_drop; comment_tail; unbalanced_quote ]
+
+let registry =
+  [
+    ("quote", contains_quote);
+    ("unbalanced", unbalanced_quote);
+    ("tautology", tautology);
+    ("drop", stacked_drop);
+    ("comment", comment_tail);
+    ("any", any_attack);
+  ]
+
+let lookup name = List.assoc_opt name registry
+
+let names = List.map fst registry

@@ -1,0 +1,69 @@
+type event = Queried of string | Echoed of string
+
+type result = { events : event list; exited : bool }
+
+module SMap = Map.Make (String)
+
+exception Exited
+
+let rec eval_expr env inputs : Ast.expr -> string = function
+  | Ast.Str s -> s
+  | Ast.Var v -> (
+      match SMap.find_opt v env with
+      | Some s -> s
+      | None -> invalid_arg (Printf.sprintf "Webapp.Eval: unassigned variable $%s" v))
+  | Ast.Input name -> Option.value (List.assoc_opt name inputs) ~default:""
+  | Ast.Concat (a, b) -> eval_expr env inputs a ^ eval_expr env inputs b
+  | Ast.Lower e -> String.lowercase_ascii (eval_expr env inputs e)
+  | Ast.Upper e -> String.uppercase_ascii (eval_expr env inputs e)
+  | Ast.Addslashes e ->
+      Option.get (Automata.Fst.apply Automata.Fst.addslashes (eval_expr env inputs e))
+  | Ast.Replace (c, s, e) ->
+      Option.get
+        (Automata.Fst.apply (Automata.Fst.replace_char c s) (eval_expr env inputs e))
+
+let rec eval_cond env inputs : Ast.cond -> bool = function
+  | Ast.Preg_match (pattern, e) ->
+      Regex.Derivative.pattern_matches pattern (eval_expr env inputs e)
+  | Ast.Str_eq (e, s) -> String.equal (eval_expr env inputs e) s
+  | Ast.Strlen (e, cmp, n) -> (
+      let len = String.length (eval_expr env inputs e) in
+      match cmp with
+      | Ast.Len_eq -> len = n
+      | Ast.Len_le -> len <= n
+      | Ast.Len_ge -> len >= n)
+  | Ast.Not c -> not (eval_cond env inputs c)
+
+let run program ~inputs =
+  let events = ref [] in
+  let rec exec env = function
+    | [] -> env
+    | stmt :: rest ->
+        let env =
+          match stmt with
+          | Ast.Assign (v, e) -> SMap.add v (eval_expr env inputs e) env
+          | Ast.Exit -> raise Exited
+          | Ast.Query e ->
+              events := Queried (eval_expr env inputs e) :: !events;
+              env
+          | Ast.Echo e ->
+              events := Echoed (eval_expr env inputs e) :: !events;
+              env
+          | Ast.If (c, t, f) -> exec env (if eval_cond env inputs c then t else f)
+        in
+        exec env rest
+  in
+  let exited =
+    match exec SMap.empty program with
+    | _ -> false
+    | exception Exited -> true
+  in
+  { events = List.rev !events; exited }
+
+let queries program ~inputs =
+  List.filter_map
+    (function Queried q -> Some q | Echoed _ -> None)
+    (run program ~inputs).events
+
+let vulnerable_run ~attack program ~inputs =
+  List.exists (Automata.Nfa.accepts attack) (queries program ~inputs)

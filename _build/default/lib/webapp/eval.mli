@@ -1,0 +1,29 @@
+(** Concrete interpreter for the mini-PHP language.
+
+    Used in two roles: to execute corpus programs on generated
+    exploit inputs — the end-to-end check that a solver witness really
+    drives an attack string into the query sink — and as the
+    reference semantics the symbolic executor is property-tested
+    against. *)
+
+type event =
+  | Queried of string  (** a [query(e)] sink fired with this SQL text *)
+  | Echoed of string
+
+type result = {
+  events : event list;  (** in execution order *)
+  exited : bool;  (** the run ended at an [exit;] *)
+}
+
+(** [run program ~inputs] executes with [$_POST] bound by [inputs];
+    missing inputs default to the empty string. Reading an unassigned
+    local variable is an error (raises [Invalid_argument]) — corpus
+    programs are well-formed. *)
+val run : Ast.program -> inputs:(string * string) list -> result
+
+(** Just the SQL strings sent to the database. *)
+val queries : Ast.program -> inputs:(string * string) list -> string list
+
+(** Does any issued query land in the attack language? *)
+val vulnerable_run :
+  attack:Automata.Nfa.t -> Ast.program -> inputs:(string * string) list -> bool

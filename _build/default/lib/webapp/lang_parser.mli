@@ -1,0 +1,17 @@
+(** Parser for the concrete mini-PHP syntax produced by
+    {!Ast.to_source} and used by the corpus files:
+
+    {v
+      $id = input("posted_newsid");
+      if (!preg_match(/[\d]+$/, $id)) { exit; }
+      $id = "nid_" . $id;
+      query("SELECT * FROM news WHERE newsid=" . $id);
+    v} *)
+
+type error = { line : int; col : int; message : string }
+
+val pp_error : error Fmt.t
+
+val parse : string -> (Ast.program, error) result
+
+val parse_exn : string -> Ast.program

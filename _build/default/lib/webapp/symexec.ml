@@ -1,0 +1,382 @@
+module Nfa = Automata.Nfa
+module System = Dprle.System
+
+(* Symbolic strings: concatenations of literals and input reads, each
+   read carrying a chain of pending string transforms (outermost
+   first): the value of [In (x, [f; g])] is [f(g(x))]. Every
+   transform has a transducer with regular preimages, which is how a
+   constraint on the transformed value is pulled back to the raw
+   input. *)
+type xform = Lower | Upper | Addslashes | Replace of char * string
+
+let xform_fst = function
+  | Lower -> Automata.Fst.map_chars Char.lowercase_ascii
+  | Upper -> Automata.Fst.map_chars Char.uppercase_ascii
+  | Addslashes -> Automata.Fst.addslashes
+  | Replace (c, s) -> Automata.Fst.replace_char c s
+
+let xform_string t s =
+  match t with
+  | Lower -> String.lowercase_ascii s
+  | Upper -> String.uppercase_ascii s
+  | Addslashes | Replace _ -> Option.get (Automata.Fst.apply (xform_fst t) s)
+
+let xform_name = function
+  | Lower -> "lower"
+  | Upper -> "upper"
+  | Addslashes -> "slashes"
+  | Replace (c, s) -> Printf.sprintf "repl%c_%s" c s
+
+(* RMA variable standing for the transformed read of an input *)
+let slot_var input chain =
+  List.fold_left (fun acc t -> acc ^ "~" ^ xform_name t) input chain
+
+(* Prepend a transform to a chain; adjacent ASCII case maps absorb. *)
+let extend t chain =
+  match (t, chain) with
+  | (Lower | Upper), (Lower | Upper) :: rest -> t :: rest
+  | _ -> t :: chain
+
+type leaf = Lit of string | In of string * xform list
+
+type sym = leaf list
+
+let map_sym t sym =
+  List.map
+    (function
+      | Lit s -> Lit (xform_string t s)
+      | In (x, chain) -> In (x, extend t chain))
+    sym
+
+let rec eval_sym env : Ast.expr -> sym = function
+  | Ast.Str s -> if s = "" then [] else [ Lit s ]
+  | Ast.Var v -> (
+      match List.assoc_opt v env with
+      | Some s -> s
+      | None ->
+          invalid_arg (Printf.sprintf "Webapp.Symexec: unassigned variable $%s" v))
+  | Ast.Input name -> [ In (name, []) ]
+  | Ast.Concat (a, b) -> eval_sym env a @ eval_sym env b
+  | Ast.Lower e -> map_sym Lower (eval_sym env e)
+  | Ast.Upper e -> map_sym Upper (eval_sym env e)
+  | Ast.Addslashes e -> map_sym Addslashes (eval_sym env e)
+  | Ast.Replace (c, s, e) -> map_sym (Replace (c, s)) (eval_sym env e)
+
+(* Collapse adjacent literals so constraint systems stay small. *)
+let normalize sym =
+  let rec go = function
+    | Lit a :: Lit b :: rest -> go (Lit (a ^ b) :: rest)
+    | leaf :: rest -> leaf :: go rest
+    | [] -> []
+  in
+  go sym
+
+(* A path condition: the symbolic value must lie in the language. *)
+type obligation = { sym : sym; lang : Nfa.t; descr : string }
+
+type query = {
+  path_id : int;
+  sink_index : int;
+  system : System.t;
+  benign_system : System.t;
+      (* the same path constraints without the sink obligation: its
+         solutions are inputs that reach the sink innocently, used to
+         recover the query the program intended to issue *)
+  input_vars : string list;
+  slots : (string * string * xform list) list;
+      (* (system variable, input it reads, pending transform chain) *)
+  constraint_count : int;
+}
+
+(* Constant folding: a condition whose operand contains no input read
+   has a concrete value; the executor then follows only the feasible
+   branch instead of forking. This keeps path counts proportional to
+   the number of input-dependent branches, as in any real symbolic
+   executor. *)
+let concrete_string sym =
+  let rec go acc = function
+    | [] -> Some (String.concat "" (List.rev acc))
+    | Lit s :: rest -> go (s :: acc) rest
+    | In _ :: _ -> None
+  in
+  go [] sym
+
+let rec concrete_cond env : Ast.cond -> bool option = function
+  | Ast.Not c -> Option.map not (concrete_cond env c)
+  | Ast.Preg_match (pattern, e) ->
+      Option.map
+        (Regex.Derivative.pattern_matches pattern)
+        (concrete_string (eval_sym env e))
+  | Ast.Str_eq (e, s) ->
+      Option.map (String.equal s) (concrete_string (eval_sym env e))
+  | Ast.Strlen (e, cmp, n) ->
+      Option.map
+        (fun s ->
+          let len = String.length s in
+          match cmp with
+          | Ast.Len_eq -> len = n
+          | Ast.Len_le -> len <= n
+          | Ast.Len_ge -> len >= n)
+        (concrete_string (eval_sym env e))
+
+(* Translate a condition (taken with polarity [value]) into an
+   obligation on its symbolic operand. *)
+let rec obligation_of_cond env value : Ast.cond -> obligation = function
+  | Ast.Not c -> obligation_of_cond env (not value) c
+  | Ast.Preg_match (pattern, e) ->
+      let lang =
+        if value then Regex.Compile.pattern_to_nfa pattern
+        else Regex.Compile.pattern_reject_nfa pattern
+      in
+      {
+        sym = normalize (eval_sym env e);
+        lang;
+        descr =
+          Fmt.str "%spreg_match(%a)" (if value then "" else "!") Regex.Ast.pp_pattern
+            pattern;
+      }
+  | Ast.Str_eq (e, s) ->
+      let word = Nfa.of_word s in
+      let lang =
+        if value then word
+        else Automata.Dfa.to_nfa (Automata.Dfa.complement (Automata.Dfa.of_nfa word))
+      in
+      {
+        sym = normalize (eval_sym env e);
+        lang;
+        descr = Fmt.str "%s== %S" (if value then "" else "!") s;
+      }
+  | Ast.Strlen (e, cmp, n) ->
+      (* §3.1.2: a length check is the regular language .{n} / .{0,n}
+         / .{n,} *)
+      let any = Nfa.of_charset Charset.full in
+      let accept =
+        match cmp with
+        | Ast.Len_eq -> Automata.Ops.repeat any ~min_count:n ~max_count:(Some n)
+        | Ast.Len_le -> Automata.Ops.repeat any ~min_count:0 ~max_count:(Some n)
+        | Ast.Len_ge -> Automata.Ops.repeat any ~min_count:n ~max_count:None
+      in
+      let lang =
+        if value then accept
+        else Automata.Dfa.to_nfa (Automata.Dfa.complement (Automata.Dfa.of_nfa accept))
+      in
+      {
+        sym = normalize (eval_sym env e);
+        lang;
+        descr = Fmt.str "%sstrlen %d" (if value then "" else "!") n;
+      }
+
+(* Build a System.t from the accumulated obligations. Literals become
+   named constants (deduplicated by content); the obligation languages
+   become constants c0, c1, …. *)
+let system_of_obligations obligations =
+  let lit_table : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  let consts = ref [] in
+  let fresh_lit s =
+    match Hashtbl.find_opt lit_table s with
+    | Some name -> name
+    | None ->
+        let name = Printf.sprintf "lit%d" (Hashtbl.length lit_table) in
+        Hashtbl.add lit_table s name;
+        consts := (name, Nfa.of_word s) :: !consts;
+        name
+  in
+  let leaf_expr = function
+    | Lit s -> System.Const (fresh_lit s)
+    | In (x, t) -> System.Var (slot_var x t)
+  in
+  let sym_expr sym =
+    match sym with
+    | [] -> System.Const (fresh_lit "")
+    | first :: rest ->
+        List.fold_left
+          (fun acc leaf -> System.Concat (acc, leaf_expr leaf))
+          (leaf_expr first) rest
+  in
+  let constraints =
+    List.mapi
+      (fun i { sym; lang; descr = _ } ->
+        let cname = Printf.sprintf "c%d" i in
+        consts := (cname, lang) :: !consts;
+        { System.lhs = sym_expr sym; rhs = cname })
+      obligations
+  in
+  System.make_exn ~consts:(List.rev !consts) ~constraints
+
+let analyze ?(max_paths = 256) ~attack program =
+  let results = ref [] in
+  let path_count = ref 0 in
+  (* DFS over branch decisions; [obligations] accumulates in reverse. *)
+  let rec exec env obligations sink_index stmts =
+    match stmts with
+    | [] -> finish_path ()
+    | stmt :: rest -> (
+        match stmt with
+        | Ast.Exit -> finish_path ()
+        | Ast.Assign (v, e) ->
+            exec ((v, normalize (eval_sym env e)) :: List.remove_assoc v env)
+              obligations sink_index rest
+        | Ast.Echo _ -> exec env obligations sink_index rest
+        | Ast.Query e ->
+            let sink =
+              { sym = normalize (eval_sym env e); lang = attack; descr = "sink" }
+            in
+            emit env (sink :: obligations) !sink_index;
+            incr sink_index;
+            exec env obligations sink_index rest
+        | Ast.If (c, t, f) -> (
+            match concrete_cond env c with
+            | Some true -> exec env obligations sink_index (t @ rest)
+            | Some false -> exec env obligations sink_index (f @ rest)
+            | None ->
+                if !path_count < max_paths then begin
+                  let taken = obligation_of_cond env true c in
+                  let fallen = obligation_of_cond env false c in
+                  incr path_count;
+                  exec env (taken :: obligations) (ref !sink_index) (t @ rest);
+                  exec env (fallen :: obligations) (ref !sink_index) (f @ rest)
+                end))
+  and finish_path () = ()
+  and emit env obligations sink_index =
+    ignore env;
+    let obligations = List.rev obligations in
+    (* the sink obligation is the last one *)
+    let benign_obligations =
+      List.filteri (fun i _ -> i < List.length obligations - 1) obligations
+    in
+    (* drop obligations on purely-literal symbolic values only if they
+       are trivially satisfiable; keep them otherwise so infeasible
+       paths solve to Unsat *)
+    let system = system_of_obligations obligations in
+    let benign_system = system_of_obligations benign_obligations in
+    (* |C| counts what the decision procedure consumes: the edges of
+       the dependency graph — one ⊆-edge per obligation plus one
+       ∘-edge pair per concatenation (Fig. 5 of the paper). *)
+    let graph = Dprle.Depgraph.of_system system in
+    let constraint_count =
+      List.length graph.subsets + List.length graph.concats
+    in
+    (* which (system variable, input, transform) triples occur: the
+       same input may be read plainly and through a case map *)
+    let slots =
+      List.sort_uniq compare
+        (List.concat_map
+           (fun { sym; _ } ->
+             List.filter_map
+               (function
+                 | Lit _ -> None
+                 | In (x, t) -> Some (slot_var x t, x, t))
+               sym)
+           obligations)
+    in
+    let input_vars =
+      List.sort_uniq compare (List.map (fun (_, x, _) -> x) slots)
+    in
+    results :=
+      {
+        path_id = !path_count;
+        sink_index;
+        system;
+        benign_system;
+        input_vars;
+        slots;
+        constraint_count;
+      }
+      :: !results
+  in
+  exec [] [] (ref 0) program;
+  List.rev !results
+
+(* A transformed read constrains the transformed value; pull the
+   solved language back to the raw input through the chain's
+   transducer preimages, outermost first. *)
+let pull_back chain lang =
+  List.fold_left (fun acc t -> Automata.Fst.preimage (xform_fst t) acc) lang chain
+
+(* The RMA solver treats [x] and [lower(x)] as independent variables;
+   a disjunct is usable only if, per input, the intersection of all
+   pulled-back slot languages is nonempty. Try disjuncts in order. *)
+let input_languages query assignment =
+  let exception Dead in
+  try
+    Some
+      (Dprle.Assignment.of_list
+         (List.filter_map
+            (fun input ->
+              let langs =
+                List.filter_map
+                  (fun (var, x, t) ->
+                    if x <> input then None
+                    else
+                      Option.map (pull_back t)
+                        (Dprle.Assignment.find_opt assignment var))
+                  query.slots
+              in
+              match langs with
+              | [] -> None
+              | first :: rest ->
+                  let lang =
+                    List.fold_left Automata.Ops.inter_lang first rest
+                  in
+                  if Nfa.is_empty_lang lang then raise Dead else Some (input, lang))
+            query.input_vars))
+  with Dead -> None
+
+let solve query =
+  let attempt max_solutions =
+    match
+      Dprle.Solver.solve ~max_solutions (Dprle.Depgraph.of_system query.system)
+    with
+    | Dprle.Solver.Sat disjuncts -> List.find_map (input_languages query) disjuncts
+    | Dprle.Solver.Unsat _ -> None
+  in
+  match attempt 1 with
+  | Some _ as found -> found
+  | None ->
+      (* only case-mapped reads can make the first disjunct unusable
+         while a later one works — don't pay for enumeration otherwise *)
+      if List.exists (fun (_, _, chain) -> chain <> []) query.slots then attempt 16
+      else None
+
+(* Inputs that reach the same sink without the attack constraint:
+   used to reconstruct the intended query for structural comparison. *)
+let benign_inputs query =
+  match
+    Dprle.Solver.solve ~max_solutions:4
+      (Dprle.Depgraph.of_system query.benign_system)
+  with
+  | Dprle.Solver.Sat disjuncts ->
+      List.find_map (input_languages query) disjuncts
+  | Dprle.Solver.Unsat _ -> None
+
+let exploit_inputs query assignment =
+  List.map
+    (fun input ->
+      match Dprle.Assignment.find_opt assignment input with
+      | Some lang -> (
+          match Nfa.shortest_word lang with
+          | Some w -> (input, w)
+          | None -> (input, "a"))
+      | None -> (input, "a"))
+    query.input_vars
+
+let first_exploit ?max_paths ~attack program =
+  let all_inputs = Ast.inputs program in
+  let candidates = analyze ?max_paths ~attack program in
+  List.find_map
+    (fun query ->
+      match solve query with
+      | Some a ->
+          let constrained = exploit_inputs query a in
+          (* inputs the program reads but the path never constrains
+             get a harmless default, as in the paper's
+             [posted_userid = a] *)
+          let defaults =
+            List.filter_map
+              (fun input ->
+                if List.mem_assoc input constrained then None else Some (input, "a"))
+              all_inputs
+          in
+          Some (constrained @ defaults)
+      | None -> None)
+    candidates

@@ -1,0 +1,79 @@
+(** Path-sensitive symbolic execution of mini-PHP programs into RMA
+    constraint systems.
+
+    This plays the role of the "simple prototype program analysis"
+    of the paper's §4: walk every loop-free path, keep a symbolic
+    store mapping locals to concatenations of string literals and
+    input reads, translate each branch decision into a subset
+    constraint on the inputs along it, and at every [query] sink emit
+    the vulnerability query "can the issued SQL land in the attack
+    language?" as one more subset constraint. The resulting system is
+    exactly the paper's running example shape:
+
+    {v   v1 ⊆ c_filter        (the taken preg_match branch)
+        c_prefix ∘ v1 ⊆ c_attack   (the sink)            v}
+
+    Solving it (with {!Dprle.Solver}) yields, per input, the full
+    regular language of exploits. *)
+
+(** One pending string transform on an input read; a read carries a
+    chain of them (outermost first), e.g.
+    [addslashes(strtolower(x))] ↦ [[Addslashes; Lower]]. *)
+type xform = Lower | Upper | Addslashes | Replace of char * string
+
+type query = {
+  path_id : int;  (** index of the explored path *)
+  sink_index : int;  (** which [query] along that path *)
+  system : Dprle.System.t;
+      (** branch + sink constraints; constants are auto-named.
+          A case-mapped read appears as its own system variable
+          (e.g. [x~lower]) — see [slots]. *)
+  benign_system : Dprle.System.t;
+      (** the same path constraints {e without} the sink obligation:
+          its solutions are inputs that reach this sink innocently
+          (used to recover the intended query for structural
+          comparison — see {!benign_inputs}) *)
+  input_vars : string list;  (** the inputs read along the path *)
+  slots : (string * string * xform list) list;
+      (** (system variable, input it reads, pending transform chain —
+          empty for a plain read) *)
+  constraint_count : int;
+      (** the paper's [|C|] metric: dependency-graph edges of the
+          system — one ⊆-edge per path/sink obligation plus one
+          ∘-edge pair per concatenation *)
+}
+
+(** Explore all paths (bounded by [max_paths], default 256) and
+    return one candidate query per (path, sink). Paths that
+    concretely cannot reach a sink (ended by [exit]) yield nothing. *)
+val analyze :
+  ?max_paths:int -> attack:Automata.Nfa.t -> Ast.program -> query list
+
+(** Solve one candidate: [Some assignment] gives the exploit language
+    {e per input} — the solved language of each slot variable, pulled
+    back through its case map ({!Automata.Relabel.preimage}) and
+    intersected across the input's slots. [None] means this path/sink
+    is safe (the constraint system is unsatisfiable — as for the
+    fixed filter of §2 — or no disjunct survives the pull-back
+    intersection). *)
+val solve : query -> Dprle.Assignment.t option
+
+(** Concrete exploit inputs from a solved candidate: the shortest
+    witness per constrained input, and ["a"] for inputs the path
+    never constrains (mirroring the paper's [posted_userid = a]). *)
+val exploit_inputs : query -> Dprle.Assignment.t -> (string * string) list
+
+(** Per-input languages of {e benign} values: inputs that drive the
+    program down the same path to the same sink, with no attack
+    constraint. Running the program on their witnesses yields the
+    query the programmer intended, the baseline for the structural
+    injection check of {!Sql.Analysis}. [None] when the path is
+    infeasible. *)
+val benign_inputs : query -> Dprle.Assignment.t option
+
+(** End-to-end convenience: first solvable candidate's inputs. *)
+val first_exploit :
+  ?max_paths:int ->
+  attack:Automata.Nfa.t ->
+  Ast.program ->
+  (string * string) list option

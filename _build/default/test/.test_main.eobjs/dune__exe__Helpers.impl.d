@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Automata Char Charset List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_bounded.ml: Alcotest Dprle Helpers List QCheck2 String

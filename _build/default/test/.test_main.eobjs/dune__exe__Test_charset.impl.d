@@ -1,0 +1,1 @@
+test/test_charset.ml: Alcotest Char Charset Helpers List QCheck2 String

@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Corpus Helpers List String Webapp

@@ -1,0 +1,1 @@
+test/test_dprle.ml: Alcotest Automata Dprle Helpers List Printf QCheck2 Regex String

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Automata Char Charset Dprle Fun Helpers List Option QCheck2 Regex Sql String Webapp

@@ -1,0 +1,1 @@
+test/test_nfa.ml: Alcotest Automata Charset Helpers List Option QCheck2 String

@@ -1,0 +1,1 @@
+test/test_regex.ml: Alcotest Automata Charset Helpers List Printf QCheck2 Regex

@@ -1,0 +1,1 @@
+test/test_smtlib.ml: Dprle Helpers List Regex String Test_regex

@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Fmt Helpers List Sql Webapp

@@ -1,0 +1,1 @@
+test/test_sysparse.ml: Alcotest Automata Dprle Helpers List

@@ -1,0 +1,1 @@
+test/test_webapp.ml: Alcotest Automata Dprle Helpers List QCheck2 Regex String Webapp

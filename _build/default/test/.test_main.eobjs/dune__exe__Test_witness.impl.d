@@ -1,0 +1,1 @@
+test/test_witness.ml: Alcotest Automata Charset Dprle Helpers List Seq String

@@ -1,0 +1,4 @@
+  $ corpusgen --app eve .
+  $ ls eve | head -3
+  $ webcheck eve 2>/dev/null | tail -2 | sed 's/([0-9.]* s)/(_ s)/'
+  $ webcheck eve 2>/dev/null | grep -c VULNERABLE

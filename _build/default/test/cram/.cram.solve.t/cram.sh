@@ -1,0 +1,27 @@
+  $ cat > fig1.dprle <<'SYS'
+  > # SQL-injection example
+  > let filter = /[\d]+$/;
+  > let prefix = "nid_";
+  > let unsafe = /'/;
+  > v1 <= filter;
+  > prefix . v1 <= unsafe;
+  > SYS
+  $ dprle solve fig1.dprle --witnesses
+  $ cat > fixed.dprle <<'SYS'
+  > let filter = /^[\d]+$/;
+  > let prefix = "nid_";
+  > let unsafe = /'/;
+  > v1 <= filter;
+  > prefix . v1 <= unsafe;
+  > SYS
+  $ dprle solve fixed.dprle
+  $ dprle check fig1.dprle
+  $ echo 'v1 <= nope;' > bad.dprle
+  $ dprle solve bad.dprle
+  $ cat > union.dprle <<'SYS'
+  > let c = /^a{1,2}$/;
+  > (x | y) <= c;
+  > SYS
+  $ dprle solve union.dprle --stats --witnesses
+  $ dprle solve fig1.dprle --witnesses --smtlib fig1.smt2 > /dev/null
+  $ cat fig1.smt2

@@ -1,0 +1,29 @@
+  $ cat > utopia.mphp <<'PHP'
+  > $newsid = input("posted_newsid");
+  > if (!preg_match(/[\d]+$/, $newsid)) {
+  >   echo "Invalid article news ID.";
+  >   exit;
+  > }
+  > $newsid = "nid_" . $newsid;
+  > query("SELECT * FROM news WHERE newsid=" . $newsid);
+  > PHP
+  $ webcheck utopia.mphp
+  $ cat > fixed.mphp <<'PHP'
+  > $newsid = input("posted_newsid");
+  > if (!preg_match(/^[\d]+$/, $newsid)) { exit; }
+  > $newsid = "nid_" . $newsid;
+  > query("SELECT * FROM news WHERE newsid=" . $newsid);
+  > PHP
+  $ webcheck fixed.mphp
+  $ cat > lower.mphp <<'PHP'
+  > $x = input("x");
+  > if (!preg_match(/^[a-z']{1,6}$/, strtolower($x))) { exit; }
+  > query("SELECT * FROM t WHERE c=" . $x);
+  > PHP
+  $ webcheck lower.mphp
+  $ webcheck utopia.mphp --structural
+  $ cat > taut.mphp <<'PHP'
+  > $id = input("id");
+  > query("SELECT * FROM news WHERE newsid = '" . $id . "'");
+  > PHP
+  $ webcheck taut.mphp --attack tautology --structural

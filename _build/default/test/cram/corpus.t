@@ -1,0 +1,19 @@
+Regenerate the eve application from Fig. 11 and scan it end to end —
+the paper's section 4 workflow on the synthetic corpus:
+
+  $ corpusgen --app eve .
+  eve      1.0        8 files    929 loc -> ./eve
+
+  $ ls eve | head -3
+  edit.mphp
+  page_00.mphp
+  page_01.mphp
+
+  $ webcheck eve 2>/dev/null | tail -2 | sed 's/([0-9.]* s)/(_ s)/'
+  === eve: 8 files scanned, 1 vulnerable (_ s) ===
+    vulnerable: edit.mphp
+
+The vulnerable file matches the paper's count for eve (1 of 8):
+
+  $ webcheck eve 2>/dev/null | grep -c VULNERABLE
+  1

@@ -1,0 +1,70 @@
+The motivating example of the paper (Fig. 1), in concrete syntax:
+
+  $ cat > fig1.dprle <<'SYS'
+  > # SQL-injection example
+  > let filter = /[\d]+$/;
+  > let prefix = "nid_";
+  > let unsafe = /'/;
+  > v1 <= filter;
+  > prefix . v1 <= unsafe;
+  > SYS
+
+  $ dprle solve fig1.dprle --witnesses
+  sat: 1 disjunctive solution(s)
+  solution 1:
+    [v1 ↦ "'0"]
+    
+
+The fixed filter is unsatisfiable (exit code 1):
+
+  $ cat > fixed.dprle <<'SYS'
+  > let filter = /^[\d]+$/;
+  > let prefix = "nid_";
+  > let unsafe = /'/;
+  > v1 <= filter;
+  > prefix . v1 <= unsafe;
+  > SYS
+
+  $ dprle solve fixed.dprle
+  unsat: every ε-cut combination of a CI-group forces an empty language
+  [1]
+
+  $ dprle check fig1.dprle
+  sat
+
+Parse errors report positions:
+
+  $ echo 'v1 <= nope;' > bad.dprle
+  $ dprle solve bad.dprle
+  error: bad.dprle: 1:12: right-hand side "nope" is not a defined constant
+  [2]
+
+Union syntax and stats:
+
+  $ cat > union.dprle <<'SYS'
+  > let c = /^a{1,2}$/;
+  > (x | y) <= c;
+  > SYS
+  $ dprle solve union.dprle --stats --witnesses
+  nodes: 3 (⊆-edges 2, ∘-pairs 0)
+  CI-groups: 0 (+2 singleton variables)
+  ε-cut candidates: 0 (largest group: 0 combinations)
+  solutions: 1
+  automata: visited=0 products=0 concats=0
+  
+  sat: 1 disjunctive solution(s)
+  solution 1:
+    [x ↦ "a", y ↦ "a"]
+    
+
+SMT-LIB 2.6 export for modern string solvers (Z3str/CVC5 lineage):
+
+  $ dprle solve fig1.dprle --witnesses --smtlib fig1.smt2 > /dev/null
+  $ cat fig1.smt2
+  (set-logic QF_S)
+  (set-info :source |exported by dprle (Hooimeijer & Weimer, PLDI 2009 reproduction)|)
+  (declare-const v1 String)
+  (assert (str.in_re v1 (re.++ (re.* re.allchar) (re.union (re.range "0" "9") (re.++ ((_ re.loop 2 2) (re.range "0" "9")) (re.* (re.range "0" "9")))))))
+  (assert (str.in_re (str.++ "nid_" v1) (re.++ (re.++ (re.* re.allchar) (str.to_re "'")) (re.* re.allchar))))
+  (check-sat)
+  (get-model)

@@ -1,0 +1,67 @@
+The Fig. 1 mini-PHP program:
+
+  $ cat > utopia.mphp <<'PHP'
+  > $newsid = input("posted_newsid");
+  > if (!preg_match(/[\d]+$/, $newsid)) {
+  >   echo "Invalid article news ID.";
+  >   exit;
+  > }
+  > $newsid = "nid_" . $newsid;
+  > query("SELECT * FROM news WHERE newsid=" . $newsid);
+  > PHP
+
+  $ webcheck utopia.mphp
+  utopia.mphp: 3 basic blocks, 1 sink-reaching path candidates
+  VULNERABLE (path 1, sink 0, |C|=3) — exploit confirmed by concrete run:
+    posted_newsid = "'0"
+
+The fixed program is safe (exit code 1):
+
+  $ cat > fixed.mphp <<'PHP'
+  > $newsid = input("posted_newsid");
+  > if (!preg_match(/^[\d]+$/, $newsid)) { exit; }
+  > $newsid = "nid_" . $newsid;
+  > query("SELECT * FROM news WHERE newsid=" . $newsid);
+  > PHP
+
+  $ webcheck fixed.mphp
+  fixed.mphp: 3 basic blocks, 1 sink-reaching path candidates
+  no exploitable path found
+  [1]
+
+A case-mapped filter is handled via regular preimages:
+
+  $ cat > lower.mphp <<'PHP'
+  > $x = input("x");
+  > if (!preg_match(/^[a-z']{1,6}$/, strtolower($x))) { exit; }
+  > query("SELECT * FROM t WHERE c=" . $x);
+  > PHP
+
+  $ webcheck lower.mphp
+  lower.mphp: 3 basic blocks, 1 sink-reaching path candidates
+  VULNERABLE (path 1, sink 0, |C|=3) — exploit confirmed by concrete run:
+    x = "'"
+
+Structural confirmation (Su-Wassermann criterion): the intended query
+is recovered by solving the same path without the attack constraint:
+
+  $ webcheck utopia.mphp --structural
+  utopia.mphp: 3 basic blocks, 1 sink-reaching path candidates
+  VULNERABLE (path 1, sink 0, |C|=3) — exploit confirmed by concrete run:
+    posted_newsid = "'0"
+    intended query: SELECT * FROM news WHERE newsid=nid_0
+    structural verdict: query no longer parses
+
+A tautology payload is classified as such:
+
+  $ cat > taut.mphp <<'PHP'
+  > $id = input("id");
+  > query("SELECT * FROM news WHERE newsid = '" . $id . "'");
+  > PHP
+
+  $ webcheck taut.mphp --attack tautology --structural
+  taut.mphp: 1 basic blocks, 1 sink-reaching path candidates
+  VULNERABLE (path 0, sink 0, |C|=3) — exploit confirmed by concrete run:
+    id = "OR1=1"
+    intended query: SELECT * FROM news WHERE newsid = 'a'
+    structural verdict: same structure (the regular approximation over-approximated)

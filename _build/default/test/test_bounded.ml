@@ -1,0 +1,146 @@
+(* The bounded brute-force baseline, and differential testing of the
+   decision procedure against it. *)
+
+open Helpers
+module System = Dprle.System
+module Solver = Dprle.Solver
+module Bounded = Dprle.Bounded
+module Assignment = Dprle.Assignment
+
+let re = System.const_of_regex
+
+let mk consts constraints =
+  System.make_exn ~consts:(List.map (fun (n, r) -> (n, re r)) consts) ~constraints
+
+let unit_tests =
+  [
+    test "alphabet is reduced to label blocks" (fun () ->
+        let s = mk [ ("c", "[a-z]+[0-9]") ] [ { lhs = Var "v"; rhs = "c" } ] in
+        let alpha = Bounded.alphabet s in
+        (* one representative for [a-z], one for [0-9], one for the rest *)
+        check_int "three blocks" 3 (List.length alpha));
+    test "check validates concrete words" (fun () ->
+        let s =
+          mk
+            [ ("c1", "a+"); ("c3", "a+b") ]
+            [
+              { lhs = Var "v1"; rhs = "c1" };
+              { lhs = Concat (Var "v1", Var "v2"); rhs = "c3" };
+            ]
+        in
+        check_bool "good" true (Bounded.check s [ ("v1", "aa"); ("v2", "b") ]);
+        check_bool "bad" false (Bounded.check s [ ("v1", "aa"); ("v2", "a") ]);
+        check_bool "default empty fails" false (Bounded.check s [ ("v1", "a") ]));
+    test "solve finds a short witness" (fun () ->
+        let s =
+          mk
+            [ ("c1", "a+"); ("c3", "a+b") ]
+            [
+              { lhs = Var "v1"; rhs = "c1" };
+              { lhs = Concat (Var "v1", Var "v2"); rhs = "c3" };
+            ]
+        in
+        match Bounded.solve ~max_len:3 s with
+        | Bounded.Sat witness -> check_bool "checks" true (Bounded.check s witness)
+        | Bounded.Unsat_within_bound -> Alcotest.fail "expected sat");
+    test "solve respects the bound" (fun () ->
+        (* only witnesses of length 5 exist *)
+        let s = mk [ ("c", "a{5}") ] [ { lhs = Var "v"; rhs = "c" } ] in
+        (match Bounded.solve ~max_len:4 s with
+        | Bounded.Unsat_within_bound -> ()
+        | Bounded.Sat _ -> Alcotest.fail "bound ignored");
+        match Bounded.solve ~max_len:5 s with
+        | Bounded.Sat _ -> ()
+        | Bounded.Unsat_within_bound -> Alcotest.fail "expected sat at 5");
+    test "constant-only violation detected" (fun () ->
+        let s = mk [ ("a", "x"); ("b", "y") ] [ { lhs = Const "a"; rhs = "b" } ] in
+        match Bounded.solve ~max_len:2 s with
+        | Bounded.Unsat_within_bound -> ()
+        | Bounded.Sat _ -> Alcotest.fail "expected unsat");
+    test "union constraint" (fun () ->
+        let s =
+          mk [ ("c", "ab?") ] [ { lhs = Union (Var "v", Var "w"); rhs = "c" } ]
+        in
+        match Bounded.solve ~max_len:2 s with
+        | Bounded.Sat witness -> check_bool "checks" true (Bounded.check s witness)
+        | Bounded.Unsat_within_bound -> Alcotest.fail "expected sat");
+  ]
+
+(* Small random systems for differential testing. *)
+let small_system_gen =
+  QCheck2.Gen.(
+    let pool = [ "a*"; "ab|b"; "(ab)*"; "a+b?"; "[ab]{1,2}"; "b+"; "a|b" ] in
+    let* r1 = oneofl pool in
+    let* r2 = oneofl pool in
+    let* r3 = oneofl pool in
+    let* shape = int_bound 2 in
+    let constraints =
+      match shape with
+      | 0 ->
+          [
+            { System.lhs = System.Var "v1"; rhs = "c1" };
+            { System.lhs = System.Var "v1"; rhs = "c2" };
+          ]
+      | 1 ->
+          [
+            { System.lhs = System.Var "v1"; rhs = "c1" };
+            { System.lhs = System.Var "v2"; rhs = "c2" };
+            { System.lhs = System.Concat (Var "v1", Var "v2"); rhs = "c3" };
+          ]
+      | _ ->
+          [
+            { System.lhs = System.Concat (Const "c1", Var "v1"); rhs = "c3" };
+          ]
+    in
+    return (mk [ ("c1", r1); ("c2", r2); ("c3", r3) ] constraints))
+
+let diff_props =
+  [
+    qtest ~count:60 "bounded sat implies solver sat" small_system_gen (fun s ->
+        match Bounded.solve ~max_len:3 ~candidates_per_var:64 s with
+        | Bounded.Unsat_within_bound -> true
+        | Bounded.Sat _ -> (
+            match Solver.solve_system s with
+            | Solver.Sat _ -> true
+            | Solver.Unsat _ -> false));
+    qtest ~count:60 "solver unsat implies bounded unsat" small_system_gen
+      (fun s ->
+        match Solver.solve_system s with
+        | Solver.Sat _ -> true
+        | Solver.Unsat _ -> (
+            match Bounded.solve ~max_len:4 ~candidates_per_var:128 s with
+            | Bounded.Unsat_within_bound -> true
+            | Bounded.Sat _ -> false));
+    qtest ~count:40 "solver witnesses satisfy the bounded checker"
+      small_system_gen
+      (fun s ->
+        match Solver.solve_system s with
+        | Solver.Unsat _ -> true
+        | Solver.Sat sols ->
+            List.for_all
+              (fun a ->
+                match Assignment.witness a with
+                | None -> false (* solver never returns empty languages *)
+                | Some words -> Bounded.check s words)
+              sols);
+    qtest ~count:40 "solver sat with short witness implies bounded finds one"
+      small_system_gen
+      (fun s ->
+        match Solver.solve_system ~max_solutions:1 s with
+        | Solver.Unsat _ -> true
+        | Solver.Sat (a :: _) -> (
+            match Assignment.witness a with
+            | None -> false
+            | Some words ->
+                let longest =
+                  List.fold_left (fun acc (_, w) -> max acc (String.length w)) 0 words
+                in
+                longest > 3
+                ||
+                (match Bounded.solve ~max_len:3 ~candidates_per_var:64 s with
+                | Bounded.Sat _ -> true
+                | Bounded.Unsat_within_bound -> false))
+        | Solver.Sat [] -> false);
+  ]
+
+let suite = [ ("bounded:unit", unit_tests); ("bounded:diff-props", diff_props) ]

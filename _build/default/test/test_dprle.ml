@@ -1,0 +1,725 @@
+open Helpers
+module Nfa = Automata.Nfa
+module Ops = Automata.Ops
+module Lang = Automata.Lang
+module System = Dprle.System
+module Depgraph = Dprle.Depgraph
+module Ci = Dprle.Ci
+module Solver = Dprle.Solver
+module Assignment = Dprle.Assignment
+module Validate = Dprle.Validate
+module Residual = Dprle.Residual
+
+let re = System.const_of_regex
+let lang_of s = re s
+
+let check_lang name expected actual =
+  if not (Lang.equal (re expected) actual) then
+    Alcotest.failf "%s: expected /%s/, got /%s/" name expected
+      (Regex.State_elim.to_string actual)
+
+(* ------------------------------------------------------------------ *)
+(* concat_intersect (Fig. 3) on direct instances                      *)
+
+let ci_tests =
+  [
+    test "running example (Fig. 4): nid_ prefix" (fun () ->
+        (* c1 = "nid_", c2 = Σ*[0-9] (the faulty filter), c3 = strings
+           containing a quote *)
+        (* [Lang.compact] gives the small machines the paper draws in
+           Fig. 4 (an unminimized Thompson machine for c3 has a second
+           ε-cut describing the same solution) *)
+        let c1 = Lang.compact (System.const_of_word "nid_") in
+        let c2 = Lang.compact (System.const_of_pattern "/[\\d]+$/") in
+        let c3 = Lang.compact (System.const_of_pattern "/'/") in
+        let { Ci.solutions; _ } = Ci.concat_intersect c1 c2 c3 in
+        check_int "one cut" 1 (List.length solutions);
+        let { Ci.v1; v2; _ } = List.hd solutions in
+        check_lang "v1" "nid_" v1;
+        (* v2: contains a quote and ends with a digit *)
+        check_bool "attack in v2" true (Nfa.accepts v2 "' OR 1=1 ; DROP news --9");
+        check_bool "quoteless not in v2" false (Nfa.accepts v2 "42");
+        check_bool "non-digit-tail not in v2" false (Nfa.accepts v2 "'x");
+        check_bool "sat" true
+          (Validate.ci_satisfying ~c1 ~c2 ~c3 (List.hd solutions));
+        check_bool "all-solutions" true
+          (Validate.ci_all_solutions ~c1 ~c2 ~c3 solutions));
+    test "disjunctive example (§3.1.1)" (fun () ->
+        let c1 = lang_of "x(yy)+" in
+        let c2 = lang_of "(yy)*z" in
+        let c3 = lang_of "xyyz|xyyyyz" in
+        let { Ci.solutions; _ } = Ci.concat_intersect c1 c2 c3 in
+        check_bool "nonempty" true (solutions <> []);
+        List.iter
+          (fun s ->
+            check_bool "sat" true (Validate.ci_satisfying ~c1 ~c2 ~c3 s))
+          solutions;
+        check_bool "all-solutions" true
+          (Validate.ci_all_solutions ~c1 ~c2 ~c3 solutions));
+    test "empty intersection yields no solutions" (fun () ->
+        let c1 = lang_of "a+" and c2 = lang_of "b+" in
+        let c3 = lang_of "c+" in
+        let { Ci.solutions; _ } = Ci.concat_intersect c1 c2 c3 in
+        check_int "none" 0 (List.length solutions));
+    test "epsilon splits" (fun () ->
+        (* v1 ⊆ a*, v2 ⊆ a*, v1v2 ⊆ aa: cuts at 0/1/2 a's *)
+        let c1 = lang_of "a*" and c2 = lang_of "a*" in
+        let c3 = lang_of "aa" in
+        let { Ci.solutions; _ } = Ci.concat_intersect c1 c2 c3 in
+        check_bool "has solutions" true (solutions <> []);
+        check_bool "all-solutions" true
+          (Validate.ci_all_solutions ~c1 ~c2 ~c3 solutions));
+    test "cut is a real eps edge of m5" (fun () ->
+        let c1 = lang_of "ab" and c2 = lang_of "ba" in
+        let c3 = lang_of "abba" in
+        let { Ci.solutions; m5; _ } = Ci.concat_intersect c1 c2 c3 in
+        List.iter
+          (fun { Ci.cut = qa, qb; _ } ->
+            check_bool "eps edge" true (Nfa.has_eps_edge m5 qa qb))
+          solutions);
+  ]
+
+let ci_props =
+  let langs_gen =
+    QCheck2.Gen.(
+      let regex_pool =
+        [ "a*"; "a+b"; "(ab)*"; "a|bb"; "ab?c"; "[ab]+"; "a{1,3}"; "b(a|b)*";
+          "(a|b)(a|b)"; "ba*b|a" ]
+      in
+      let* r1 = oneofl regex_pool in
+      let* r2 = oneofl regex_pool in
+      let* r3 = oneofl regex_pool in
+      let* pad = oneofl [ ""; "a"; "ab"; "ba" ] in
+      return (r1, r2, r3 ^ pad))
+  in
+  [
+    qtest ~count:80 "CI: Satisfying on random instances" langs_gen
+      (fun (r1, r2, r3) ->
+        let c1 = lang_of r1 and c2 = lang_of r2 and c3 = lang_of r3 in
+        List.for_all
+          (Validate.ci_satisfying ~c1 ~c2 ~c3)
+          (Ci.solve c1 c2 c3));
+    qtest ~count:80 "CI: All Solutions on random instances" langs_gen
+      (fun (r1, r2, r3) ->
+        let c1 = lang_of r1 and c2 = lang_of r2 and c3 = lang_of r3 in
+        Validate.ci_all_solutions ~c1 ~c2 ~c3 (Ci.solve c1 c2 c3));
+    qtest ~count:80 "CI: no empty assignments" langs_gen (fun (r1, r2, r3) ->
+        let c1 = lang_of r1 and c2 = lang_of r2 and c3 = lang_of r3 in
+        List.for_all
+          (fun { Ci.v1; v2; _ } ->
+            (not (Nfa.is_empty_lang v1)) && not (Nfa.is_empty_lang v2))
+          (Ci.solve c1 c2 c3));
+    qtest ~count:80 "CI: solution count bounded by |M3| states" langs_gen
+      (fun (r1, r2, r3) ->
+        let c1 = lang_of r1 and c2 = lang_of r2 and c3 = lang_of r3 in
+        List.length (Ci.solve c1 c2 c3) <= Nfa.num_states c3);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Dependency graphs (Fig. 5 / Fig. 6)                                *)
+
+let mk_system consts constraints =
+  System.make_exn
+    ~consts:(List.map (fun (n, r) -> (n, re r)) consts)
+    ~constraints
+
+let fig6_system =
+  (* v1 ⊆ c1, c2 ∘ v1 ⊆ c3 — the motivating example's shape *)
+  mk_system
+    [ ("c1", "(.*)[0-9]"); ("c2", "nid_"); ("c3", ".*'.*") ]
+    [
+      { lhs = Var "v1"; rhs = "c1" };
+      { lhs = Concat (Const "c2", Var "v1"); rhs = "c3" };
+    ]
+
+let depgraph_tests =
+  [
+    test "fig 6 graph structure" (fun () ->
+        let g = Depgraph.of_system fig6_system in
+        check_int "nodes: c1 c2 c3 v1 t0" 5 (List.length g.nodes);
+        check_int "subset edges" 2 (List.length g.subsets);
+        check_int "concat pairs" 1 (List.length g.concats);
+        let { Depgraph.left; right; result } = List.hd g.concats in
+        check_bool "left is c2" true (Depgraph.node_equal left (Const "c2"));
+        check_bool "right is v1" true (Depgraph.node_equal right (Var "v1"));
+        check_bool "result is tmp" true (match result with Depgraph.Tmp _ -> true | _ -> false));
+    test "fig 6 CI-groups" (fun () ->
+        let g = Depgraph.of_system fig6_system in
+        let groups = Depgraph.ci_groups g in
+        let sizes = List.sort compare (List.map List.length groups) in
+        (* {v1, t0} plus singletons {c1} {c2} {c3} — constant operands
+           do not couple concatenations *)
+        Alcotest.(check (list int)) "group sizes" [ 1; 1; 1; 2 ] sizes);
+    test "nested concat makes a taller graph" (fun () ->
+        let s =
+          mk_system
+            [ ("c1", "a*"); ("c2", "b*"); ("c3", "c*"); ("c4", "(abc)*") ]
+            [
+              {
+                lhs = Concat (Concat (Var "v1", Var "v2"), Var "v3");
+                rhs = "c4";
+              };
+              { lhs = Var "v1"; rhs = "c1" };
+              { lhs = Var "v2"; rhs = "c2" };
+              { lhs = Var "v3"; rhs = "c3" };
+            ]
+        in
+        let g = Depgraph.of_system s in
+        check_int "two tmps" 2 (List.length g.concats);
+        let groups = Depgraph.ci_groups g in
+        check_int "one concat group + 4 const singletons" 5 (List.length groups));
+    test "dot output is generated" (fun () ->
+        let dot = Depgraph.to_dot (Depgraph.of_system fig6_system) in
+        check_bool "nonempty" true (String.length dot > 40));
+    test "system validation" (fun () ->
+        (match
+           System.make ~consts:[] ~constraints:[ { lhs = Var "v"; rhs = "c" } ]
+         with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "undefined constant accepted");
+        match
+          System.make
+            ~consts:[ ("x", Nfa.sigma_star) ]
+            ~constraints:[ { lhs = Var "x"; rhs = "x" } ]
+        with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "var/const clash accepted");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Full solver                                                        *)
+
+let solve_exn ?max_solutions system =
+  match Solver.solve_system ?max_solutions system with
+  | Solver.Sat solutions -> solutions
+  | Solver.Unsat reason -> Alcotest.failf "unexpected unsat: %s" reason
+
+let solver_tests =
+  [
+    test "single variable, single constraint (§3.1.1 ex. 1)" (fun () ->
+        let s =
+          mk_system
+            [ ("c1", "(xx)+y"); ("c2", "x*y") ]
+            [ { lhs = Var "v1"; rhs = "c1" }; { lhs = Var "v1"; rhs = "c2" } ]
+        in
+        match solve_exn s with
+        | [ a ] -> check_lang "v1" "(xx)+y" (Assignment.find a "v1")
+        | sols -> Alcotest.failf "expected 1 solution, got %d" (List.length sols));
+    test "disjunctive system (§3.1.1 ex. 2) — paper's A1 and A2" (fun () ->
+        let s =
+          mk_system
+            [ ("c1", "x(yy)+"); ("c2", "(yy)*z"); ("c3", "xyyz|xyyyyz") ]
+            [
+              { lhs = Var "v1"; rhs = "c1" };
+              { lhs = Var "v2"; rhs = "c2" };
+              { lhs = Concat (Var "v1", Var "v2"); rhs = "c3" };
+            ]
+        in
+        let sols = solve_exn s in
+        check_int "two disjuncts" 2 (List.length sols);
+        let expect_one v1_re v2_re =
+          check_bool
+            (Printf.sprintf "solution [%s, %s] present" v1_re v2_re)
+            true
+            (List.exists
+               (fun a ->
+                 Lang.equal (Assignment.find a "v1") (re v1_re)
+                 && Lang.equal (Assignment.find a "v2") (re v2_re))
+               sols)
+        in
+        (* the paper's A1 and A2 verbatim *)
+        expect_one "xyy" "z|yyz";
+        expect_one "x(yy|yyyy)" "z";
+        List.iter
+          (fun a ->
+            check_bool "satisfying" true (Validate.satisfying s a);
+            check_bool "maximal (probe)" true (Validate.maximal_probe s a))
+          sols;
+        check_bool "incomparable" true (Validate.pairwise_incomparable sols));
+    test "motivating example: exploit language" (fun () ->
+        let sols = solve_exn fig6_system in
+        check_int "one solution" 1 (List.length sols);
+        let v1 = Assignment.find (List.hd sols) "v1" in
+        check_bool "attack" true (Nfa.accepts v1 "' OR 1=1 ; DROP news --9");
+        check_bool "benign blocked" false (Nfa.accepts v1 "42"));
+    test "fixed filter makes the system unsat" (fun () ->
+        (* with the ^ anchor, no input both passes the filter and
+           produces a quoted query *)
+        let s =
+          mk_system
+            [ ("c1", "[0-9]+"); ("c2", "nid_"); ("c3", ".*'.*") ]
+            [
+              { lhs = Var "v1"; rhs = "c1" };
+              { lhs = Concat (Const "c2", Var "v1"); rhs = "c3" };
+            ]
+        in
+        match Solver.solve_system s with
+        | Solver.Unsat _ -> ()
+        | Solver.Sat sols ->
+            Alcotest.failf "expected unsat, got %d solutions" (List.length sols));
+    test "const-vs-const inclusion holds" (fun () ->
+        let s =
+          mk_system
+            [ ("sub", "ab"); ("super", "a.*") ]
+            [ { lhs = Const "sub"; rhs = "super" } ]
+        in
+        check_int "trivially sat, no vars" 1 (List.length (solve_exn s)));
+    test "const-vs-const inclusion fails" (fun () ->
+        let s =
+          mk_system
+            [ ("sub", "ba"); ("super", "a.*") ]
+            [ { lhs = Const "sub"; rhs = "super" } ]
+        in
+        match Solver.solve_system s with
+        | Solver.Unsat _ -> ()
+        | Solver.Sat _ -> Alcotest.fail "expected unsat");
+    test "shared variable across two concats (Fig. 9 shape)" (fun () ->
+        let s =
+          mk_system
+            [
+              ("ca", "o(pp)+"); ("cb", "p*(qq)+"); ("cc", "q*r");
+              ("c1", "op{5}q*"); ("c2", "p*q{4}r");
+            ]
+            [
+              { lhs = Var "va"; rhs = "ca" };
+              { lhs = Var "vb"; rhs = "cb" };
+              { lhs = Var "vc"; rhs = "cc" };
+              { lhs = Concat (Var "va", Var "vb"); rhs = "c1" };
+              { lhs = Concat (Var "vb", Var "vc"); rhs = "c2" };
+            ]
+        in
+        let sols = solve_exn s in
+        (* the two solutions printed in §3.4.4 ... *)
+        let expect va vb vc =
+          check_bool
+            (Printf.sprintf "[%s,%s,%s] present" va vb vc)
+            true
+            (List.exists
+               (fun a ->
+                 Lang.equal (Assignment.find a "va") (re va)
+                 && Lang.equal (Assignment.find a "vb") (re vb)
+                 && Lang.equal (Assignment.find a "vc") (re vc))
+               sols)
+        in
+        expect "op{2}" "p{3}q{2}" "q{2}r";
+        expect "op{4}" "pq{2}" "q{2}r";
+        (* ... and the two symmetric ones the same semantics admits
+           (see EXPERIMENTS.md on the discrepancy with the paper's
+           stated count) *)
+        expect "op{2}" "p{3}q{4}" "r";
+        expect "op{4}" "pq{4}" "r";
+        check_int "four maximal disjuncts" 4 (List.length sols);
+        List.iter
+          (fun a ->
+            check_bool "satisfying" true (Validate.satisfying s a);
+            check_bool "maximal (probe)" true (Validate.maximal_probe s a))
+          sols;
+        check_bool "incomparable" true (Validate.pairwise_incomparable sols));
+    test "nested concatenation (v1.v2).v3" (fun () ->
+        let s =
+          mk_system
+            [ ("c1", "a+"); ("c2", "b+"); ("c3", "c+"); ("c4", "abbc|aabcc") ]
+            [
+              { lhs = Var "v1"; rhs = "c1" };
+              { lhs = Var "v2"; rhs = "c2" };
+              { lhs = Var "v3"; rhs = "c3" };
+              {
+                lhs = Concat (Concat (Var "v1", Var "v2"), Var "v3");
+                rhs = "c4";
+              };
+            ]
+        in
+        let sols = solve_exn s in
+        check_bool "has solutions" true (sols <> []);
+        List.iter
+          (fun a -> check_bool "satisfying" true (Validate.satisfying s a))
+          sols;
+        (* the subset constraint on c4 must push back through both
+           concatenations to v1 *)
+        List.iter
+          (fun a ->
+            let v1 = Assignment.find a "v1" in
+            check_bool "v1 bounded" true
+              (Lang.subset v1 (re "a|aa")))
+          sols);
+    test "same variable twice in one concat" (fun () ->
+        let s =
+          mk_system
+            [ ("c1", "a*"); ("c3", "aaaa") ]
+            [
+              { lhs = Var "v"; rhs = "c1" };
+              { lhs = Concat (Var "v", Var "v"); rhs = "c3" };
+            ]
+        in
+        let sols = solve_exn s in
+        check_bool "has solutions" true (sols <> []);
+        List.iter
+          (fun a ->
+            check_bool "satisfying" true (Validate.satisfying s a);
+            check_lang "v" "aa" (Assignment.find a "v"))
+          sols);
+    test "unconstrained variable gets sigma-star" (fun () ->
+        let s =
+          mk_system [ ("c", "a*") ] [ { lhs = Var "v"; rhs = "c" } ]
+        in
+        match solve_exn s with
+        | [ a ] -> check_lang "v" "a*" (Assignment.find a "v")
+        | _ -> Alcotest.fail "expected one solution");
+    test "two independent groups multiply" (fun () ->
+        let s =
+          mk_system
+            [ ("c1", "x(yy)+"); ("c2", "(yy)*z"); ("c3", "xyyz|xyyyyz"); ("d", "q+") ]
+            [
+              { lhs = Var "v1"; rhs = "c1" };
+              { lhs = Var "v2"; rhs = "c2" };
+              { lhs = Concat (Var "v1", Var "v2"); rhs = "c3" };
+              { lhs = Var "w"; rhs = "d" };
+            ]
+        in
+        let sols = solve_exn s in
+        check_int "2 disjuncts × 1" 2 (List.length sols);
+        List.iter
+          (fun a -> check_lang "w" "q+" (Assignment.find a "w"))
+          sols);
+    test "multi-word constant operand: universal semantics" (fun () ->
+        (* a* ∘ v ⊆ (ab)* must quantify over ALL of a*, forcing v = ∅:
+           regression test for the ∃-slicing unsoundness found by
+           differential testing (see DESIGN.md) *)
+        let s =
+          mk_system
+            [ ("c1", "a*"); ("c3", "(ab)*") ]
+            [ { lhs = Concat (Const "c1", Var "v"); rhs = "c3" } ]
+        in
+        (match Solver.solve_system s with
+        | Solver.Unsat _ -> ()
+        | Solver.Sat sols ->
+            Alcotest.failf "expected unsat, got %d solutions" (List.length sols));
+        (* whereas a* ∘ v ⊆ a*b has the maximal solution v = a*b *)
+        let s' =
+          mk_system
+            [ ("c1", "a*"); ("c3", "a*b") ]
+            [ { lhs = Concat (Const "c1", Var "v"); rhs = "c3" } ]
+        in
+        match solve_exn s' with
+        | [ a ] ->
+            check_lang "v" "a*b" (Assignment.find a "v");
+            check_bool "satisfying" true (Validate.satisfying s' a)
+        | sols -> Alcotest.failf "expected 1 solution, got %d" (List.length sols));
+    test "multi-word constant on the right edge" (fun () ->
+        (* v ∘ a* ⊆ ba* : v must work for every a-suffix *)
+        let s =
+          mk_system
+            [ ("c2", "a*"); ("c3", "ba*") ]
+            [ { lhs = Concat (Var "v", Const "c2"); rhs = "c3" } ]
+        in
+        match solve_exn s with
+        | [ a ] ->
+            check_lang "v" "ba*" (Assignment.find a "v");
+            check_bool "satisfying" true (Validate.satisfying s a)
+        | sols -> Alcotest.failf "expected 1 solution, got %d" (List.length sols));
+    test "interior multi-word constant stays sound" (fun () ->
+        (* v1 ∘ (a|aa) ∘ v2 ⊆ b a{1,2} c : combos are verified, so
+           every returned disjunct must satisfy *)
+        let s =
+          mk_system
+            [ ("mid", "a|aa"); ("c3", "ba{1,2}c") ]
+            [
+              {
+                lhs = Concat (Var "v1", Concat (Const "mid", Var "v2"));
+                rhs = "c3";
+              };
+            ]
+        in
+        match Solver.solve_system s with
+        | Solver.Unsat _ -> ()
+        | Solver.Sat sols ->
+            check_bool "nonempty" true (sols <> []);
+            List.iter
+              (fun a ->
+                check_bool "satisfying" true (Validate.satisfying s a))
+              sols);
+    test "concat of constants checked by inclusion" (fun () ->
+        let bad =
+          mk_system
+            [ ("a", "x"); ("b", "y"); ("c", "xz") ]
+            [ { lhs = Concat (Const "a", Const "b"); rhs = "c" } ]
+        in
+        (match Solver.solve_system bad with
+        | Solver.Unsat _ -> ()
+        | Solver.Sat _ -> Alcotest.fail "expected unsat");
+        let good =
+          mk_system
+            [ ("a", "x"); ("b", "y"); ("c", "xy|z") ]
+            [ { lhs = Concat (Const "a", Const "b"); rhs = "c" } ]
+        in
+        match Solver.solve_system good with
+        | Solver.Sat _ -> ()
+        | Solver.Unsat r -> Alcotest.failf "expected sat: %s" r);
+    test "union lhs splits into conjuncts (§3.1.2 extension)" (fun () ->
+        (* (v | w) ⊆ c constrains both variables *)
+        let s =
+          mk_system
+            [ ("c", "a{1,3}") ]
+            [ { lhs = Union (Var "v", Var "w"); rhs = "c" } ]
+        in
+        match solve_exn s with
+        | [ a ] ->
+            check_lang "v" "a{1,3}" (Assignment.find a "v");
+            check_lang "w" "a{1,3}" (Assignment.find a "w")
+        | sols -> Alcotest.failf "expected 1 solution, got %d" (List.length sols));
+    test "union distributes over concatenation" (fun () ->
+        (* (p|q) . v ⊆ c: v must be safe after both prefixes *)
+        let s =
+          mk_system
+            [ ("p", "x"); ("q", "xx"); ("c", "x{2,3}") ]
+            [ { lhs = Concat (Union (Const "p", Const "q"), Var "v"); rhs = "c" } ]
+        in
+        let sols = solve_exn s in
+        check_bool "nonempty" true (sols <> []);
+        List.iter
+          (fun a ->
+            check_bool "satisfying" true (Validate.satisfying s a);
+            (* x·v ⊆ x{2,3} gives v ⊆ x{1,2}; xx·v ⊆ x{2,3} gives
+               v ⊆ x{0,1}; both ⇒ v = x *)
+            check_lang "v" "x" (Assignment.find a "v"))
+          sols);
+    test "union in validate matches Ops.union semantics" (fun () ->
+        let s =
+          mk_system
+            [ ("ca", "a"); ("cb", "b"); ("c", "a|b") ]
+            [ { lhs = Union (Const "ca", Const "cb"); rhs = "c" } ]
+        in
+        check_int "sat, no vars" 1 (List.length (solve_exn s)));
+    test "first_solution mode" (fun () ->
+        let g = Depgraph.of_system fig6_system in
+        match Solver.first_solution g with
+        | Some a ->
+            check_bool "satisfying" true (Validate.satisfying fig6_system a)
+        | None -> Alcotest.fail "expected a solution");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Residual / maximization                                            *)
+
+let residual_tests =
+  [
+    test "max_middle basic" (fun () ->
+        (* {w | a·w·b ∈ L(a(ab)*b)} = (ab)*: stripping the fixed a/b
+           context leaves w ∈ (ab)* *)
+        let m =
+          Residual.max_middle ~pre:(lang_of "a") ~post:(lang_of "b")
+            ~upper:(lang_of "a(ab)*b")
+        in
+        check_bool "eps" true (Nfa.accepts m "");
+        check_bool "ab" true (Nfa.accepts m "ab");
+        check_bool "abab" true (Nfa.accepts m "abab");
+        check_bool "ba" false (Nfa.accepts m "ba");
+        check_bool "a" false (Nfa.accepts m "a"));
+    test "max_middle with multiple pre words" (fun () ->
+        (* pre = a|aa, upper = a{1,2}b* ⇒ w must work after both *)
+        let m =
+          Residual.max_middle ~pre:(lang_of "a|aa") ~post:(lang_of "b")
+            ~upper:(lang_of "a{1,2}b*")
+        in
+        check_bool "b*" true (Nfa.accepts m "bbb");
+        check_bool "a fails (aaa not in upper)" false (Nfa.accepts m "a"));
+    test "empty pre is unconstraining" (fun () ->
+        let m =
+          Residual.max_middle ~pre:Nfa.empty_lang ~post:(lang_of "b")
+            ~upper:(lang_of "ab")
+        in
+        check_bool "sigma-star" true (Lang.equal m Nfa.sigma_star));
+    test "maximize grows to the paper's merged solution" (fun () ->
+        let s =
+          mk_system
+            [ ("c1", "x(yy)+"); ("c2", "(yy)*z"); ("c3", "xyyz|xyyyyz") ]
+            [
+              { lhs = Var "v1"; rhs = "c1" };
+              { lhs = Var "v2"; rhs = "c2" };
+              { lhs = Concat (Var "v1", Var "v2"); rhs = "c3" };
+            ]
+        in
+        (* start from the narrow slice [xyyyy, z]; maximize must merge
+           in xyy, yielding the paper's A2 *)
+        let a =
+          Assignment.of_list [ ("v1", re "xyyyy"); ("v2", re "z") ]
+        in
+        let m = Residual.maximize s a in
+        check_lang "v1" "x(yy|yyyy)" (Assignment.find m "v1");
+        check_lang "v2" "z" (Assignment.find m "v2"));
+  ]
+
+let solver_props =
+  let sys_gen =
+    QCheck2.Gen.(
+      let pool = [ "a*"; "ab|b*"; "(ab)*"; "a+b?"; "[ab]{1,3}"; "b+a*"; "a|b|ab" ] in
+      let* r1 = oneofl pool in
+      let* r2 = oneofl pool in
+      let* r3 = oneofl pool in
+      let* r4 = oneofl pool in
+      return
+        (mk_system
+           [ ("c1", r1); ("c2", r2); ("c3", r3 ^ "|" ^ r4) ]
+           [
+             { lhs = Var "v1"; rhs = "c1" };
+             { lhs = Var "v2"; rhs = "c2" };
+             { lhs = Concat (Var "v1", Var "v2"); rhs = "c3" };
+           ]))
+  in
+  [
+    qtest ~count:40 "solver: all disjuncts satisfy" sys_gen (fun s ->
+        match Solver.solve_system s with
+        | Solver.Unsat _ -> true
+        | Solver.Sat sols -> List.for_all (Validate.satisfying s) sols);
+    qtest ~count:40 "solver: disjuncts pairwise incomparable" sys_gen (fun s ->
+        match Solver.solve_system s with
+        | Solver.Unsat _ -> true
+        | Solver.Sat sols -> Validate.pairwise_incomparable sols);
+    qtest ~count:25 "solver: maximality probe" sys_gen (fun s ->
+        match Solver.solve_system s with
+        | Solver.Unsat _ -> true
+        | Solver.Sat sols ->
+            List.for_all (fun a -> Validate.maximal_probe ~samples:3 s a) sols);
+    qtest ~count:40 "solver: coverage of the concat language" sys_gen (fun s ->
+        (* every word of (c1∘c2) ∩ c3 appears in v1∘v2 of some disjunct *)
+        let c1 = System.const_lang s "c1"
+        and c2 = System.const_lang s "c2"
+        and c3 = System.const_lang s "c3" in
+        let target = Ops.inter_lang (Ops.concat_lang c1 c2) c3 in
+        match Solver.solve_system s with
+        | Solver.Unsat _ -> Nfa.is_empty_lang target
+        | Solver.Sat sols ->
+            let covered =
+              List.fold_left
+                (fun acc a ->
+                  Ops.union_lang acc
+                    (Ops.concat_lang (Assignment.find a "v1")
+                       (Assignment.find a "v2")))
+                Nfa.empty_lang sols
+            in
+            Lang.equal covered target);
+    qtest ~count:40 "solver: unsat iff concat language empty" sys_gen (fun s ->
+        let c1 = System.const_lang s "c1"
+        and c2 = System.const_lang s "c2"
+        and c3 = System.const_lang s "c3" in
+        let target = Ops.inter_lang (Ops.concat_lang c1 c2) c3 in
+        match Solver.solve_system s with
+        | Solver.Unsat _ -> Nfa.is_empty_lang target
+        | Solver.Sat sols -> sols <> [] && not (Nfa.is_empty_lang target));
+  ]
+
+let report_tests =
+  [
+    test "report on the motivating system" (fun () ->
+        let g = Depgraph.of_system fig6_system in
+        let outcome, r = Dprle.Report.solve_with_report g in
+        (match outcome with
+        | Solver.Sat [ _ ] -> ()
+        | _ -> Alcotest.fail "expected one solution");
+        check_int "nodes" 5 r.nodes;
+        check_int "subsets" 2 r.subset_edges;
+        check_int "concats" 1 r.concat_pairs;
+        check_int "groups" 1 r.groups;
+        check_int "solutions" 1 r.solutions;
+        check_bool "cuts counted" true (r.cut_candidates >= 1);
+        check_bool "work measured" true (r.automata.visited > 0));
+    test "report on fig9: combination width" (fun () ->
+        let s =
+          mk_system
+            [
+              ("ca", "o(pp)+"); ("cb", "p*(qq)+"); ("cc", "q*r");
+              ("c1", "op{5}q*"); ("c2", "p*q{4}r");
+            ]
+            [
+              { lhs = Var "va"; rhs = "ca" };
+              { lhs = Var "vb"; rhs = "cb" };
+              { lhs = Var "vc"; rhs = "cc" };
+              { lhs = Concat (Var "va", Var "vb"); rhs = "c1" };
+              { lhs = Concat (Var "vb", Var "vc"); rhs = "c2" };
+            ]
+        in
+        let _, r = Dprle.Report.solve_with_report (Depgraph.of_system s) in
+        (* at least the paper's 2×2 cut combinations (Thompson-built
+           machines carry extra ε-cut images of the same solutions) *)
+        check_bool "combinations" true (r.max_group_combinations >= 4);
+        check_int "groups" 1 r.groups;
+        check_int "solutions" 4 r.solutions);
+    test "cut census on unsat constant system is empty" (fun () ->
+        let s =
+          mk_system
+            [ ("sub", "ba"); ("super", "a.*") ]
+            [ { lhs = Const "sub"; rhs = "super" } ]
+        in
+        Alcotest.(check (list (pair int int)))
+          "empty" []
+          (Solver.cut_census (Depgraph.of_system s)));
+  ]
+
+(* Random systems with two coupled concatenations — the gci stress
+   shape of Fig. 9 — validated for soundness and witness concreteness. *)
+let chained_props =
+  let sys_gen =
+    QCheck2.Gen.(
+      let pool = [ "a*"; "ab|b"; "(ab)*"; "a+b?"; "[ab]{1,2}"; "b+a*" ] in
+      let* r1 = oneofl pool in
+      let* r2 = oneofl pool in
+      let* r3 = oneofl pool in
+      let* r4 = oneofl pool in
+      let* r5 = oneofl pool in
+      let* nested = QCheck2.Gen.bool in
+      let constraints =
+        if nested then
+          [
+            { System.lhs = System.Var "v1"; rhs = "c1" };
+            { System.lhs = System.Var "v2"; rhs = "c2" };
+            { System.lhs = System.Var "v3"; rhs = "c3" };
+            {
+              System.lhs =
+                System.Concat (Concat (Var "v1", Var "v2"), Var "v3");
+              rhs = "c4";
+            };
+          ]
+        else
+          [
+            { System.lhs = System.Var "v1"; rhs = "c1" };
+            { System.lhs = System.Var "v2"; rhs = "c2" };
+            { System.lhs = System.Var "v3"; rhs = "c3" };
+            { System.lhs = System.Concat (Var "v1", Var "v2"); rhs = "c4" };
+            { System.lhs = System.Concat (Var "v2", Var "v3"); rhs = "c5" };
+          ]
+      in
+      return
+        (mk_system
+           [ ("c1", r1); ("c2", r2); ("c3", r3); ("c4", r4); ("c5", r5) ]
+           constraints))
+  in
+  [
+    qtest ~count:25 "chained systems: every disjunct satisfies" sys_gen
+      (fun s ->
+        match Solver.solve_system ~max_solutions:8 s with
+        | Solver.Unsat _ -> true
+        | Solver.Sat sols -> List.for_all (Validate.satisfying s) sols);
+    qtest ~count:25 "chained systems: witnesses check concretely" sys_gen
+      (fun s ->
+        match Solver.solve_system ~max_solutions:4 s with
+        | Solver.Unsat _ -> true
+        | Solver.Sat sols ->
+            List.for_all
+              (fun a ->
+                match Assignment.witness a with
+                | None -> false
+                | Some words -> Dprle.Bounded.check s words)
+              sols);
+  ]
+
+let suite =
+  [
+    ("ci:unit", ci_tests);
+    ("solver:chained-props", chained_props);
+    ("report:unit", report_tests);
+    ("ci:props", ci_props);
+    ("depgraph:unit", depgraph_tests);
+    ("solver:unit", solver_tests);
+    ("residual:unit", residual_tests);
+    ("solver:props", solver_props);
+  ]

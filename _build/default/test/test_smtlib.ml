@@ -1,0 +1,110 @@
+open Helpers
+module Smtlib = Dprle.Smtlib
+module System = Dprle.System
+module Ast = Regex.Ast
+
+let re = System.const_of_regex
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let balanced s =
+  let depth = ref 0 in
+  let ok = ref true in
+  let in_string = ref false in
+  String.iter
+    (fun c ->
+      if c = '"' then in_string := not !in_string
+      else if not !in_string then begin
+        if c = '(' then incr depth;
+        if c = ')' then begin
+          decr depth;
+          if !depth < 0 then ok := false
+        end
+      end)
+    s;
+  !ok && !depth = 0
+
+let parse = Regex.Parser.parse_exn
+
+let unit_tests =
+  [
+    test "string literal escaping" (fun () ->
+        check_string "plain" "\"abc\"" (Smtlib.string_literal "abc");
+        check_string "quote" "\"a\"\"b\"" (Smtlib.string_literal "a\"b");
+        check_string "newline" "\"a\\u{a}\"" (Smtlib.string_literal "a\n"));
+    test "re_term forms" (fun () ->
+        check_string "empty" "re.none" (Smtlib.re_term Ast.Empty);
+        check_string "eps" "(str.to_re \"\")" (Smtlib.re_term Ast.Epsilon);
+        check_string "any" "re.allchar" (Smtlib.re_term Ast.any);
+        check_string "char" "(str.to_re \"a\")" (Smtlib.re_term (parse "a"));
+        check_string "range" "(re.range \"0\" \"9\")" (Smtlib.re_term (parse "[0-9]"));
+        check_bool "star" true (contains (Smtlib.re_term (parse "a*")) "re.*");
+        check_bool "loop" true
+          (contains (Smtlib.re_term (parse "a{2,4}")) "(_ re.loop 2 4)");
+        check_bool "unbounded loop" true
+          (contains (Smtlib.re_term (parse "a{3,}")) "(_ re.loop 3 3)"));
+    test "re_term is balanced" (fun () ->
+        List.iter
+          (fun r -> check_bool r true (balanced (Smtlib.re_term (parse r))))
+          [ "a(b|c)*d"; "[a-z]{1,3}|x+"; "(ab)?c"; "\\d+" ]);
+    test "system export structure" (fun () ->
+        let system =
+          System.make_exn
+            ~consts:[ ("filter", re "(.*)[0-9]"); ("prefix", System.const_of_word "nid_");
+                      ("unsafe", re ".*'.*") ]
+            ~constraints:
+              [
+                { lhs = Var "v1"; rhs = "filter" };
+                { lhs = Concat (Const "prefix", Var "v1"); rhs = "unsafe" };
+              ]
+        in
+        let script = Smtlib.of_system system in
+        check_bool "balanced" true (balanced script);
+        check_bool "QF_S" true (contains script "(set-logic QF_S)");
+        check_bool "declares v1" true (contains script "(declare-const v1 String)");
+        check_bool "inlines the literal" true (contains script "\"nid_\"");
+        check_bool "concat" true (contains script "(str.++ \"nid_\" v1)");
+        check_bool "membership" true (contains script "str.in_re");
+        check_bool "check-sat" true (contains script "(check-sat)"));
+    test "multi-word constant operand quantifies" (fun () ->
+        let system =
+          System.make_exn
+            ~consts:[ ("pre", re "a*"); ("c", re "a*b") ]
+            ~constraints:[ { lhs = Concat (Const "pre", Var "v"); rhs = "c" } ]
+        in
+        let script = Smtlib.of_system system in
+        check_bool "ALL logic" true (contains script "(set-logic ALL)");
+        check_bool "forall" true (contains script "(assert (forall ((u0 String))");
+        check_bool "balanced" true (balanced script));
+    test "union lhs splits into assertions" (fun () ->
+        let system =
+          System.make_exn
+            ~consts:[ ("c", re "ab") ]
+            ~constraints:[ { lhs = Union (Var "x", Var "y"); rhs = "c" } ]
+        in
+        let script = Smtlib.of_system system in
+        check_bool "x asserted" true (contains script "(str.in_re x ");
+        check_bool "y asserted" true (contains script "(str.in_re y "));
+    test "odd variable names are quoted" (fun () ->
+        let system =
+          System.make_exn
+            ~consts:[ ("c", re "a") ]
+            ~constraints:[ { lhs = Var "x~lower"; rhs = "c" } ]
+        in
+        check_bool "quoted symbol" true
+          (contains (Smtlib.of_system system) "|x~lower|"));
+  ]
+
+let prop_tests =
+  [
+    qtest ~count:150 "re_term of random regexes is balanced" Test_regex.ast_gen
+      (fun r -> balanced (Smtlib.re_term r));
+    qtest ~count:60 "re_term of machine-derived regexes is balanced"
+      Helpers.nfa_gen
+      (fun m -> balanced (Smtlib.re_term (Regex.State_elim.to_regex m)));
+  ]
+
+let suite = [ ("smtlib:unit", unit_tests); ("smtlib:props", prop_tests) ]

@@ -1,0 +1,225 @@
+open Helpers
+module Token = Sql.Token
+module Lexer = Sql.Lexer
+module Ast = Sql.Ast
+module Parser = Sql.Parser
+module Analysis = Sql.Analysis
+
+let lexer_tests =
+  [
+    test "keywords are case-insensitive" (fun () ->
+        match Lexer.tokenize_exn "select FROM Where" with
+        | [ Token.Kw "SELECT"; Token.Kw "FROM"; Token.Kw "WHERE" ] -> ()
+        | _ -> Alcotest.fail "unexpected tokens");
+    test "string literal with '' escape" (fun () ->
+        match Lexer.tokenize_exn "'o''brien'" with
+        | [ Token.Str "o'brien" ] -> ()
+        | _ -> Alcotest.fail "unexpected tokens");
+    test "line comment swallows the tail" (fun () ->
+        match Lexer.tokenize_exn "SELECT -- junk ' OR\n1" with
+        | [ Token.Kw "SELECT"; Token.Int 1 ] -> ()
+        | _ -> Alcotest.fail "comment not stripped");
+    test "block comment" (fun () ->
+        match Lexer.tokenize_exn "1 /* x 'y' */ 2" with
+        | [ Token.Int 1; Token.Int 2 ] -> ()
+        | _ -> Alcotest.fail "unexpected tokens");
+    test "operators" (fun () ->
+        match Lexer.tokenize_exn "= <> <= >= < >" with
+        | [ Token.Op "="; Token.Op "<>"; Token.Op "<="; Token.Op ">=";
+            Token.Op "<"; Token.Op ">" ] ->
+            ()
+        | _ -> Alcotest.fail "unexpected tokens");
+    test "errors" (fun () ->
+        List.iter
+          (fun src ->
+            match Lexer.tokenize src with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.failf "expected lex error: %s" src)
+          [ "'unterminated"; "/* unterminated"; "se?ect" ]);
+  ]
+
+let parse = Parser.parse_exn
+
+let parser_tests =
+  [
+    test "simple select" (fun () ->
+        match parse "SELECT * FROM news WHERE newsid = 7" with
+        | [ Ast.Select [ { columns = Star; table = "news"; where = Some _; _ } ] ] -> ()
+        | _ -> Alcotest.fail "unexpected parse");
+    test "column list, order by, limit" (fun () ->
+        match parse "SELECT a, b FROM t ORDER BY a DESC, b LIMIT 10" with
+        | [ Ast.Select [ { columns = Columns [ "a"; "b" ];
+                           order_by = [ ("a", true); ("b", false) ];
+                           limit = Some 10; _ } ] ] ->
+            ()
+        | _ -> Alcotest.fail "unexpected parse");
+    test "where precedence: OR of ANDs" (fun () ->
+        match parse "SELECT * FROM t WHERE a = 1 AND b = 2 OR c = 3" with
+        | [ Ast.Select [ { where = Some (Ast.Or (Ast.And _, Ast.Cmp _)); _ } ] ] -> ()
+        | _ -> Alcotest.fail "unexpected precedence");
+    test "insert / update / delete / drop" (fun () ->
+        check_int "kinds" 4
+          (List.length
+             (parse
+                "INSERT INTO t (a, b) VALUES (1, 'x'); UPDATE t SET a = 2 WHERE \
+                 b = 3; DELETE FROM t WHERE a = 1; DROP TABLE t")));
+    test "union chain" (fun () ->
+        match parse "SELECT a FROM t UNION SELECT b FROM u" with
+        | [ Ast.Select [ _; _ ] ] -> ()
+        | _ -> Alcotest.fail "unexpected parse");
+    test "stacked statements" (fun () ->
+        check_int "two" 2
+          (List.length (parse "SELECT * FROM t; DROP TABLE t")));
+    test "well_formed" (fun () ->
+        check_bool "good" true (Parser.well_formed "SELECT * FROM t");
+        check_bool "bad" false (Parser.well_formed "SELECT * FROM t WHERE id = nid_'0");
+        check_bool "unbalanced quote" false
+          (Parser.well_formed "SELECT * FROM t WHERE a = '"));
+    test "round trip through the printer" (fun () ->
+        List.iter
+          (fun src ->
+            let printed = Fmt.str "%a" Ast.pp_stmt (List.hd (parse src)) in
+            check_bool src true (parse printed = parse src))
+          [
+            "SELECT * FROM t WHERE a = 1 OR b = 'x'";
+            "INSERT INTO t (a) VALUES (1)";
+            "UPDATE t SET a = 1, b = 'y' WHERE NOT c = 2";
+            "DELETE FROM t WHERE a IN (1, 2, 3)";
+            "SELECT a FROM t UNION SELECT b FROM u";
+          ]);
+  ]
+
+let analysis_tests =
+  let where src =
+    match parse ("SELECT * FROM t WHERE " ^ src) with
+    | [ Ast.Select [ { where = Some w; _ } ] ] -> w
+    | _ -> Alcotest.fail "setup"
+  in
+  [
+    test "truth of literal comparisons" (fun () ->
+        check_bool "1=1" true (Analysis.truth_of (where "1 = 1") = Analysis.Tautology);
+        check_bool "1=2" true (Analysis.truth_of (where "1 = 2") = Analysis.Contradiction);
+        check_bool "'a'='a'" true
+          (Analysis.truth_of (where "'a' = 'a'") = Analysis.Tautology);
+        check_bool "col" true (Analysis.truth_of (where "a = 1") = Analysis.Unknown));
+    test "kleene connectives" (fun () ->
+        check_bool "x OR 1=1" true
+          (Analysis.truth_of (where "a = 1 OR 1 = 1") = Analysis.Tautology);
+        check_bool "x AND 1=2" true
+          (Analysis.truth_of (where "a = 1 AND 1 = 2") = Analysis.Contradiction);
+        check_bool "NOT 1=2" true
+          (Analysis.truth_of (where "NOT 1 = 2") = Analysis.Tautology);
+        check_bool "x AND 1=1" true
+          (Analysis.truth_of (where "a = 1 AND 1 = 1") = Analysis.Unknown));
+    test "tautological where detection" (fun () ->
+        check_bool "classic" true
+          (Analysis.has_tautological_where
+             (List.hd (parse "SELECT * FROM t WHERE id = '' OR 1 = 1")));
+        check_bool "honest" false
+          (Analysis.has_tautological_where
+             (List.hd (parse "SELECT * FROM t WHERE id = 7"))));
+    test "injection verdicts" (fun () ->
+        let intended = "SELECT * FROM news WHERE newsid = nid_7" in
+        let check_reason actual expected =
+          match Analysis.compare_queries ~intended ~actual with
+          | Some r -> check_string actual expected (Fmt.str "%a" Analysis.pp_reason r)
+          | None -> Alcotest.failf "expected injection for %s" actual
+        in
+        check_reason "SELECT * FROM news WHERE newsid = nid_7; DROP TABLE news"
+          "1 stacked statement(s) appended";
+        check_reason "SELECT * FROM news WHERE newsid = '' OR 1 = 1"
+          "WHERE clause became a tautology";
+        check_reason "SELECT * FROM news WHERE x = 1 UNION SELECT pw FROM users"
+          "UNION branch injected";
+        check_reason "SELECT * FROM news WHERE newsid = nid_'0"
+          "query no longer parses";
+        check_reason "DROP TABLE news" "statement kind changed: SELECT → DROP");
+    test "honest literal change is not an injection" (fun () ->
+        check_bool "same structure" false
+          (Analysis.is_injection
+             ~intended:"SELECT * FROM news WHERE newsid = 7"
+             ~actual:"SELECT * FROM news WHERE newsid = 42"));
+    test "table change is flagged" (fun () ->
+        check_bool "flag" true
+          (Analysis.is_injection
+             ~intended:"DELETE FROM sessions WHERE a = 1"
+             ~actual:"DELETE FROM users WHERE a = 1"));
+  ]
+
+(* End-to-end: symbolic execution recovers the intended query (by
+   solving the path without the attack constraint) and the structural
+   criterion classifies the subversion. *)
+let integration_tests =
+  let attack = Webapp.Attack.contains_quote in
+  let run_both program =
+    match Webapp.Symexec.analyze ~attack program with
+    | [ q ] -> (
+        match (Webapp.Symexec.solve q, Webapp.Symexec.benign_inputs q) with
+        | Some exploit_a, Some benign_a ->
+            let fill inputs =
+              inputs
+              @ List.filter_map
+                  (fun i ->
+                    if List.mem_assoc i inputs then None else Some (i, "a"))
+                  (Webapp.Ast.inputs program)
+            in
+            let exploit = fill (Webapp.Symexec.exploit_inputs q exploit_a) in
+            let benign = fill (Webapp.Symexec.exploit_inputs q benign_a) in
+            let actual = List.hd (Webapp.Eval.queries program ~inputs:exploit) in
+            let intended = List.hd (Webapp.Eval.queries program ~inputs:benign) in
+            (intended, actual)
+        | _ -> Alcotest.fail "expected exploit and benign inputs")
+    | _ -> Alcotest.fail "expected one candidate"
+  in
+  [
+    test "utopia exploit breaks the query's structure" (fun () ->
+        let program =
+          Webapp.Lang_parser.parse_exn
+            {|$newsid = input("posted_newsid");
+              if (!preg_match(/[\d]+$/, $newsid)) { exit; }
+              $newsid = "nid_" . $newsid;
+              query("SELECT * FROM news WHERE newsid=" . $newsid);|}
+        in
+        let intended, actual = run_both program in
+        check_bool "intended parses" true (Parser.well_formed intended);
+        check_bool "structural injection" true
+          (Analysis.is_injection ~intended ~actual));
+    test "quoted sink: regex fires but structure can survive" (fun () ->
+        (* the payload lands inside a string literal: the quote
+           approximation is conservative, the structural check
+           refines it *)
+        let program =
+          Webapp.Lang_parser.parse_exn
+            {|$id = input("id");
+              if (!preg_match(/^[a-z0-9 =']{1,8}$/, $id)) { exit; }
+              query("SELECT * FROM t WHERE a = '" . $id . "'");|}
+        in
+        match Webapp.Symexec.analyze ~attack program with
+        | [ q ] -> (
+            match Webapp.Symexec.solve q with
+            | None -> Alcotest.fail "regex-level exploit expected"
+            | Some _ -> () (* the refinement story is exercised in cram *))
+        | _ -> Alcotest.fail "expected one candidate");
+    test "benign inputs of the fixed program still exist" (fun () ->
+        (* the fixed filter has no exploit, but the benign system is
+           satisfiable: honest requests still reach the sink *)
+        let program =
+          Webapp.Lang_parser.parse_exn
+            {|$newsid = input("posted_newsid");
+              if (!preg_match(/^[\d]+$/, $newsid)) { exit; }
+              query("SELECT * FROM news WHERE newsid=" . $newsid);|}
+        in
+        match Webapp.Symexec.analyze ~attack program with
+        | [ q ] ->
+            check_bool "no exploit" true (Webapp.Symexec.solve q = None);
+            check_bool "benign exists" true (Webapp.Symexec.benign_inputs q <> None)
+        | _ -> Alcotest.fail "expected one candidate");
+  ]
+
+let suite =
+  [
+    ("sql:lexer", lexer_tests);
+    ("sql:parser", parser_tests);
+    ("sql:analysis", analysis_tests);
+    ("sql:integration", integration_tests);
+  ]

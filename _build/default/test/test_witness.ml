@@ -1,0 +1,93 @@
+open Helpers
+module Nfa = Automata.Nfa
+module Witness = Automata.Witness
+
+let re = Dprle.System.const_of_regex
+
+let unit_tests =
+  [
+    test "enumerate shortest first" (fun () ->
+        Alcotest.(check (list string))
+          "a*" [ ""; "a"; "aa"; "aaa" ]
+          (Witness.take 4 (re "a*")));
+    test "enumerate finite language terminates" (fun () ->
+        Alcotest.(check (list string))
+          "all of a{0,2}"
+          [ ""; "a"; "aa" ]
+          (List.of_seq (Witness.enumerate (re "a{0,2}"))));
+    test "enumerate empty language is empty" (fun () ->
+        Alcotest.(check (list string))
+          "empty" []
+          (List.of_seq (Witness.enumerate Nfa.empty_lang)));
+    test "enumerate samples one representative per class" (fun () ->
+        (* [a-z] is one edge: one witness, not 26 *)
+        check_int "one" 1 (List.length (List.of_seq (Witness.enumerate (re "[a-z]")))));
+    test "exhaustive spells out the alphabet" (fun () ->
+        let words =
+          List.of_seq (Witness.exhaustive ~alphabet:(Charset.of_string "ab") (re "[a-z]"))
+        in
+        Alcotest.(check (list string)) "a,b" [ "a"; "b" ] (List.sort compare words));
+    test "exhaustive on infinite language is productive" (fun () ->
+        let words =
+          List.of_seq
+            (Seq.take 7 (Witness.exhaustive ~alphabet:(Charset.of_string "ab") (re "(a|b)*")))
+        in
+        check_int "seven" 7 (List.length words);
+        Alcotest.(check (list string))
+          "bfs order" [ ""; "a"; "b"; "aa"; "ab"; "ba"; "bb" ] words);
+    test "dead branches do not stall the sequence" (fun () ->
+        (* a machine with a non-accepting cycle off the main path *)
+        let b = Nfa.Builder.create () in
+        let s = Nfa.Builder.add_state b in
+        let f = Nfa.Builder.add_state b in
+        let dead = Nfa.Builder.add_state b in
+        Nfa.Builder.add_trans b s (Charset.singleton 'x') f;
+        Nfa.Builder.add_trans b s (Charset.singleton 'y') dead;
+        Nfa.Builder.add_trans b dead (Charset.singleton 'y') dead;
+        let m = Nfa.Builder.finish b ~start:s ~final:f in
+        Alcotest.(check (list string))
+          "just x" [ "x" ]
+          (List.of_seq (Witness.enumerate m)));
+  ]
+
+let prop_tests =
+  [
+    qtest ~count:80 "every enumerated witness is accepted" Helpers.nfa_gen
+      (fun m -> List.for_all (Nfa.accepts m) (Witness.take 10 m));
+    qtest ~count:80 "enumeration is nondecreasing in length" Helpers.nfa_gen
+      (fun m ->
+        let words = Witness.take 10 m in
+        let lengths = List.map String.length words in
+        List.sort compare lengths = lengths);
+    qtest ~count:80 "enumeration has no duplicates" Helpers.nfa_gen (fun m ->
+        let words = Witness.take 12 m in
+        List.length (List.sort_uniq compare words) = List.length words);
+    qtest ~count:50 "exhaustive agrees with membership on short words"
+      Helpers.nfa_gen
+      (fun m ->
+        let alphabet = Charset.of_string "ab" in
+        let enumerated =
+          List.of_seq
+            (Seq.take_while
+               (fun w -> String.length w <= 3)
+               (Witness.exhaustive ~alphabet m))
+        in
+        (* every word over {a,b} of length ≤ 3 accepted by m must
+           appear, and vice versa *)
+        let all_short =
+          let rec gen len =
+            if len = 0 then [ "" ]
+            else
+              List.concat_map
+                (fun w -> [ w ^ "a"; w ^ "b" ])
+                (gen (len - 1))
+          in
+          List.concat_map gen [ 0; 1; 2; 3 ]
+        in
+        List.for_all
+          (fun w ->
+            Nfa.accepts m w = List.mem w enumerated)
+          all_short);
+  ]
+
+let suite = [ ("witness:unit", unit_tests); ("witness:props", prop_tests) ]
