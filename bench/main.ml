@@ -26,6 +26,50 @@ let hr title =
   Fmt.pr "@.%s@.%s@." title (String.make (String.length title) '=')
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable output: every experiment runs bracketed by a
+   metrics snapshot, and [--json PATH] dumps the per-experiment
+   wall-clock plus the metric diff so the repo's perf trajectory is
+   tracked file-over-file rather than eyeballed from stdout. *)
+
+module Json = Telemetry.Json
+module Snapshot = Telemetry.Metrics.Snapshot
+
+let json_results : Json.t list ref = ref []
+
+let experiment name f =
+  let before = Snapshot.of_default () in
+  let t0 = Unix.gettimeofday () in
+  f ();
+  let seconds = Unix.gettimeofday () -. t0 in
+  let diff = Snapshot.diff ~after:(Snapshot.of_default ()) ~before in
+  json_results :=
+    Json.Obj
+      [
+        ("name", Json.String name);
+        ("seconds", Json.Float seconds);
+        ("states_visited", Json.Int (Snapshot.counter_value diff "automata.states_visited"));
+        ("products_built", Json.Int (Snapshot.counter_value diff "automata.products_built"));
+        ("concats_built", Json.Int (Snapshot.counter_value diff "automata.concats_built"));
+        ("solves", Json.Int (Snapshot.counter_value diff "solver.solves"));
+        ("metrics", Snapshot.to_json diff);
+      ]
+    :: !json_results
+
+let write_json path =
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.String "dprle-bench/1");
+        ("unix_time", Json.Float (Unix.time ()));
+        ("experiments", Json.List (List.rev !json_results));
+      ]
+  in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Json.to_string doc);
+      Out_channel.output_char oc '\n');
+  Fmt.pr "wrote %s (%d experiments)@." path (List.length !json_results)
+
+(* ------------------------------------------------------------------ *)
 (* Fig. 1 / §2: the motivating system                                 *)
 
 let fig1_system =
@@ -223,9 +267,9 @@ let even_chain q =
 let sec35_single q =
   let c1 = chain q and c2 = chain q in
   let c3 = even_chain q in
-  Stats.reset ();
+  let before = Stats.absolute () in
   let { Ci.solutions; m5; _ } = Ci.concat_intersect c1 c2 c3 in
-  let s = Stats.snapshot () in
+  let s = Stats.diff (Stats.absolute ()) before in
   (s.visited, Nfa.num_states m5, List.length solutions)
 
 (* (c1 ∘ c2) ∘ c3 intersected with c4 — the paper's two-level case.
@@ -237,11 +281,11 @@ let sec35_single q =
 let sec35_chained q =
   let c1 = chain q and c2 = chain q and c3 = chain q in
   let c4 = Ops.repeat (Nfa.of_word "aaa") ~min_count:0 ~max_count:(Some q) in
-  Stats.reset ();
+  let before = Stats.absolute () in
   let inner = Ops.concat c1 c2 in
   let outer = Ops.concat inner.machine c3 in
   let prod = Ops.intersect outer.machine c4 in
-  let visited = (Stats.snapshot ()).visited in
+  let visited = (Stats.diff (Stats.absolute ()) before).visited in
   let count_cuts (src, dst) embed =
     List.length
       (List.filter
@@ -312,9 +356,11 @@ let ablation_inputs k =
   (c1, c2, bloated_attack k)
 
 let ablation_run c1 c2 c3 =
-  Stats.reset ();
+  let before = Stats.absolute () in
   let { Ci.solutions; m5; _ } = Ci.concat_intersect c1 c2 c3 in
-  ((Stats.snapshot ()).visited, Nfa.num_states m5, List.length solutions)
+  ( (Stats.diff (Stats.absolute ()) before).visited,
+    Nfa.num_states m5,
+    List.length solutions )
 
 let ablation_report () =
   hr "Ablation — minimizing intermediate NFAs (paper section 4 remark)";
@@ -435,17 +481,34 @@ let run_bechamel () =
 
 (* ------------------------------------------------------------------ *)
 
+(* [--json [PATH]]: PATH defaults to BENCH_dprle.json when omitted or
+   when the next token is another flag. *)
+let json_path () =
+  let argv = Array.to_list Sys.argv in
+  let rec scan = function
+    | [] -> None
+    | "--json" :: rest -> (
+        match rest with
+        | path :: _ when String.length path > 0 && path.[0] <> '-' -> Some path
+        | _ -> Some "BENCH_dprle.json")
+    | _ :: rest -> scan rest
+  in
+  scan argv
+
 let () =
   let fast = Array.exists (( = ) "--fast") Sys.argv in
+  let json = json_path () in
   Fmt.pr "DPRLE benchmark harness — every table and figure of the paper@.";
   if fast then Fmt.pr "(--fast: skipping the secure row)@.";
-  fig1_report ();
-  fig4_report ();
-  fig9_report ();
-  fig11_report ();
-  fig12_report ~fast ();
-  sec35_report ();
-  ablation_report ();
-  sanitizers_report ();
-  run_bechamel ();
+  experiment "fig1/motivating" fig1_report;
+  experiment "fig4/concat_intersect" fig4_report;
+  experiment "fig9/cigroup" fig9_report;
+  experiment "fig11/corpus" fig11_report;
+  experiment "fig12/solving" (fig12_report ~fast);
+  experiment "sec35/complexity" sec35_report;
+  experiment "ablation/minimization" ablation_report;
+  experiment "extension/sanitizers" sanitizers_report;
+  if json = None then run_bechamel ()
+  else experiment "bechamel/microbench" run_bechamel;
+  Option.iter write_json json;
   Fmt.pr "@.done.@."

@@ -20,27 +20,46 @@ let print_assignment index a ~witnesses_only =
   end;
   Fmt.pr "@]@."
 
+(* Run [f] under a span collector when any trace output was requested;
+   write the Chrome trace_event JSON and/or print the indented tree to
+   stderr once the work is done. *)
+let with_trace ~trace ~trace_tree f =
+  if trace = None && not trace_tree then f ()
+  else begin
+    let result, span = Telemetry.Span.collect ~name:"dprle" f in
+    Option.iter
+      (fun path ->
+        try
+          Out_channel.with_open_text path (fun oc ->
+              Out_channel.output_string oc (Telemetry.Span.to_chrome_string span))
+        with Sys_error msg -> Fmt.epr "error: cannot write trace: %s@." msg)
+      trace;
+    if trace_tree then Fmt.epr "%a" Telemetry.Span.pp_tree span;
+    result
+  end
+
 let solve_cmd path first max_solutions combination_limit witnesses_only dot
-    smtlib stats verbose =
+    smtlib stats trace trace_tree verbose =
   setup_logs verbose;
   match read_system path with
   | Error msg ->
       Fmt.epr "error: %s@." msg;
       2
   | Ok system -> (
-      let graph = Dprle.Depgraph.of_system system in
-      (match dot with
-      | None -> ()
-      | Some dot_path ->
-          Out_channel.with_open_text dot_path (fun oc ->
-              Out_channel.output_string oc (Dprle.Depgraph.to_dot graph)));
-      (match smtlib with
-      | None -> ()
-      | Some smt_path ->
-          Out_channel.with_open_text smt_path (fun oc ->
-              Out_channel.output_string oc (Dprle.Smtlib.of_system system)));
       let max_solutions = if first then 1 else max_solutions in
       let outcome, report =
+        with_trace ~trace ~trace_tree @@ fun () ->
+        let graph = Dprle.Depgraph.of_system system in
+        (match dot with
+        | None -> ()
+        | Some dot_path ->
+            Out_channel.with_open_text dot_path (fun oc ->
+                Out_channel.output_string oc (Dprle.Depgraph.to_dot graph)));
+        (match smtlib with
+        | None -> ()
+        | Some smt_path ->
+            Out_channel.with_open_text smt_path (fun oc ->
+                Out_channel.output_string oc (Dprle.Smtlib.of_system system)));
         if stats then
           let outcome, report =
             Dprle.Report.solve_with_report ~max_solutions ~combination_limit graph
@@ -114,9 +133,23 @@ let solve_term =
       & info [ "smtlib" ] ~docv:"FILE"
           ~doc:"Export the system as an SMT-LIB 2.6 strings-theory script.")
   in
+  let trace =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace_event JSON of the solve (open in \
+             chrome://tracing or Perfetto).")
+  in
+  let trace_tree =
+    Arg.(
+      value & flag
+      & info [ "trace-tree" ]
+          ~doc:"Print the span tree of the solve to stderr.")
+  in
   Term.(
     const solve_cmd $ path_arg $ first $ max_solutions $ combination_limit
-    $ witnesses_only $ dot $ smtlib $ stats $ verbose_arg)
+    $ witnesses_only $ dot $ smtlib $ stats $ trace $ trace_tree $ verbose_arg)
 
 let solve_cmd_info =
   Cmd.info "solve" ~doc:"Solve a system of subset constraints over regular languages."

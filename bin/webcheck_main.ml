@@ -139,8 +139,27 @@ let check_dir dir attack structural max_paths =
     0
   end
 
-let check_cmd path attack all structural max_paths verbose =
+(* Run [f] under a span collector when any trace output was requested;
+   write the Chrome trace_event JSON and/or print the indented tree to
+   stderr once the work is done. *)
+let with_trace ~trace ~trace_tree f =
+  if trace = None && not trace_tree then f ()
+  else begin
+    let result, span = Telemetry.Span.collect ~name:"webcheck" f in
+    Option.iter
+      (fun path ->
+        try
+          Out_channel.with_open_text path (fun oc ->
+              Out_channel.output_string oc (Telemetry.Span.to_chrome_string span))
+        with Sys_error msg -> Fmt.epr "error: cannot write trace: %s@." msg)
+      trace;
+    if trace_tree then Fmt.epr "%a" Telemetry.Span.pp_tree span;
+    result
+  end
+
+let check_cmd path attack all structural max_paths trace trace_tree verbose =
   setup_logs verbose;
+  with_trace ~trace ~trace_tree @@ fun () ->
   if Sys.is_directory path then check_dir path attack structural max_paths
   else check_one path attack all structural max_paths
 
@@ -172,11 +191,24 @@ let () =
   let max_paths_arg =
     Arg.(value & opt int 4096 & info [ "max-paths" ] ~docv:"N" ~doc:"Path exploration bound.")
   in
+  let trace_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace_event JSON of the analysis (open in \
+             chrome://tracing or Perfetto).")
+  in
+  let trace_tree_arg =
+    Arg.(
+      value & flag
+      & info [ "trace-tree" ] ~doc:"Print the span tree of the analysis to stderr.")
+  in
   let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.") in
   let term =
     Term.(
       const check_cmd $ path_arg $ attack_arg $ all_arg $ structural_arg
-      $ max_paths_arg $ verbose_arg)
+      $ max_paths_arg $ trace_arg $ trace_tree_arg $ verbose_arg)
   in
   let info =
     Cmd.info "webcheck" ~version:"1.0.0"

@@ -1,3 +1,10 @@
+(* Size histograms for the two hot constructions, labeled by
+   direction: "in" is the work offered (operand states; for products
+   the full |M1|·|M2| grid), "out" the states actually materialized.
+   The in/out gap is the reachability pruning §3.5's bounds rely on. *)
+let h_concat_states = Telemetry.Metrics.Histogram.make "automata.concat.states"
+let h_product_states = Telemetry.Metrics.Histogram.make "automata.product.states"
+
 type concat_result = {
   machine : Nfa.t;
   left_embed : Nfa.state -> Nfa.state;
@@ -8,6 +15,9 @@ type concat_result = {
 let concat m1 m2 =
   Stats.count_concat ();
   Stats.visit_states (Nfa.num_states m1 + Nfa.num_states m2);
+  Telemetry.Metrics.Histogram.observe h_concat_states
+    ~labels:[ ("dir", "in") ]
+    (float_of_int (Nfa.num_states m1 + Nfa.num_states m2));
   let b, offset = Nfa.embed_two m1 m2 in
   let f1 = Nfa.final m1 in
   let s2 = Nfa.start m2 + offset in
@@ -15,6 +25,9 @@ let concat m1 m2 =
   let machine =
     Nfa.Builder.finish b ~start:(Nfa.start m1) ~final:(Nfa.final m2 + offset)
   in
+  Telemetry.Metrics.Histogram.observe h_concat_states
+    ~labels:[ ("dir", "out") ]
+    (float_of_int (Nfa.num_states machine));
   {
     machine;
     left_embed = Fun.id;
@@ -32,6 +45,9 @@ type product_result = {
 
 let intersect m1 m2 =
   Stats.count_product ();
+  Telemetry.Metrics.Histogram.observe h_product_states
+    ~labels:[ ("dir", "in") ]
+    (float_of_int (Nfa.num_states m1 * Nfa.num_states m2));
   let b = Nfa.Builder.create () in
   let table : (Nfa.state * Nfa.state, Nfa.state) Hashtbl.t = Hashtbl.create 64 in
   let pairs = ref [] in
@@ -76,6 +92,9 @@ let intersect m1 m2 =
       (Nfa.char_transitions m1 p)
   done;
   let machine = Nfa.Builder.finish b ~start:start_q ~final:final_q in
+  Telemetry.Metrics.Histogram.observe h_product_states
+    ~labels:[ ("dir", "out") ]
+    (float_of_int (Nfa.num_states machine));
   let pair_array = Array.make (Nfa.num_states machine) (0, 0) in
   List.iter (fun (q, pair) -> pair_array.(q) <- pair) !pairs;
   {

@@ -1,21 +1,20 @@
 (* Instrumentation counters for the complexity experiments of §3.5 of
-   the paper. The paper measures algorithm cost as the number of NFA
-   states visited during automaton constructions; we do the same so
-   the bench harness can reproduce the O(Q²)/O(Q³)/O(Q⁵) growth
-   curves independently of wall-clock noise. *)
+   the paper, kept as a thin compatibility shim over the
+   {!Telemetry.Metrics} registry. The underlying counters are
+   cumulative and process-wide; scoping is done by diffing snapshots
+   ({!absolute} + {!diff}), so nested measurements cannot corrupt each
+   other. [reset]/[snapshot] keep the historical bracketing API by
+   moving a baseline instead of zeroing anything. *)
 
-let states_visited = ref 0
-let products_built = ref 0
-let concats_built = ref 0
+module Metrics = Telemetry.Metrics
 
-let reset () =
-  states_visited := 0;
-  products_built := 0;
-  concats_built := 0
+let c_visited = Metrics.Counter.make "automata.states_visited"
+let c_products = Metrics.Counter.make "automata.products_built"
+let c_concats = Metrics.Counter.make "automata.concats_built"
 
-let visit_states n = states_visited := !states_visited + n
-let count_product () = incr products_built
-let count_concat () = incr concats_built
+let visit_states n = Metrics.Counter.incr c_visited n
+let count_product () = Metrics.Counter.incr c_products 1
+let count_concat () = Metrics.Counter.incr c_concats 1
 
 type snapshot = {
   visited : int;  (* NFA states visited by constructions *)
@@ -23,12 +22,23 @@ type snapshot = {
   concats : int;  (* concatenation constructions performed *)
 }
 
-let snapshot () =
+let absolute () =
   {
-    visited = !states_visited;
-    products = !products_built;
-    concats = !concats_built;
+    visited = Metrics.Counter.value c_visited;
+    products = Metrics.Counter.value c_products;
+    concats = Metrics.Counter.value c_concats;
   }
+
+let diff after before =
+  {
+    visited = after.visited - before.visited;
+    products = after.products - before.products;
+    concats = after.concats - before.concats;
+  }
+
+let baseline = ref { visited = 0; products = 0; concats = 0 }
+let reset () = baseline := absolute ()
+let snapshot () = diff (absolute ()) !baseline
 
 let pp ppf s =
   Fmt.pf ppf "visited=%d products=%d concats=%d" s.visited s.products s.concats

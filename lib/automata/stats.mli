@@ -4,12 +4,16 @@
     O(Q²)/O(Q³)/O(Q⁵) growth curves can be reproduced independently
     of wall-clock noise.
 
-    The counters are global and mutable; callers bracket the
-    construction of interest with {!reset} and {!snapshot} (see
-    {!Dprle.Report.solve_with_report}). *)
-
-(** Reset all counters to zero. *)
-val reset : unit -> unit
+    This module is a compatibility shim over {!Telemetry.Metrics}: the
+    counters live in the default metrics registry (as
+    [automata.states_visited], [automata.products_built],
+    [automata.concats_built]) and only ever grow. Measurement is
+    diff-based — take {!absolute} before and after the region of
+    interest and subtract with {!diff}; nested measurements are then
+    independent. The historical {!reset}/{!snapshot} bracketing is
+    kept for convenience (it moves a private baseline, it does not
+    zero the counters), but note that nested [reset] brackets still
+    share that one baseline — new code should use {!absolute}. *)
 
 (** Record [n] NFA states visited (called by {!Ops}). *)
 val visit_states : int -> unit
@@ -26,6 +30,16 @@ type snapshot = {
   concats : int;  (** concatenation constructions performed *)
 }
 
+(** Cumulative counter values since process start. Never decreases. *)
+val absolute : unit -> snapshot
+
+(** [diff after before] is the pointwise difference. *)
+val diff : snapshot -> snapshot -> snapshot
+
+(** Move the baseline used by {!snapshot} to "now". *)
+val reset : unit -> unit
+
+(** Counts accumulated since the last {!reset}. *)
 val snapshot : unit -> snapshot
 
 val pp : snapshot Fmt.t

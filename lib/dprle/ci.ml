@@ -6,6 +6,14 @@ type solution = { v1 : Nfa.t; v2 : Nfa.t; cut : Nfa.state * Nfa.state }
 type result = { solutions : solution list; m5 : Nfa.t; m4 : Nfa.t }
 
 let concat_intersect m1 m2 m3 =
+  Telemetry.Span.with_span ~name:"ci.concat_intersect"
+    ~attrs:
+      [
+        ("m1_states", `Int (Nfa.num_states m1));
+        ("m2_states", `Int (Nfa.num_states m2));
+        ("m3_states", `Int (Nfa.num_states m3));
+      ]
+  @@ fun () ->
   (* Fig. 3 line 6: l4 = c1 ∘ c2, joined by a single ε-bridge. *)
   let cat = Ops.concat m1 m2 in
   let bridge_src, bridge_dst = cat.bridge in
@@ -34,6 +42,8 @@ let concat_intersect m1 m2 m3 =
               else Some { v1; v2; cut = (qa, qb) })
       (Nfa.states m5)
   in
+  Telemetry.Span.add_attr "m5_states" (`Int (Nfa.num_states m5));
+  Telemetry.Span.add_attr "eps_cuts" (`Int (List.length solutions));
   { solutions; m5; m4 = cat.machine }
 
 let solve m1 m2 m3 = (concat_intersect m1 m2 m3).solutions

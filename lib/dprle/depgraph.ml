@@ -27,6 +27,7 @@ end)
    accumulating ∘-edge pairs for every concatenation via fresh
    temporaries. *)
 let of_system system =
+  Telemetry.Span.with_span ~name:"depgraph" @@ fun () ->
   let next_tmp = ref 0 in
   let concats = ref [] in
   let rec visit : System.expr -> node = function
@@ -64,6 +65,9 @@ let of_system system =
     in
     NSet.elements acc
   in
+  Telemetry.Span.add_attr "nodes" (`Int (List.length nodes));
+  Telemetry.Span.add_attr "subset_edges" (`Int (List.length subsets));
+  Telemetry.Span.add_attr "concat_pairs" (`Int (List.length concats));
   { system; nodes; subsets; concats }
 
 (* Union-find over nodes joined by ∘-edge pairs. *)

@@ -1,3 +1,8 @@
+type concat_census = {
+  triple : Depgraph.concat;
+  cuts : int;
+}
+
 type t = {
   nodes : int;
   subset_edges : int;
@@ -8,16 +13,28 @@ type t = {
   max_group_combinations : int;
   solutions : int;
   automata : Automata.Stats.snapshot;
+  census : concat_census list;
 }
+
+let pp_census ppf census =
+  List.iter
+    (fun { triple = { Depgraph.left; right; result }; cuts } ->
+      Fmt.pf ppf "@ %a = %a ∘ %a: %d ε-cut(s)" Depgraph.pp_node result
+        Depgraph.pp_node left Depgraph.pp_node right cuts)
+    census
 
 let pp ppf r =
   Fmt.pf ppf
     "@[<v>nodes: %d (⊆-edges %d, ∘-pairs %d)@ CI-groups: %d (+%d singleton \
      variables)@ ε-cut candidates: %d (largest group: %d combinations)@ \
-     solutions: %d@ automata: %a@]"
+     solutions: %d@ automata: %a"
     r.nodes r.subset_edges r.concat_pairs r.groups r.singleton_vars
     r.cut_candidates r.max_group_combinations r.solutions Automata.Stats.pp
-    r.automata
+    r.automata;
+  if r.census <> [] then
+    Fmt.pf ppf "@ @[<v2>ε-cuts per concatenation (§3.5 disjunction width):%a@]"
+      pp_census r.census;
+  Fmt.pf ppf "@]"
 
 let solve_with_report ?max_solutions ?combination_limit (g : Depgraph.t) =
   let census = Solver.cut_census g in
@@ -47,9 +64,13 @@ let solve_with_report ?max_solutions ?combination_limit (g : Depgraph.t) =
   let max_group_combinations =
     Hashtbl.fold (fun _ v acc -> max v acc) group_products 0
   in
-  Automata.Stats.reset ();
+  (* Diff-based scoping: nested [solve_with_report] calls (or any
+     concurrent bracketing) each hold their own [before] snapshot, so
+     they report independent counts — unlike the historical global
+     [Stats.reset] bracketing, which a nested call would clobber. *)
+  let before = Automata.Stats.absolute () in
   let outcome = Solver.solve ?max_solutions ?combination_limit g in
-  let automata = Automata.Stats.snapshot () in
+  let automata = Automata.Stats.diff (Automata.Stats.absolute ()) before in
   let solutions =
     match outcome with Solver.Sat l -> List.length l | Solver.Unsat _ -> 0
   in
@@ -64,4 +85,8 @@ let solve_with_report ?max_solutions ?combination_limit (g : Depgraph.t) =
       max_group_combinations;
       solutions;
       automata;
+      census =
+        List.map
+          (fun (tid, cuts) -> { triple = List.nth g.concats tid; cuts })
+          census;
     } )

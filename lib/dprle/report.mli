@@ -6,6 +6,14 @@
     candidates each concatenation admits, and how many combinations
     were explored versus admitted. *)
 
+(** One concatenation triple of the dependency graph together with its
+    ε-cut candidate count — the per-concatenation disjunction width of
+    §3.5. *)
+type concat_census = {
+  triple : Depgraph.concat;
+  cuts : int;
+}
+
 type t = {
   nodes : int;  (** dependency-graph vertices *)
   subset_edges : int;
@@ -17,13 +25,17 @@ type t = {
       (** largest per-group product of cut candidates *)
   solutions : int;  (** disjuncts returned (after Maximal pruning) *)
   automata : Automata.Stats.snapshot;
-      (** NFA construction work done during the solve *)
+      (** NFA construction work done during this solve (snapshot diff) *)
+  census : concat_census list;
+      (** per-concatenation ε-cut table, in triple creation order *)
 }
 
 val pp : t Fmt.t
 
 (** Solve and measure in one pass. Returns the outcome together with
-    the report; resets {!Automata.Stats} for the duration. *)
+    the report. Measurement is diff-based over {!Automata.Stats}
+    snapshots, so nested or interleaved calls report independent
+    counts. *)
 val solve_with_report :
   ?max_solutions:int ->
   ?combination_limit:int ->

@@ -5,6 +5,14 @@ module Lang = Automata.Lang
 let log = Logs.Src.create "dprle.solver" ~doc:"RMA constraint solver"
 
 module Log = (val Logs.src_log log)
+module Span = Telemetry.Span
+
+(* Solver-level metrics, alongside the construction-level counters of
+   {!Automata.Stats} in the default registry. *)
+let c_solves = Telemetry.Metrics.Counter.make "solver.solves"
+
+let h_group_combinations =
+  Telemetry.Metrics.Histogram.make "solver.group_combinations"
 
 type outcome = Sat of Assignment.t list | Unsat of string
 
@@ -380,8 +388,17 @@ let rec cartesian = function
 
 let solve_group ~combination_limit ~raw_cap ~verify (roots : record list) base
     (members : NSet.t) =
+  Span.with_span ~name:"gci" ~attrs:[ ("group_size", `Int (NSet.cardinal members)) ]
+  @@ fun () ->
   (* all concatenations of this group, with their candidates *)
   let cut_menu = List.concat_map (fun r -> r.cuts) roots in
+  Span.add_attr "concats" (`Int (List.length cut_menu));
+  Span.add_attr "cut_census"
+    (`String
+       (String.concat ","
+          (List.map
+             (fun (tid, cs) -> Printf.sprintf "t%d:%d" tid (List.length cs))
+             cut_menu)));
   List.iter
     (fun (tid, candidates) ->
       if candidates = [] then
@@ -390,6 +407,8 @@ let solve_group ~combination_limit ~raw_cap ~verify (roots : record list) base
   let total =
     List.fold_left (fun acc (_, c) -> acc * List.length c) 1 cut_menu
   in
+  Span.add_attr "combinations" (`Int total);
+  Telemetry.Metrics.Histogram.observe h_group_combinations (float_of_int total);
   if total > combination_limit then
     Log.warn (fun m ->
         m
@@ -455,6 +474,7 @@ let solve_group ~combination_limit ~raw_cap ~verify (roots : record list) base
   (* Early pruning: drop assignments pointwise contained in another
      (the final Maximal filter runs after maximalization in [solve]). *)
   let unsubsumed = Assignment.prune_subsumed (List.rev !solutions) in
+  Span.add_attr "solutions" (`Int (List.length unsubsumed));
   if unsubsumed = [] then
     unsat "every ε-cut combination of a CI-group forces an empty language";
   unsubsumed
@@ -468,11 +488,18 @@ let rec expr_variables acc = function
       expr_variables (expr_variables acc a) b
 
 let solve ?(max_solutions = 256) ?(combination_limit = 4096) (g : Depgraph.t) =
+  Span.with_span ~name:"solve" @@ fun () ->
+  Telemetry.Metrics.Counter.incr c_solves 1;
   try
-    let g = Depgraph.of_system (preprocess g.system) in
+    let g =
+      Depgraph.of_system
+        (Span.with_span ~name:"preprocess" (fun () -> preprocess g.system))
+    in
     let raw_cap = max 64 (max_solutions * 4) in
-    let base = base_languages g in
-    let roots = build_machines g base in
+    let base = Span.with_span ~name:"reduce" (fun () -> base_languages g) in
+    let roots =
+      Span.with_span ~name:"build-machines" (fun () -> build_machines g base)
+    in
     let groups = Depgraph.ci_groups g in
     let group_solutions =
       List.filter_map
@@ -520,6 +547,9 @@ let solve ?(max_solutions = 256) ?(combination_limit = 4096) (g : Depgraph.t) =
     in
     (* conjunction of independent groups: cartesian combination *)
     let combined =
+      Span.with_span ~name:"combine"
+        ~attrs:[ ("groups", `Int (List.length group_solutions)) ]
+      @@ fun () ->
       List.fold_left
         (fun acc sols ->
           let merged =
@@ -545,6 +575,9 @@ let solve ?(max_solutions = 256) ?(combination_limit = 4096) (g : Depgraph.t) =
        [v1 ↦ x(yy|yyyy)] in §3.1.1), then drop disjuncts the growth
        made redundant. *)
     let maximized =
+      Span.with_span ~name:"maximize"
+        ~attrs:[ ("disjuncts_in", `Int (List.length combined)) ]
+      @@ fun () ->
       Assignment.prune_subsumed
         (List.map (Residual.maximize g.system) combined)
     in

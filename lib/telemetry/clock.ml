@@ -1,0 +1,26 @@
+(* The default source is wall-clock [Unix.gettimeofday]; a
+   monotonicity clamp below makes the reported time never run
+   backwards, which is all the span tree needs (NTP steps would
+   otherwise produce negative durations). Tests install a
+   deterministic counter via [set_source]. *)
+
+let default_source () = Unix.gettimeofday ()
+let source = ref default_source
+let last_ns = ref 0L
+
+let now_ns () =
+  let raw = Int64.of_float (!source () *. 1e9) in
+  let clamped = if Int64.compare raw !last_ns < 0 then !last_ns else raw in
+  last_ns := clamped;
+  clamped
+
+(* Installing a source resets the clamp: a deterministic test clock
+   would otherwise be stuck below a previously-observed wall-clock
+   value. *)
+let set_source f =
+  source := f;
+  last_ns := 0L
+
+let use_default_source () =
+  source := default_source;
+  last_ns := 0L

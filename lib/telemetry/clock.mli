@@ -1,0 +1,15 @@
+(** Nanosecond timestamp source for spans.
+
+    Backed by wall-clock time with a monotonicity clamp: successive
+    calls never decrease, so span durations are always ≥ 0 even
+    across clock steps. *)
+
+(** Current timestamp in nanoseconds. Monotone non-decreasing. *)
+val now_ns : unit -> int64
+
+(** Replace the underlying time source (seconds as float). For
+    deterministic tests. The monotonicity clamp still applies. *)
+val set_source : (unit -> float) -> unit
+
+(** Restore the default wall-clock source. *)
+val use_default_source : unit -> unit

@@ -1,0 +1,18 @@
+(** Minimal JSON document builder — just enough for the Chrome
+    trace_event export and the bench snapshot files, with correct
+    string escaping and number formatting (NaN/∞ become [null]). No
+    parser: this repo only ever *emits* JSON. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Compact (single-line) serialization. *)
+val to_string : t -> string
+
+val pp : t Fmt.t

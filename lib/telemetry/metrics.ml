@@ -1,0 +1,228 @@
+type labels = (string * string) list
+
+(* Labels are canonicalized (sorted by key) so [("a","1");("b","2")]
+   and its permutation address the same time series. *)
+let canon labels = List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+
+type hdata = {
+  mutable count : int;
+  mutable sum : float;
+  bucket_counts : int array; (* one per bound, plus overflow at the end *)
+}
+
+type metric =
+  | C of (labels, int ref) Hashtbl.t
+  | H of float array * (labels, hdata) Hashtbl.t
+
+type registry = (string, metric) Hashtbl.t
+
+let create_registry () : registry = Hashtbl.create 32
+let default : registry = create_registry ()
+
+let register registry name build check =
+  match Hashtbl.find_opt registry name with
+  | Some existing -> (
+      match check existing with
+      | Some v -> v
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Telemetry.Metrics: %S already registered with another kind"
+               name))
+  | None ->
+      let metric, v = build () in
+      Hashtbl.add registry name metric;
+      v
+
+module Counter = struct
+  type t = (labels, int ref) Hashtbl.t
+
+  let make ?(registry = default) name : t =
+    register registry name
+      (fun () ->
+        let table = Hashtbl.create 4 in
+        (C table, table))
+      (function C table -> Some table | H _ -> None)
+
+  let cell table labels =
+    let labels = canon labels in
+    match Hashtbl.find_opt table labels with
+    | Some r -> r
+    | None ->
+        let r = ref 0 in
+        Hashtbl.add table labels r;
+        r
+
+  let incr ?(labels = []) table n = cell table labels := !(cell table labels) + n
+  let value ?(labels = []) table = !(cell table labels)
+end
+
+module Histogram = struct
+  type t = float array * (labels, hdata) Hashtbl.t
+
+  (* 1-2-5 decades: good resolution for state counts and machine
+     sizes, the quantities §3.5 cares about. *)
+  let default_buckets =
+    [| 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1e3; 2e3; 5e3; 1e4; 1e5; 1e6 |]
+
+  let make ?(registry = default) ?(buckets = default_buckets) name : t =
+    let buckets = Array.copy buckets in
+    Array.sort compare buckets;
+    register registry name
+      (fun () ->
+        let table = Hashtbl.create 4 in
+        (H (buckets, table), (buckets, table)))
+      (function H (b, table) -> Some (b, table) | C _ -> None)
+
+  let cell (buckets, table) labels =
+    let labels = canon labels in
+    match Hashtbl.find_opt table labels with
+    | Some h -> h
+    | None ->
+        let h =
+          { count = 0; sum = 0.; bucket_counts = Array.make (Array.length buckets + 1) 0 }
+        in
+        Hashtbl.add table labels h;
+        h
+
+  let observe ?(labels = []) ((buckets, _) as hist) v =
+    let h = cell hist labels in
+    h.count <- h.count + 1;
+    h.sum <- h.sum +. v;
+    let rec slot i =
+      if i >= Array.length buckets then i else if v <= buckets.(i) then i else slot (i + 1)
+    in
+    let i = slot 0 in
+    h.bucket_counts.(i) <- h.bucket_counts.(i) + 1
+end
+
+module Snapshot = struct
+  type histogram_stat = {
+    count : int;
+    sum : float;
+    buckets : (float * int) list; (* (upper bound, occupancy); +∞ last *)
+  }
+
+  type t = {
+    counters : ((string * labels) * int) list;
+    histograms : ((string * labels) * histogram_stat) list;
+  }
+
+  let take (registry : registry) =
+    let counters = ref [] and histograms = ref [] in
+    Hashtbl.iter
+      (fun name metric ->
+        match metric with
+        | C table ->
+            Hashtbl.iter
+              (fun labels r -> counters := ((name, labels), !r) :: !counters)
+              table
+        | H (bounds, table) ->
+            Hashtbl.iter
+              (fun labels h ->
+                let buckets =
+                  List.init
+                    (Array.length h.bucket_counts)
+                    (fun i ->
+                      ( (if i < Array.length bounds then bounds.(i) else Float.infinity),
+                        h.bucket_counts.(i) ))
+                in
+                histograms :=
+                  ((name, labels), { count = h.count; sum = h.sum; buckets })
+                  :: !histograms)
+              table)
+      registry;
+    {
+      counters = List.sort compare !counters;
+      histograms = List.sort (fun (a, _) (b, _) -> compare a b) !histograms;
+    }
+
+  let of_default () = take default
+
+  let diff ~after ~before =
+    let counters =
+      List.map
+        (fun (key, v) ->
+          let prior = Option.value (List.assoc_opt key before.counters) ~default:0 in
+          (key, v - prior))
+        after.counters
+    in
+    let histograms =
+      List.map
+        (fun ((key, h) : (string * labels) * histogram_stat) ->
+          match List.assoc_opt key before.histograms with
+          | None -> (key, h)
+          | Some prior ->
+              ( key,
+                {
+                  count = h.count - prior.count;
+                  sum = h.sum -. prior.sum;
+                  buckets =
+                    List.map2
+                      (fun (bound, c) (_, c') -> (bound, c - c'))
+                      h.buckets prior.buckets;
+                } ))
+        after.histograms
+    in
+    { counters; histograms }
+
+  let counters t = List.map (fun ((name, labels), v) -> (name, labels, v)) t.counters
+
+  let histograms t =
+    List.map (fun ((name, labels), h) -> (name, labels, h)) t.histograms
+
+  let counter_value ?(labels = []) t name =
+    Option.value (List.assoc_opt (name, canon labels) t.counters) ~default:0
+
+  let labels_json labels = Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) labels)
+
+  let to_json t =
+    let counter_json ((name, labels), v) =
+      Json.Obj
+        [ ("name", Json.String name); ("labels", labels_json labels); ("value", Json.Int v) ]
+    in
+    let histogram_json ((name, labels), h) =
+      Json.Obj
+        [
+          ("name", Json.String name);
+          ("labels", labels_json labels);
+          ("count", Json.Int h.count);
+          ("sum", Json.Float h.sum);
+          ( "buckets",
+            Json.List
+              (List.filter_map
+                 (fun (bound, c) ->
+                   if c = 0 then None
+                   else
+                     Some
+                       (Json.Obj
+                          [
+                            ( "le",
+                              if bound = Float.infinity then Json.String "+Inf"
+                              else Json.Float bound );
+                            ("count", Json.Int c);
+                          ]))
+                 h.buckets) );
+        ]
+    in
+    Json.Obj
+      [
+        ("counters", Json.List (List.map counter_json t.counters));
+        ("histograms", Json.List (List.map histogram_json t.histograms));
+      ]
+
+  let pp_labels ppf = function
+    | [] -> ()
+    | labels ->
+        Fmt.pf ppf "{%a}"
+          Fmt.(list ~sep:(any ",") (fun ppf (k, v) -> Fmt.pf ppf "%s=%s" k v))
+          labels
+
+  let pp ppf t =
+    List.iter
+      (fun ((name, labels), v) -> Fmt.pf ppf "%s%a = %d@." name pp_labels labels v)
+      t.counters;
+    List.iter
+      (fun ((name, labels), h) ->
+        Fmt.pf ppf "%s%a: count=%d sum=%g@." name pp_labels labels h.count h.sum)
+      t.histograms
+end

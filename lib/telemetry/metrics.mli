@@ -1,0 +1,67 @@
+(** Metrics registry: named counters and histograms with labeled
+    dimensions, read out as immutable {!Snapshot}s.
+
+    Counters only ever grow; cost attribution is done by taking a
+    snapshot before and after a region and calling {!Snapshot.diff} —
+    unlike reset-bracketed globals, concurrent or nested measurements
+    cannot corrupt each other (each holds its own [before]).
+
+    Metrics register in {!default} unless an explicit registry is
+    given (tests use private registries). Registering the same name
+    twice returns the same metric; re-registering under a different
+    kind raises [Invalid_argument]. *)
+
+type labels = (string * string) list
+
+type registry
+
+val create_registry : unit -> registry
+
+(** The process-wide registry the solver's instrumentation uses. *)
+val default : registry
+
+module Counter : sig
+  type t
+
+  val make : ?registry:registry -> string -> t
+  val incr : ?labels:labels -> t -> int -> unit
+
+  (** Current cumulative value (mainly for tests; prefer snapshots). *)
+  val value : ?labels:labels -> t -> int
+end
+
+module Histogram : sig
+  type t
+
+  (** 1-2-5 decades from 1 to 10⁶. *)
+  val default_buckets : float array
+
+  val make : ?registry:registry -> ?buckets:float array -> string -> t
+  val observe : ?labels:labels -> t -> float -> unit
+end
+
+module Snapshot : sig
+  type histogram_stat = {
+    count : int;
+    sum : float;
+    buckets : (float * int) list;  (** (upper bound, occupancy); +∞ last *)
+  }
+
+  type t
+
+  val take : registry -> t
+  val of_default : unit -> t
+
+  (** Pointwise [after - before]; series absent from [before] pass
+      through unchanged. *)
+  val diff : after:t -> before:t -> t
+
+  val counters : t -> (string * labels * int) list
+  val histograms : t -> (string * labels * histogram_stat) list
+
+  (** Value of one counter series, 0 if absent. *)
+  val counter_value : ?labels:labels -> t -> string -> int
+
+  val to_json : t -> Json.t
+  val pp : t Fmt.t
+end

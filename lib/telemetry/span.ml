@@ -1,0 +1,107 @@
+type attr = [ `Int of int | `Float of float | `String of string | `Bool of bool ]
+
+type t = {
+  name : string;
+  mutable attrs : (string * attr) list;
+  start_ns : int64;
+  mutable dur_ns : int64;
+  mutable children_rev : t list;
+}
+
+let name s = s.name
+let attrs s = s.attrs
+let duration_ns s = s.dur_ns
+let children s = List.rev s.children_rev
+
+(* The open-span stack. Tracing is off exactly when the stack is
+   empty: instrumentation points call {!with_span} unconditionally and
+   pay only this emptiness check until someone higher up opens a
+   {!collect} scope. *)
+let stack : t list ref = ref []
+let enabled () = !stack <> []
+
+let collect ?(attrs = []) ~name f =
+  let span =
+    { name; attrs; start_ns = Clock.now_ns (); dur_ns = 0L; children_rev = [] }
+  in
+  stack := span :: !stack;
+  let finally () =
+    (match !stack with
+    | top :: rest when top == span -> stack := rest
+    | _ -> stack := List.filter (fun s -> s != span) !stack);
+    span.dur_ns <- Int64.sub (Clock.now_ns ()) span.start_ns;
+    match !stack with
+    | parent :: _ -> parent.children_rev <- span :: parent.children_rev
+    | [] -> ()
+  in
+  let result = Fun.protect ~finally f in
+  (result, span)
+
+let with_span ?attrs ~name f =
+  if not (enabled ()) then f () else fst (collect ?attrs ~name f)
+
+let add_attr key value =
+  match !stack with
+  | [] -> ()
+  | top :: _ -> top.attrs <- top.attrs @ [ (key, value) ]
+
+(* ------------------------------------------------------------------ *)
+(* Exports *)
+
+let attr_to_json : attr -> Json.t = function
+  | `Int i -> Json.Int i
+  | `Float f -> Json.Float f
+  | `String s -> Json.String s
+  | `Bool b -> Json.Bool b
+
+let to_chrome_json ?(pid = 1) ?(tid = 1) root =
+  let us_of ns = Int64.to_float ns /. 1e3 in
+  let events = ref [] in
+  let rec emit span =
+    let event =
+      Json.Obj
+        [
+          ("name", Json.String span.name);
+          ("cat", Json.String "dprle");
+          ("ph", Json.String "X");
+          ("ts", Json.Float (us_of (Int64.sub span.start_ns root.start_ns)));
+          ("dur", Json.Float (us_of span.dur_ns));
+          ("pid", Json.Int pid);
+          ("tid", Json.Int tid);
+          ("args", Json.Obj (List.map (fun (k, v) -> (k, attr_to_json v)) span.attrs));
+        ]
+    in
+    events := event :: !events;
+    List.iter emit (children span)
+  in
+  emit root;
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.rev !events));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let to_chrome_string ?pid ?tid root = Json.to_string (to_chrome_json ?pid ?tid root)
+
+let pp_duration ppf ns =
+  let ns = Int64.to_float ns in
+  if ns >= 1e9 then Fmt.pf ppf "%.3fs" (ns /. 1e9)
+  else if ns >= 1e6 then Fmt.pf ppf "%.3fms" (ns /. 1e6)
+  else if ns >= 1e3 then Fmt.pf ppf "%.1fus" (ns /. 1e3)
+  else Fmt.pf ppf "%.0fns" ns
+
+let pp_attr ppf (k, v) =
+  match v with
+  | `Int i -> Fmt.pf ppf "%s=%d" k i
+  | `Float f -> Fmt.pf ppf "%s=%g" k f
+  | `String s -> Fmt.pf ppf "%s=%s" k s
+  | `Bool b -> Fmt.pf ppf "%s=%b" k b
+
+let pp_tree ppf root =
+  let rec go indent span =
+    Fmt.pf ppf "%s%s  %a" indent span.name pp_duration span.dur_ns;
+    List.iter (fun a -> Fmt.pf ppf " %a" pp_attr a) span.attrs;
+    Fmt.pf ppf "@.";
+    List.iter (go (indent ^ "  ")) (children span)
+  in
+  go "" root

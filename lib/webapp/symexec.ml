@@ -204,6 +204,9 @@ let system_of_obligations obligations =
   System.make_exn ~consts:(List.rev !consts) ~constraints
 
 let analyze ?(max_paths = 256) ~attack program =
+  Telemetry.Span.with_span ~name:"symexec.analyze"
+    ~attrs:[ ("max_paths", `Int max_paths) ]
+  @@ fun () ->
   let results = ref [] in
   let path_count = ref 0 in
   (* DFS over branch decisions; [obligations] accumulates in reverse. *)
@@ -323,6 +326,14 @@ let input_languages query assignment =
   with Dead -> None
 
 let solve query =
+  Telemetry.Span.with_span ~name:"symexec.solve"
+    ~attrs:
+      [
+        ("path_id", `Int query.path_id);
+        ("sink_index", `Int query.sink_index);
+        ("constraints", `Int query.constraint_count);
+      ]
+  @@ fun () ->
   let attempt max_solutions =
     match
       Dprle.Solver.solve ~max_solutions (Dprle.Depgraph.of_system query.system)

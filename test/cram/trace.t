@@ -1,0 +1,54 @@
+Solver tracing on the paper's motivating system (same content as
+examples/fig1.dprle): --trace-tree prints the phase hierarchy to
+stderr. Durations vary run to run, so only the span names (first
+column) are checked.
+
+  $ cat > fig1.dprle <<'SYS'
+  > let filter = /[\d]+$/;
+  > let prefix = "nid_";
+  > let unsafe = /'/;
+  > v1 <= filter;
+  > prefix . v1 <= unsafe;
+  > SYS
+
+  $ dprle solve fig1.dprle --trace-tree > /dev/null 2> tree.txt
+  $ awk '{print $1}' tree.txt
+  dprle
+  depgraph
+  solve
+  preprocess
+  depgraph
+  reduce
+  build-machines
+  gci
+  combine
+  maximize
+
+--trace writes Chrome trace_event JSON with the same phases as
+complete ("ph":"X") events:
+
+  $ dprle solve fig1.dprle --trace trace.json > /dev/null
+  $ grep -c '"traceEvents"' trace.json
+  1
+  $ for phase in depgraph reduce gci combine; do
+  >   grep -o "\"name\":\"$phase\"" trace.json | sort -u
+  > done
+  "name":"depgraph"
+  "name":"reduce"
+  "name":"gci"
+  "name":"combine"
+
+The gci span carries the group size and per-concatenation cut census:
+
+  $ grep -o '"group_size":[0-9]*' trace.json
+  "group_size":2
+  $ grep -o '"cut_census":"[^"]*"' trace.json
+  "cut_census":"t0:2"
+
+Tracing composes with --stats, whose census table shows the same
+disjunction width:
+
+  $ dprle solve fig1.dprle --stats > stats.txt
+  $ grep -A1 'ε-cuts per concatenation' stats.txt
+  ε-cuts per concatenation (§3.5 disjunction width):
+    t0 = prefix ∘ v1: 2 ε-cut(s)

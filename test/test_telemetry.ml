@@ -1,0 +1,244 @@
+(* Unit tests for the telemetry subsystem: span-tree shape and
+   duration bookkeeping under a deterministic clock, counter/histogram
+   labeling and snapshot diffs, and the diff-based Automata.Stats
+   scoping that makes nested solve reports independent. *)
+
+open Helpers
+module Span = Telemetry.Span
+module Metrics = Telemetry.Metrics
+module Json = Telemetry.Json
+module Stats = Automata.Stats
+
+(* A clock that advances 1 ms per reading makes every span's duration
+   a known multiple of the readings taken inside it. *)
+let with_fake_clock f =
+  let t = ref 0.0 in
+  Telemetry.Clock.set_source (fun () ->
+      t := !t +. 0.001;
+      !t);
+  Fun.protect ~finally:Telemetry.Clock.use_default_source f
+
+let span_tests =
+  [
+    test "with_span is a passthrough when disabled" (fun () ->
+        check_bool "disabled" false (Span.enabled ());
+        let r = Span.with_span ~name:"ignored" (fun () -> 41 + 1) in
+        check_int "result" 42 r;
+        check_bool "still disabled" false (Span.enabled ()));
+    test "collect builds the nested tree in execution order" (fun () ->
+        with_fake_clock @@ fun () ->
+        let result, root =
+          Span.collect ~name:"root" (fun () ->
+              let a =
+                Span.with_span ~name:"a" (fun () ->
+                    Span.with_span ~name:"a1" (fun () -> ());
+                    "a-result")
+              in
+              Span.with_span ~name:"b" (fun () -> ());
+              a)
+        in
+        check_string "result" "a-result" result;
+        check_string "root name" "root" (Span.name root);
+        check_int "two children" 2 (List.length (Span.children root));
+        let a, b =
+          match Span.children root with [ x; y ] -> (x, y) | _ -> assert false
+        in
+        check_string "first child" "a" (Span.name a);
+        check_string "second child" "b" (Span.name b);
+        check_int "grandchild" 1 (List.length (Span.children a));
+        check_string "grandchild name" "a1"
+          (Span.name (List.hd (Span.children a))));
+    test "durations are non-negative and nest monotonically" (fun () ->
+        with_fake_clock @@ fun () ->
+        let (), root =
+          Span.collect ~name:"root" (fun () ->
+              Span.with_span ~name:"child" (fun () ->
+                  Span.with_span ~name:"grandchild" (fun () -> ())))
+        in
+        let child = List.hd (Span.children root) in
+        let grandchild = List.hd (Span.children child) in
+        List.iter
+          (fun s ->
+            check_bool
+              (Span.name s ^ " duration positive")
+              true
+              (Int64.compare (Span.duration_ns s) 0L > 0))
+          [ root; child; grandchild ];
+        check_bool "child within root" true
+          (Int64.compare (Span.duration_ns child) (Span.duration_ns root) <= 0);
+        check_bool "grandchild within child" true
+          (Int64.compare (Span.duration_ns grandchild) (Span.duration_ns child)
+          <= 0));
+    test "attrs and add_attr land on the right span" (fun () ->
+        let (), root =
+          Span.collect ~name:"root" (fun () ->
+              Span.with_span ~name:"phase" ~attrs:[ ("q", `Int 5) ] (fun () ->
+                  Span.add_attr "cuts" (`Int 3));
+              Span.add_attr "outcome" (`String "sat"))
+        in
+        let phase = List.hd (Span.children root) in
+        check_bool "declared attr" true (List.mem ("q", `Int 5) (Span.attrs phase));
+        check_bool "mid-phase attr" true
+          (List.mem ("cuts", `Int 3) (Span.attrs phase));
+        check_bool "root attr" true
+          (List.mem ("outcome", `String "sat") (Span.attrs root)));
+    test "an exception still closes the span stack" (fun () ->
+        (try
+           ignore
+             (Span.collect ~name:"root" (fun () ->
+                  Span.with_span ~name:"doomed" (fun () -> failwith "boom")))
+         with Failure _ -> ());
+        check_bool "tracing off again" false (Span.enabled ()));
+    test "chrome export is one complete event per span" (fun () ->
+        with_fake_clock @@ fun () ->
+        let (), root =
+          Span.collect ~name:"root" (fun () ->
+              Span.with_span ~name:"inner" ~attrs:[ ("k", `String "v\"q") ]
+                (fun () -> ()))
+        in
+        match Span.to_chrome_json root with
+        | Json.Obj [ ("traceEvents", Json.List events); _ ] ->
+            check_int "events" 2 (List.length events);
+            let json = Span.to_chrome_string root in
+            check_bool "escaped attr" true
+              (let needle = {|"k":"v\"q"|} in
+               let rec find i =
+                 i + String.length needle <= String.length json
+                 && (String.sub json i (String.length needle) = needle
+                    || find (i + 1))
+               in
+               find 0)
+        | _ -> Alcotest.fail "unexpected chrome JSON shape");
+  ]
+
+let metrics_tests =
+  [
+    test "counter labels address independent series" (fun () ->
+        let r = Metrics.create_registry () in
+        let c = Metrics.Counter.make ~registry:r "test.hits" in
+        Metrics.Counter.incr c 1;
+        Metrics.Counter.incr c ~labels:[ ("op", "concat") ] 2;
+        Metrics.Counter.incr c ~labels:[ ("op", "product") ] 5;
+        check_int "unlabeled" 1 (Metrics.Counter.value c);
+        check_int "concat" 2 (Metrics.Counter.value c ~labels:[ ("op", "concat") ]);
+        check_int "product" 5
+          (Metrics.Counter.value c ~labels:[ ("op", "product") ]));
+    test "label order does not matter" (fun () ->
+        let r = Metrics.create_registry () in
+        let c = Metrics.Counter.make ~registry:r "test.pairs" in
+        Metrics.Counter.incr c ~labels:[ ("a", "1"); ("b", "2") ] 1;
+        Metrics.Counter.incr c ~labels:[ ("b", "2"); ("a", "1") ] 1;
+        check_int "same series" 2
+          (Metrics.Counter.value c ~labels:[ ("a", "1"); ("b", "2") ]));
+    test "same-name registration is idempotent, cross-kind is rejected"
+      (fun () ->
+        let r = Metrics.create_registry () in
+        let c1 = Metrics.Counter.make ~registry:r "test.once" in
+        let c2 = Metrics.Counter.make ~registry:r "test.once" in
+        Metrics.Counter.incr c1 3;
+        check_int "same underlying cell" 3 (Metrics.Counter.value c2);
+        check_bool "kind clash raises" true
+          (try
+             ignore (Metrics.Histogram.make ~registry:r "test.once");
+             false
+           with Invalid_argument _ -> true));
+    test "histogram buckets and labels" (fun () ->
+        let r = Metrics.create_registry () in
+        let h =
+          Metrics.Histogram.make ~registry:r ~buckets:[| 1.; 10.; 100. |]
+            "test.sizes"
+        in
+        List.iter
+          (Metrics.Histogram.observe h ~labels:[ ("dir", "in") ])
+          [ 0.5; 7.; 7.; 1000. ];
+        Metrics.Histogram.observe h ~labels:[ ("dir", "out") ] 2.;
+        let snap = Metrics.Snapshot.take r in
+        let stat labels =
+          match
+            List.find_opt
+              (fun (name, l, _) -> name = "test.sizes" && l = labels)
+              (Metrics.Snapshot.histograms snap)
+          with
+          | Some (_, _, s) -> s
+          | None -> Alcotest.fail "missing series"
+        in
+        let s_in = stat [ ("dir", "in") ] in
+        check_int "in count" 4 s_in.Metrics.Snapshot.count;
+        check_bool "in sum" true (abs_float (s_in.sum -. 1014.5) < 1e-9);
+        check_int "le-1 bucket" 1 (List.assoc 1. s_in.buckets);
+        check_int "le-10 bucket" 2 (List.assoc 10. s_in.buckets);
+        check_int "le-100 bucket" 0 (List.assoc 100. s_in.buckets);
+        check_int "overflow bucket" 1 (List.assoc Float.infinity s_in.buckets);
+        check_int "out count" 1 (stat [ ("dir", "out") ]).count);
+    test "snapshot diff isolates a region" (fun () ->
+        let r = Metrics.create_registry () in
+        let c = Metrics.Counter.make ~registry:r "test.work" in
+        Metrics.Counter.incr c 100;
+        let before = Metrics.Snapshot.take r in
+        Metrics.Counter.incr c 7;
+        let after = Metrics.Snapshot.take r in
+        let d = Metrics.Snapshot.diff ~after ~before in
+        check_int "scoped count" 7 (Metrics.Snapshot.counter_value d "test.work");
+        check_int "absent counter reads zero" 0
+          (Metrics.Snapshot.counter_value d "test.missing"));
+    test "snapshot json is well-formed" (fun () ->
+        let r = Metrics.create_registry () in
+        let c = Metrics.Counter.make ~registry:r "test.json" in
+        Metrics.Counter.incr c ~labels:[ ("k", "v") ] 1;
+        match Metrics.Snapshot.to_json (Metrics.Snapshot.take r) with
+        | Json.Obj [ ("counters", Json.List [ _ ]); ("histograms", Json.List []) ] ->
+            ()
+        | _ -> Alcotest.fail "unexpected snapshot JSON shape");
+  ]
+
+(* The regression the registry shim exists for: a nested
+   solve_with_report must not clobber an enclosing measurement, and
+   back-to-back reports must count only their own work. *)
+let fig1 =
+  Dprle.Sysparse.parse_exn
+    {| let filter = /[\d]+$/;
+       let prefix = "nid_";
+       let unsafe = /'/;
+       v1 <= filter;
+       prefix . v1 <= unsafe; |}
+
+let stats_tests =
+  [
+    test "nested solve reports are independent" (fun () ->
+        let g = Dprle.Depgraph.of_system fig1 in
+        (* outer bracketing, with some construction work of its own *)
+        Stats.reset ();
+        Stats.visit_states 7;
+        let _, inner = Dprle.Report.solve_with_report g in
+        let outer = Stats.snapshot () in
+        check_bool "inner counted its solve" true (inner.automata.visited > 0);
+        (* with reset-bracketed globals the nested report would zero
+           the outer bracket's counts and report only the inner solve;
+           diff-based scoping keeps the outer work (the 7 synthetic
+           visits, plus the report's own census pass) on the books *)
+        check_bool "outer keeps its own work plus the nested solve" true
+          (outer.visited >= 7 + inner.automata.visited));
+    test "back-to-back reports count only their own work" (fun () ->
+        let g = Dprle.Depgraph.of_system fig1 in
+        let _, r1 = Dprle.Report.solve_with_report g in
+        let _, r2 = Dprle.Report.solve_with_report g in
+        check_int "identical solves, identical counts" r1.automata.visited
+          r2.automata.visited;
+        check_bool "counts are per-solve, not cumulative" true
+          (r2.automata.visited < 2 * r1.automata.visited));
+    test "absolute counters never decrease" (fun () ->
+        let before = Stats.absolute () in
+        let _ = Dprle.Solver.solve (Dprle.Depgraph.of_system fig1) in
+        let after = Stats.absolute () in
+        let d = Stats.diff after before in
+        check_bool "visited grew" true (d.visited > 0);
+        check_bool "products grew" true (d.products > 0);
+        check_bool "concats grew" true (d.concats > 0));
+  ]
+
+let suite =
+  [
+    ("telemetry:span", span_tests);
+    ("telemetry:metrics", metrics_tests);
+    ("telemetry:stats", stats_tests);
+  ]
