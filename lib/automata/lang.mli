@@ -1,7 +1,11 @@
 (** Language-level decision procedures lifted to NFAs.
 
-    Thin wrappers that determinize on demand; they are the semantic
-    oracle used by the solver's validators and the test suite. *)
+    Inclusion and equivalence run {e on the fly}: the LHS NFA is
+    searched against determinized-on-demand subsets of the RHS, one
+    minterm class at a time, exiting at the first counterexample —
+    neither operand is fully determinized (after Keil & Thiemann's
+    symbolic inequality solving). The [*_reference] versions keep the
+    original determinize-both procedure as a cross-check oracle. *)
 
 val equal : Nfa.t -> Nfa.t -> bool
 
@@ -10,6 +14,18 @@ val subset : Nfa.t -> Nfa.t -> bool
 
 (** A word of [L(a) \ L(b)], if any. *)
 val counterexample : Nfa.t -> Nfa.t -> string option
+
+(** {1 Reference implementations}
+
+    Decide via full determinization of both operands ({!Dfa.of_nfa}
+    on each side). Semantically identical to the unsuffixed versions;
+    used by the randomized cross-check suite. *)
+
+val equal_reference : Nfa.t -> Nfa.t -> bool
+
+val subset_reference : Nfa.t -> Nfa.t -> bool
+
+val counterexample_reference : Nfa.t -> Nfa.t -> string option
 
 val is_empty : Nfa.t -> bool
 

@@ -3,12 +3,23 @@ type state = int
 module StateSet = Set.Make (Int)
 module StateMap = Map.Make (Int)
 
+(* Peak BFS frontier width per reachability query; together with
+   automata.subset.visited this is the observable the hot-path
+   rewrites of this layer are judged against (DESIGN.md §8). *)
+let h_bfs_frontier = Telemetry.Metrics.Histogram.make "automata.bfs.frontier"
+
 type t = {
   n : int;
   start : state;
   final : state;
   delta : (Charset.t * state) list array; (* indexed by source state *)
   eps : state list array;
+  (* Lazily-built indexes over the immutable delta/eps arrays. They
+     are shared (not recomputed) by the [{ m with ... }] copies the
+     induce operations make, which is safe because they depend only on
+     the transition structure, never on start/final. *)
+  mutable preds : state list array option;
+  mutable eps_index : (int, unit) Hashtbl.t option;
 }
 
 let num_states m = m.n
@@ -25,7 +36,35 @@ let all_eps_edges m =
   done;
   !acc
 
-let has_eps_edge m p q = List.mem q m.eps.(p)
+(* Predecessor adjacency (character and ε edges together), built on
+   first co-reachability query and cached. *)
+let preds m =
+  match m.preds with
+  | Some p -> p
+  | None ->
+      let p = Array.make m.n [] in
+      for q = 0 to m.n - 1 do
+        List.iter (fun (_, q') -> p.(q') <- q :: p.(q')) m.delta.(q);
+        List.iter (fun q' -> p.(q') <- q :: p.(q')) m.eps.(q)
+      done;
+      m.preds <- Some p;
+      p
+
+(* ε-edge membership index: keys are [p * n + q]. Built on first
+   [has_eps_edge] so the full-state scans in Ci stop paying a
+   [List.mem] per candidate pair. *)
+let eps_index m =
+  match m.eps_index with
+  | Some t -> t
+  | None ->
+      let t = Hashtbl.create 64 in
+      for q = 0 to m.n - 1 do
+        List.iter (fun q' -> Hashtbl.replace t ((q * m.n) + q') ()) m.eps.(q)
+      done;
+      m.eps_index <- Some t;
+      t
+
+let has_eps_edge m p q = Hashtbl.mem (eps_index m) ((p * m.n) + q)
 
 let fold_char_transitions m ~init ~f =
   let acc = ref init in
@@ -78,12 +117,30 @@ module Builder = struct
     check b final;
     let delta = Array.make b.count [] in
     let eps = Array.make b.count [] in
-    List.iter (fun (src, cs, dst) -> delta.(src) <- (cs, dst) :: delta.(src)) b.trans;
+    (* Both edge kinds deduplicate through a hash table: the ε-edge
+       [List.mem] scan was quadratic in the edge count, and character
+       duplicates (identical [(src, cs, dst)] triples accumulated by
+       embed/concat chains) were never collapsed at all, multiplying
+       work in every downstream product. Charsets key by their
+       canonical interval list, so equal sets always collide. *)
+    let seen_trans = Hashtbl.create (List.length b.trans) in
     List.iter
-      (fun (src, dst) ->
-        if not (List.mem dst eps.(src)) then eps.(src) <- dst :: eps.(src))
+      (fun (src, cs, dst) ->
+        let key = (src, dst, Charset.ranges cs) in
+        if not (Hashtbl.mem seen_trans key) then begin
+          Hashtbl.add seen_trans key ();
+          delta.(src) <- (cs, dst) :: delta.(src)
+        end)
+      b.trans;
+    let seen_eps = Hashtbl.create 64 in
+    List.iter
+      (fun ((_, dst) as edge) ->
+        if not (Hashtbl.mem seen_eps edge) then begin
+          Hashtbl.add seen_eps edge ();
+          eps.(fst edge) <- dst :: eps.(fst edge)
+        end)
       b.eps_edges;
-    { n = b.count; start; final; delta; eps }
+    { n = b.count; start; final; delta; eps; preds = None; eps_index = None }
 end
 
 let empty_lang =
@@ -123,7 +180,69 @@ let sigma_star =
   Builder.add_trans b s Charset.full s;
   Builder.finish b ~start:s ~final:s
 
+(* ------------------------------------------------------------------ *)
+(* Dense breadth-first searches. One byte per state plus a
+   preallocated worklist replaces the functional [StateSet] frontiers:
+   every state is enqueued at most once, membership is an array read,
+   and nothing is allocated inside the loop. The original
+   implementations are retained below as [*_reference] oracles for the
+   randomized cross-check suite. *)
+
+module Flags = struct
+  type set = Bytes.t
+
+  let mem fl q = Bytes.unsafe_get fl q <> '\000'
+
+  let cardinal fl =
+    let count = ref 0 in
+    Bytes.iter (fun c -> if c <> '\000' then incr count) fl;
+    !count
+end
+
+let flags_to_set fl =
+  let acc = ref StateSet.empty in
+  for q = Bytes.length fl - 1 downto 0 do
+    if Bytes.unsafe_get fl q <> '\000' then acc := StateSet.add q !acc
+  done;
+  !acc
+
+(* Generic worklist BFS: [roots] seed the search, [iter_succ q push]
+   feeds the successors of [q]. Returns the visited flags; observes
+   the peak frontier width when [observe] is set. *)
+let bfs ?(observe = false) ~n ~roots ~iter_succ () =
+  let seen = Bytes.make n '\000' in
+  let queue = Array.make (max n 1) 0 in
+  let head = ref 0 and tail = ref 0 in
+  let peak = ref 0 in
+  let push q =
+    if Bytes.unsafe_get seen q = '\000' then begin
+      Bytes.unsafe_set seen q '\001';
+      queue.(!tail) <- q;
+      incr tail
+    end
+  in
+  List.iter push roots;
+  while !head < !tail do
+    if !tail - !head > !peak then peak := !tail - !head;
+    let q = queue.(!head) in
+    incr head;
+    iter_succ q push
+  done;
+  if observe then
+    Telemetry.Metrics.Histogram.observe h_bfs_frontier (float_of_int !peak);
+  seen
+
 let eps_closure m set =
+  (* Fast path: most sets in the simulation loops have no outgoing
+     ε-edges at all, and are their own closure. *)
+  if StateSet.for_all (fun q -> m.eps.(q) = []) set then set
+  else
+    flags_to_set
+      (bfs ~n:m.n ~roots:(StateSet.elements set)
+         ~iter_succ:(fun q push -> List.iter push m.eps.(q))
+         ())
+
+let eps_closure_reference m set =
   let rec go frontier acc =
     if StateSet.is_empty frontier then acc
     else
@@ -158,7 +277,24 @@ let accepts m w =
   in
   StateSet.mem m.final final_set
 
-let reachable_from m q0 =
+let reachable_flags m q0 =
+  bfs ~observe:true ~n:m.n ~roots:[ q0 ]
+    ~iter_succ:(fun q push ->
+      List.iter (fun (_, q') -> push q') m.delta.(q);
+      List.iter push m.eps.(q))
+    ()
+
+let coreachable_flags m q0 =
+  let preds = preds m in
+  bfs ~observe:true ~n:m.n ~roots:[ q0 ]
+    ~iter_succ:(fun q push -> List.iter push preds.(q))
+    ()
+
+let reachable_from m q0 = flags_to_set (reachable_flags m q0)
+
+let coreachable_to m q0 = flags_to_set (coreachable_flags m q0)
+
+let reachable_from_reference m q0 =
   let rec go frontier acc =
     if StateSet.is_empty frontier then acc
     else
@@ -176,9 +312,7 @@ let reachable_from m q0 =
   in
   go (StateSet.singleton q0) (StateSet.singleton q0)
 
-(* Predecessor adjacency, computed once per call; callers needing many
-   co-reachability queries should reverse the machine instead. *)
-let coreachable_to m q0 =
+let coreachable_to_reference m q0 =
   let preds = Array.make m.n [] in
   for q = 0 to m.n - 1 do
     List.iter (fun (_, q') -> preds.(q') <- q :: preds.(q')) m.delta.(q);
@@ -200,7 +334,40 @@ let coreachable_to m q0 =
   in
   go (StateSet.singleton q0) (StateSet.singleton q0)
 
-let is_empty_lang m = not (StateSet.mem m.final (reachable_from m m.start))
+(* Emptiness needs no full closure: stop the moment the final state is
+   flagged. *)
+let is_empty_lang m =
+  if m.start = m.final then false
+  else begin
+    let seen = Bytes.make m.n '\000' in
+    let queue = Array.make m.n 0 in
+    let head = ref 0 and tail = ref 0 in
+    let peak = ref 0 in
+    let found = ref false in
+    let push q =
+      if Bytes.unsafe_get seen q = '\000' then begin
+        Bytes.unsafe_set seen q '\001';
+        if q = m.final then found := true
+        else begin
+          queue.(!tail) <- q;
+          incr tail
+        end
+      end
+    in
+    push m.start;
+    while (not !found) && !head < !tail do
+      if !tail - !head > !peak then peak := !tail - !head;
+      let q = queue.(!head) in
+      incr head;
+      List.iter (fun (_, q') -> push q') m.delta.(q);
+      List.iter push m.eps.(q)
+    done;
+    Telemetry.Metrics.Histogram.observe h_bfs_frontier (float_of_int !peak);
+    not !found
+  end
+
+let is_empty_lang_reference m =
+  not (StateSet.mem m.final (reachable_from_reference m m.start))
 
 let accepts_empty m =
   StateSet.mem m.final (eps_closure m (StateSet.singleton m.start))
@@ -271,7 +438,12 @@ let sample_words m ~max_len ~max_count =
   List.rev !results
 
 let trim m =
-  let live = StateSet.inter (reachable_from m m.start) (coreachable_to m m.final) in
+  let reach = reachable_flags m m.start and coreach = coreachable_flags m m.final in
+  let live = ref StateSet.empty in
+  for q = m.n - 1 downto 0 do
+    if Flags.mem reach q && Flags.mem coreach q then live := StateSet.add q !live
+  done;
+  let live = !live in
   if not (StateSet.mem m.start live) || not (StateSet.mem m.final live) then
     (* Empty language: canonical two-state empty machine; the renaming
        is empty since no original state survives. *)

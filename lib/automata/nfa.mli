@@ -36,7 +36,9 @@ val eps_transitions_from : t -> state -> state list
 (** All ε-edges [(src, dst)] of the machine. *)
 val all_eps_edges : t -> (state * state) list
 
-(** [has_eps_edge m p q] iff [q ∈ δ(p, ε)]. *)
+(** [has_eps_edge m p q] iff [q ∈ δ(p, ε)]. Backed by a lazily-built
+    hash index over the ε-edges, so repeated queries (the Ci cut scan)
+    are O(1) after the first. *)
 val has_eps_edge : t -> state -> state -> bool
 
 val fold_char_transitions :
@@ -110,6 +112,42 @@ val reachable_from : t -> state -> StateSet.t
 
 (** States from which [q] is reachable (inclusive). *)
 val coreachable_to : t -> state -> StateSet.t
+
+(** {1 Dense reachability}
+
+    The flag variants answer the same queries as {!reachable_from} /
+    {!coreachable_to} but return a byte-per-state visited vector
+    instead of a functional set — O(1) membership, no per-query
+    ordered-set construction. Callers that answer many membership
+    questions against one BFS (the solver's ε-cut emptiness filter)
+    should use these. *)
+
+module Flags : sig
+  type set
+
+  val mem : set -> state -> bool
+
+  val cardinal : set -> int
+end
+
+val reachable_flags : t -> state -> Flags.set
+
+val coreachable_flags : t -> state -> Flags.set
+
+(** {1 Reference implementations}
+
+    The original [Set.Make(Int)]-frontier traversals, retained
+    verbatim as oracles for the randomized cross-check suite
+    ([test/test_crosscheck.ml]). Semantically identical to their
+    unsuffixed counterparts; do not use on hot paths. *)
+
+val eps_closure_reference : t -> StateSet.t -> StateSet.t
+
+val reachable_from_reference : t -> state -> StateSet.t
+
+val coreachable_to_reference : t -> state -> StateSet.t
+
+val is_empty_lang_reference : t -> bool
 
 (** A shortest accepted string, or [None] if the language is empty.
     Charset labels are concretized with {!Charset.choose}. *)

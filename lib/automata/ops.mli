@@ -39,6 +39,13 @@ val intersect : Nfa.t -> Nfa.t -> product_result
 (** Like {!intersect} but discards provenance. *)
 val inter_lang : Nfa.t -> Nfa.t -> Nfa.t
 
+(** The original pairwise-label product construction. On dense product
+    cells {!intersect} refines the incident charsets into minterms
+    instead of intersecting all label pairs, but produces a
+    structurally identical machine; this oracle backs that claim in
+    the randomized cross-check suite. *)
+val intersect_reference : Nfa.t -> Nfa.t -> product_result
+
 (** Thompson constructions. *)
 
 val union_lang : Nfa.t -> Nfa.t -> Nfa.t
@@ -50,5 +57,11 @@ val plus : Nfa.t -> Nfa.t
 val opt : Nfa.t -> Nfa.t
 
 (** [repeat m ~min_count ~max_count] is [L(m){min,max}]; a [None] max
-    means unbounded. *)
+    means unbounded. Builds Θ((min + extras)·|m|) states in a single
+    builder pass. *)
 val repeat : Nfa.t -> min_count:int -> max_count:int option -> Nfa.t
+
+(** The original O(k²·|m|) construction (re-embedding the accumulated
+    prefix per copy); retained as the language oracle for the
+    cross-check suite. Accepts the same language as {!repeat}. *)
+val repeat_reference : Nfa.t -> min_count:int -> max_count:int option -> Nfa.t

@@ -133,26 +133,44 @@ let to_list t = List.rev (fold (fun c acc -> c :: acc) t [])
 (* Partition refinement via boundary points: collect all interval
    boundaries, then cut the union of the inputs at every boundary.
    Each resulting block lies entirely inside or outside each input
-   set, which is exactly the refinement property. *)
+   set, which is exactly the refinement property. One sort of the
+   boundary array plus a single merged sweep over the (sorted)
+   universe keeps this O(m log m) in the total interval count — it
+   runs once per product cell / subset-search node, so the old
+   repeated-union construction dominated those hot paths. *)
 let refine (sets : t list) : t list =
-  let module ISet = Set.Make (Int) in
-  let boundaries =
-    List.fold_left
-      (fun acc set ->
-        List.fold_left
-          (fun acc (lo, hi) -> ISet.add lo (ISet.add (hi + 1) acc))
-          acc set)
-      ISet.empty sets
-  in
-  let cuts = ISet.elements boundaries in
-  let universe = List.fold_left union empty sets in
-  let rec blocks = function
-    | lo :: (next :: _ as rest) ->
-        let block = inter [ (lo, next - 1) ] universe in
-        if is_empty block then blocks rest else block :: blocks rest
-    | _ -> []
-  in
-  blocks cuts
+  let intervals = List.concat sets in
+  if intervals = [] then []
+  else begin
+    let universe = normalize intervals in
+    let cuts = Array.make (2 * List.length intervals) 0 in
+    List.iteri
+      (fun i (lo, hi) ->
+        cuts.(2 * i) <- lo;
+        cuts.((2 * i) + 1) <- hi + 1)
+      intervals;
+    Array.sort Int.compare cuts;
+    (* Walk the universe intervals and the sorted cut array together;
+       every cut strictly inside the current interval splits it. *)
+    let ncuts = Array.length cuts in
+    let ci = ref 0 in
+    let blocks = ref [] in
+    List.iter
+      (fun (lo, hi) ->
+        while !ci < ncuts && cuts.(!ci) <= lo do incr ci done;
+        let start = ref lo in
+        while !ci < ncuts && cuts.(!ci) <= hi do
+          let c = cuts.(!ci) in
+          if c > !start then begin
+            blocks := [ (!start, c - 1) ] :: !blocks;
+            start := c
+          end;
+          incr ci
+        done;
+        blocks := [ (!start, hi) ] :: !blocks)
+      universe;
+    List.rev !blocks
+  end
 
 let pp_byte ppf b =
   let c = Char.chr b in

@@ -25,6 +25,14 @@ let concat_intersect m1 m2 m3 =
      product construction only creates ε-edges that share the
      right-hand component, so scanning the states whose left component
      is [bridge_src] enumerates exactly Qlhs × Qrhs ∩ δ5(·, ε). *)
+  (* The emptiness filter (line 15) asks, per candidate cut (qa, qb),
+     whether [induce_from_final m5 qa] or [induce_from_start m5 qb] is
+     empty. Those answers are memberships in two fixed sets — states
+     reachable from m5's start and states co-reachable to its final —
+     so both BFS passes run once and every cut is decided by two flag
+     reads instead of two full traversals. *)
+  let reach = lazy (Nfa.reachable_flags m5 (Nfa.start m5)) in
+  let coreach = lazy (Nfa.coreachable_flags m5 (Nfa.final m5)) in
   let solutions =
     List.filter_map
       (fun qa ->
@@ -35,11 +43,18 @@ let concat_intersect m1 m2 m3 =
           | None -> None
           | Some qb when not (Nfa.has_eps_edge m5 qa qb) -> None
           | Some qb ->
-              (* Lines 13–15: slice the big machine at the cut. *)
-              let v1 = Nfa.induce_from_final m5 qa in
-              let v2 = Nfa.induce_from_start m5 qb in
-              if Nfa.is_empty_lang v1 || Nfa.is_empty_lang v2 then None
-              else Some { v1; v2; cut = (qa, qb) })
+              if
+                Nfa.Flags.mem (Lazy.force reach) qa
+                && Nfa.Flags.mem (Lazy.force coreach) qb
+              then
+                (* Lines 13–15: slice the big machine at the cut. *)
+                Some
+                  {
+                    v1 = Nfa.induce_from_final m5 qa;
+                    v2 = Nfa.induce_from_start m5 qb;
+                    cut = (qa, qb);
+                  }
+              else None)
       (Nfa.states m5)
   in
   Telemetry.Span.add_attr "m5_states" (`Int (Nfa.num_states m5));

@@ -84,7 +84,9 @@ let unsat fmt = Format.kasprintf (fun s -> raise (Unsatisfiable s)) fmt
 let is_singleton_lang lang =
   match Nfa.shortest_word lang with
   | None -> false
-  | Some w -> Lang.equal lang (Nfa.of_word w)
+  (* [w] is drawn from the language, so {w} ⊆ L always holds; one
+     inclusion check decides equality. *)
+  | Some w -> Lang.subset lang (Nfa.of_word w)
 
 let leaves expr =
   let rec go acc = function

@@ -121,6 +121,30 @@ let unit_tests =
         let dot = Nfa.to_dot ab in
         check_bool "digraph" true (String.length dot > 0);
         check_bool "has start" true (contains_substring dot "__start"));
+    test "builder dedups repeated edges" (fun () ->
+        let b = Nfa.Builder.create () in
+        let first = Nfa.Builder.add_states b 2 in
+        for _ = 1 to 5 do
+          Nfa.Builder.add_trans b first (Charset.singleton 'a') (first + 1);
+          Nfa.Builder.add_eps b first (first + 1)
+        done;
+        (* a distinct label on the same edge must survive *)
+        Nfa.Builder.add_trans b first (Charset.singleton 'b') (first + 1);
+        let m = Nfa.Builder.finish b ~start:first ~final:(first + 1) in
+        check_int "char edges" 2 (List.length (Nfa.char_transitions m first));
+        check_int "eps edges" 1 (List.length (Nfa.eps_transitions_from m first));
+        check_bool "a" true (Nfa.accepts m "a");
+        check_bool "b" true (Nfa.accepts m "b"));
+    test "repeat builds linearly many states" (fun () ->
+        let k = 12 in
+        let bounded = Ops.repeat ab ~min_count:k ~max_count:(Some (2 * k)) in
+        let unbounded = Ops.repeat ab ~min_count:k ~max_count:None in
+        (* one copy of |ab| per mandatory/optional repetition plus the
+           fresh start/final — far below the old quadratic blowup *)
+        let copy = Nfa.num_states ab in
+        check_int "bounded states" ((2 * k * copy) + 2) (Nfa.num_states bounded);
+        check_int "unbounded states" (((k + 1) * copy) + 2)
+          (Nfa.num_states unbounded));
   ]
 
 let dfa_tests =
