@@ -521,6 +521,74 @@ let sanitizers_report () =
   Fmt.pr "expected shape: raw exploitable; addslashes proved clean.@."
 
 (* ------------------------------------------------------------------ *)
+(* Cache ablation: the interned language store on vs off.  Each
+   workload runs twice — once against a freshly cleared store (the
+   default configuration) and once with the store disabled, which is
+   exactly what the binaries' --no-cache flag does — and both the
+   wall clock and the store.opcache.hit diff land in the JSON so the
+   checked-in BENCH_dprle.json carries both arms.                     *)
+
+module Store = Automata.Store
+
+let store_hits diff =
+  List.fold_left
+    (fun acc (name, _, v) ->
+      if name = "store.opcache.hit" then acc + v else acc)
+    0
+    (Snapshot.counters diff)
+
+let cache_ablation name workload =
+  let arm () =
+    Store.clear ();
+    let before = Snapshot.of_default () in
+    let t0 = Unix.gettimeofday () in
+    workload ();
+    let seconds = Unix.gettimeofday () -. t0 in
+    let diff = Snapshot.diff ~after:(Snapshot.of_default ()) ~before in
+    (seconds, store_hits diff)
+  in
+  let seconds_cached, hit_cached = arm () in
+  Store.set_enabled false;
+  let seconds_uncached, hit_uncached =
+    Fun.protect ~finally:(fun () -> Store.set_enabled true) arm
+  in
+  Fmt.pr "%-22s %8.4f s, %6d hits | %8.4f s, %d hits@." name seconds_cached
+    hit_cached seconds_uncached hit_uncached;
+  json_results :=
+    Json.Obj
+      [
+        ("name", Json.String ("cache_ablation/" ^ name));
+        ("seconds_cached", Json.Float seconds_cached);
+        ("seconds_uncached", Json.Float seconds_uncached);
+        ("opcache_hit_cached", Json.Int hit_cached);
+        ("opcache_hit_uncached", Json.Int hit_uncached);
+      ]
+    :: !json_results
+
+let cache_ablation_report ~fast () =
+  hr "Cache ablation — interned language store vs --no-cache";
+  Fmt.pr "answers are identical either way; only the work differs.@.@.";
+  Fmt.pr "%-22s %22s | %s@." "workload" "---- cached ----"
+    "--- uncached ---";
+  cache_ablation "fig12_main" (fun () ->
+      List.iter
+        (fun row ->
+          if not (fast && row.Corpus.Fig12.name = "secure") then
+            ignore (solve_row row))
+        Corpus.Fig12.rows);
+  cache_ablation "extension_sanitizers" (fun () ->
+      List.iter
+        (fun (_, source) -> ignore (sanitizer_solve source))
+        sanitizer_programs);
+  (let c1, c2, c3 = ablation_inputs 8 in
+   cache_ablation "ablation_minimize" (fun () ->
+       for _ = 1 to 5 do
+         ignore (ablation_run c1 c2 c3)
+       done));
+  Fmt.pr "@.(the uncached arm must show zero op-cache hits: with the store@.";
+  Fmt.pr " disabled every operation recomputes from scratch.)@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one kernel per experiment               *)
 
 let bechamel_tests =
@@ -613,6 +681,7 @@ let () =
   experiment "ablation/minimization" ablation_report;
   experiment "hotpath/kernels" hotpath_report;
   experiment "extension/sanitizers" sanitizers_report;
+  experiment "cache_ablation" (cache_ablation_report ~fast);
   if json = None then run_bechamel ()
   else experiment "bechamel/microbench" run_bechamel;
   Option.iter write_json json;

@@ -22,25 +22,45 @@ let print_assignment index a ~witnesses_only =
 
 (* Run [f] under a span collector when any trace output was requested;
    write the Chrome trace_event JSON and/or print the indented tree to
-   stderr once the work is done. *)
+   stderr. The writer runs from the [Span.collect_emit] finaliser, so
+   a solve that raises (or is interrupted by Ctrl-C, which
+   [Sys.catch_break] turns into an exception) still flushes the
+   partial trace. A metrics snapshot diff of the traced region rides
+   along under a "metrics" key — Chrome ignores unknown keys. *)
 let with_trace ~trace ~trace_tree f =
   if trace = None && not trace_tree then f ()
   else begin
-    let result, span = Telemetry.Span.collect ~name:"dprle" f in
-    Option.iter
-      (fun path ->
-        try
-          Out_channel.with_open_text path (fun oc ->
-              Out_channel.output_string oc (Telemetry.Span.to_chrome_string span))
-        with Sys_error msg -> Fmt.epr "error: cannot write trace: %s@." msg)
-      trace;
-    if trace_tree then Fmt.epr "%a" Telemetry.Span.pp_tree span;
-    result
+    let before = Telemetry.Metrics.Snapshot.of_default () in
+    let emit span =
+      Option.iter
+        (fun path ->
+          try
+            let diff =
+              Telemetry.Metrics.Snapshot.diff
+                ~after:(Telemetry.Metrics.Snapshot.of_default ())
+                ~before
+            in
+            let json =
+              match Telemetry.Span.to_chrome_json span with
+              | Telemetry.Json.Obj fields ->
+                  Telemetry.Json.Obj
+                    (fields
+                    @ [ ("metrics", Telemetry.Metrics.Snapshot.to_json diff) ])
+              | other -> other
+            in
+            Out_channel.with_open_text path (fun oc ->
+                Out_channel.output_string oc (Telemetry.Json.to_string json))
+          with Sys_error msg -> Fmt.epr "error: cannot write trace: %s@." msg)
+        trace;
+      if trace_tree then Fmt.epr "%a" Telemetry.Span.pp_tree span
+    in
+    Telemetry.Span.collect_emit ~name:"dprle" ~emit f
   end
 
 let solve_cmd path first max_solutions combination_limit witnesses_only dot
-    smtlib stats trace trace_tree verbose =
+    smtlib stats trace trace_tree no_cache verbose =
   setup_logs verbose;
+  if no_cache then Automata.Store.set_enabled false;
   match read_system path with
   | Error msg ->
       Fmt.epr "error: %s@." msg;
@@ -77,8 +97,9 @@ let solve_cmd path first max_solutions combination_limit witnesses_only dot
           List.iteri (fun i a -> print_assignment i a ~witnesses_only) solutions;
           0)
 
-let check_cmd path verbose =
+let check_cmd path no_cache verbose =
   setup_logs verbose;
+  if no_cache then Automata.Store.set_enabled false;
   match read_system path with
   | Error msg ->
       Fmt.epr "error: %s@." msg;
@@ -98,6 +119,14 @@ let path_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Constraint file.")
 
 let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.")
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:
+          "Disable the interned language store and all memoized automata \
+           operations (cache ablation; identical output, more work).")
 
 let solve_term =
   let first =
@@ -149,7 +178,8 @@ let solve_term =
   in
   Term.(
     const solve_cmd $ path_arg $ first $ max_solutions $ combination_limit
-    $ witnesses_only $ dot $ smtlib $ stats $ trace $ trace_tree $ verbose_arg)
+    $ witnesses_only $ dot $ smtlib $ stats $ trace $ trace_tree $ no_cache_arg
+    $ verbose_arg)
 
 let solve_cmd_info =
   Cmd.info "solve" ~doc:"Solve a system of subset constraints over regular languages."
@@ -163,10 +193,14 @@ let main_info =
        (Hooimeijer & Weimer, PLDI 2009)."
 
 let () =
+  (* Ctrl-C raises [Sys.Break] instead of killing the process, so the
+     [with_trace] finaliser can flush a partial trace first. *)
+  Sys.catch_break true;
   exit
     (Cmd.eval'
        (Cmd.group main_info
           [
             Cmd.v solve_cmd_info solve_term;
-            Cmd.v check_cmd_info Term.(const check_cmd $ path_arg $ verbose_arg);
+            Cmd.v check_cmd_info
+              Term.(const check_cmd $ path_arg $ no_cache_arg $ verbose_arg);
           ]))

@@ -141,24 +141,45 @@ let check_dir dir attack structural max_paths =
 
 (* Run [f] under a span collector when any trace output was requested;
    write the Chrome trace_event JSON and/or print the indented tree to
-   stderr once the work is done. *)
+   stderr. The writer runs from the [Span.collect_emit] finaliser, so
+   an analysis that raises (or is interrupted by Ctrl-C, which
+   [Sys.catch_break] turns into an exception) still flushes the
+   partial trace. A metrics snapshot diff of the traced region rides
+   along under a "metrics" key — Chrome ignores unknown keys. *)
 let with_trace ~trace ~trace_tree f =
   if trace = None && not trace_tree then f ()
   else begin
-    let result, span = Telemetry.Span.collect ~name:"webcheck" f in
-    Option.iter
-      (fun path ->
-        try
-          Out_channel.with_open_text path (fun oc ->
-              Out_channel.output_string oc (Telemetry.Span.to_chrome_string span))
-        with Sys_error msg -> Fmt.epr "error: cannot write trace: %s@." msg)
-      trace;
-    if trace_tree then Fmt.epr "%a" Telemetry.Span.pp_tree span;
-    result
+    let before = Telemetry.Metrics.Snapshot.of_default () in
+    let emit span =
+      Option.iter
+        (fun path ->
+          try
+            let diff =
+              Telemetry.Metrics.Snapshot.diff
+                ~after:(Telemetry.Metrics.Snapshot.of_default ())
+                ~before
+            in
+            let json =
+              match Telemetry.Span.to_chrome_json span with
+              | Telemetry.Json.Obj fields ->
+                  Telemetry.Json.Obj
+                    (fields
+                    @ [ ("metrics", Telemetry.Metrics.Snapshot.to_json diff) ])
+              | other -> other
+            in
+            Out_channel.with_open_text path (fun oc ->
+                Out_channel.output_string oc (Telemetry.Json.to_string json))
+          with Sys_error msg -> Fmt.epr "error: cannot write trace: %s@." msg)
+        trace;
+      if trace_tree then Fmt.epr "%a" Telemetry.Span.pp_tree span
+    in
+    Telemetry.Span.collect_emit ~name:"webcheck" ~emit f
   end
 
-let check_cmd path attack all structural max_paths trace trace_tree verbose =
+let check_cmd path attack all structural max_paths trace trace_tree no_cache
+    verbose =
   setup_logs verbose;
+  if no_cache then Automata.Store.set_enabled false;
   with_trace ~trace ~trace_tree @@ fun () ->
   if Sys.is_directory path then check_dir path attack structural max_paths
   else check_one path attack all structural max_paths
@@ -166,6 +187,9 @@ let check_cmd path attack all structural max_paths trace trace_tree verbose =
 open Cmdliner
 
 let () =
+  (* Ctrl-C raises [Sys.Break] instead of killing the process, so the
+     [with_trace] finaliser can flush a partial trace first. *)
+  Sys.catch_break true;
   let path_arg =
     Arg.(
       required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Mini-PHP source file.")
@@ -204,11 +228,19 @@ let () =
       value & flag
       & info [ "trace-tree" ] ~doc:"Print the span tree of the analysis to stderr.")
   in
+  let no_cache_arg =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:
+            "Disable the interned language store and all memoized automata \
+             operations (cache ablation; identical output, more work).")
+  in
   let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.") in
   let term =
     Term.(
       const check_cmd $ path_arg $ attack_arg $ all_arg $ structural_arg
-      $ max_paths_arg $ trace_arg $ trace_tree_arg $ verbose_arg)
+      $ max_paths_arg $ trace_arg $ trace_tree_arg $ no_cache_arg $ verbose_arg)
   in
   let info =
     Cmd.info "webcheck" ~version:"1.0.0"

@@ -1,0 +1,300 @@
+(* Hash-consed language handles with memoized operations. See the
+   .mli for the contract; the two load-bearing pieces here are the
+   canonical key (equal keys must imply equal languages — we get the
+   stronger property that the trimmed machines are isomorphic) and the
+   disabled mode, which must behave exactly like the pre-store code
+   path so [--no-cache] is a faithful ablation. *)
+
+module Metrics = Telemetry.Metrics
+
+let intern_hit = Metrics.Counter.make "store.intern.hit"
+let intern_miss = Metrics.Counter.make "store.intern.miss"
+let opcache_hit = Metrics.Counter.make "store.opcache.hit"
+let opcache_miss = Metrics.Counter.make "store.opcache.miss"
+let opcache_evict = Metrics.Counter.make "store.opcache.evict"
+let machine_states = Metrics.Histogram.make "store.machine.states"
+
+let enabled_flag = ref true
+let enabled () = !enabled_flag
+
+type handle = {
+  id : int;
+  nfa : Nfa.t;
+  mutable dfa_memo : Dfa.t option;
+  mutable min_dfa_memo : Dfa.t option;
+  mutable minimized_memo : Nfa.t option;
+  mutable empty_memo : bool option;
+}
+
+let nfa h = h.nfa
+let id h = h.id
+
+(* ------------------------------------------------------------------ *)
+(* Canonical key *)
+
+(* Serialization of the trimmed machine under a deterministic BFS
+   renumbering. Two machines whose trimmed forms are isomorphic under
+   *this* traversal order produce equal strings; since the traversal
+   is a function of the machine's structure alone, equal keys imply
+   the trimmed machines are isomorphic, hence language-equal. (The
+   converse is not sought: structurally different machines for the
+   same language hash apart, which only costs sharing.)
+
+   Traversal: BFS from the start state, expanding each state's char
+   edges ordered by (label, old destination id) and then its ε-edges
+   ordered by old destination id. Trim guarantees every state but the
+   final state of an empty-language machine is reachable; any
+   leftovers are appended in old-id order so the key is total. *)
+let canonical_key m0 =
+  let m, _ = Nfa.trim m0 in
+  let n = Nfa.num_states m in
+  let order = Array.make (max n 1) (-1) in
+  let next = ref 0 in
+  let queue = Queue.create () in
+  let enqueue q =
+    if order.(q) < 0 then begin
+      order.(q) <- !next;
+      incr next;
+      Queue.add q queue
+    end
+  in
+  enqueue (Nfa.start m);
+  while not (Queue.is_empty queue) do
+    let q = Queue.pop queue in
+    let chars =
+      List.sort
+        (fun (c1, d1) (c2, d2) ->
+          let c = Charset.compare c1 c2 in
+          if c <> 0 then c else compare (d1 : int) d2)
+        (Nfa.char_transitions m q)
+    in
+    List.iter (fun (_, d) -> enqueue d) chars;
+    List.iter enqueue (List.sort compare (Nfa.eps_transitions_from m q))
+  done;
+  for q = 0 to n - 1 do
+    if order.(q) < 0 then begin
+      order.(q) <- !next;
+      incr next
+    end
+  done;
+  let inv = Array.make (max n 1) 0 in
+  for q = 0 to n - 1 do
+    inv.(order.(q)) <- q
+  done;
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%d#%d#%d" n order.(Nfa.start m) order.(Nfa.final m));
+  for i = 0 to n - 1 do
+    let q = inv.(i) in
+    Buffer.add_char buf '|';
+    let chars =
+      List.sort
+        (fun (c1, d1) (c2, d2) ->
+          let c = Charset.compare c1 c2 in
+          if c <> 0 then c else compare (d1 : int) d2)
+        (List.map (fun (cs, d) -> (cs, order.(d))) (Nfa.char_transitions m q))
+    in
+    List.iter
+      (fun (cs, d) ->
+        List.iter
+          (fun (lo, hi) -> Buffer.add_string buf (Printf.sprintf "%d-%d," lo hi))
+          (Charset.ranges cs);
+        Buffer.add_string buf (Printf.sprintf ">%d;" d))
+      chars;
+    Buffer.add_char buf '!';
+    List.iter
+      (fun d -> Buffer.add_string buf (Printf.sprintf "%d," d))
+      (List.sort compare
+         (List.map (fun d -> order.(d)) (Nfa.eps_transitions_from m q)))
+  done;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Intern table *)
+
+let intern_table : (string, handle) Hashtbl.t = Hashtbl.create 256
+
+(* Monotone across [clear]/[set_enabled] so stale ids in surviving
+   caller-side memo keys can never alias a new machine. *)
+let next_id = ref 0
+
+let fresh_handle m =
+  let id = !next_id in
+  incr next_id;
+  {
+    id;
+    nfa = m;
+    dfa_memo = None;
+    min_dfa_memo = None;
+    minimized_memo = None;
+    empty_memo = None;
+  }
+
+let intern m =
+  if not !enabled_flag then fresh_handle m
+  else
+    let key = canonical_key m in
+    match Hashtbl.find_opt intern_table key with
+    | Some h ->
+        Metrics.Counter.incr intern_hit 1;
+        h
+    | None ->
+        Metrics.Counter.incr intern_miss 1;
+        Metrics.Histogram.observe machine_states
+          (float_of_int (Nfa.num_states m));
+        let h = fresh_handle m in
+        Hashtbl.replace intern_table key h;
+        h
+
+let canon m = if not !enabled_flag then m else (intern m).nfa
+
+(* ------------------------------------------------------------------ *)
+(* Per-handle memo slots *)
+
+let dfa h =
+  if not !enabled_flag then Dfa.of_nfa h.nfa
+  else
+    match h.dfa_memo with
+    | Some d -> d
+    | None ->
+        let d = Dfa.of_nfa h.nfa in
+        h.dfa_memo <- Some d;
+        d
+
+let min_dfa h =
+  if not !enabled_flag then Dfa.minimize (Dfa.of_nfa h.nfa)
+  else
+    match h.min_dfa_memo with
+    | Some d -> d
+    | None ->
+        let d = Dfa.minimize (dfa h) in
+        h.min_dfa_memo <- Some d;
+        d
+
+let minimized h =
+  if not !enabled_flag then Lang.compact h.nfa
+  else
+    match h.minimized_memo with
+    | Some m -> m
+    | None ->
+        let m = Lang.compact h.nfa in
+        h.minimized_memo <- Some m;
+        m
+
+let is_empty h =
+  if not !enabled_flag then Nfa.is_empty_lang h.nfa
+  else
+    match h.empty_memo with
+    | Some b -> b
+    | None ->
+        let b = Nfa.is_empty_lang h.nfa in
+        h.empty_memo <- Some b;
+        b
+
+(* ------------------------------------------------------------------ *)
+(* Generic bounded LRU memoization *)
+
+module Memo = struct
+  type 'v entry = { value : 'v; mutable stamp : int }
+
+  type 'v t = {
+    op : string;
+    table : (int list, 'v entry) Hashtbl.t;
+    mutable tick : int;
+  }
+
+  (* Every table registers a clearer so [Store.clear] reaches caches
+     created by higher layers (solver, residual) without a type-level
+     dependency on their value types. *)
+  let clearers : (unit -> unit) list ref = ref []
+  let capacity = ref 4096
+
+  let create ~op =
+    let t = { op; table = Hashtbl.create 64; tick = 0 } in
+    clearers :=
+      (fun () ->
+        Hashtbl.reset t.table;
+        t.tick <- 0)
+      :: !clearers;
+    t
+
+  (* Batch-evict the least-recently-used half: O(n) with no auxiliary
+     order structure to maintain on hits, amortized O(1) per insert. *)
+  let evict_half t =
+    let n = Hashtbl.length t.table in
+    let stamps = Array.make n 0 in
+    let i = ref 0 in
+    Hashtbl.iter
+      (fun _ e ->
+        stamps.(!i) <- e.stamp;
+        incr i)
+      t.table;
+    Array.sort compare stamps;
+    let cutoff = stamps.(n / 2) in
+    let victims =
+      Hashtbl.fold
+        (fun k e acc -> if e.stamp < cutoff then k :: acc else acc)
+        t.table []
+    in
+    List.iter (Hashtbl.remove t.table) victims;
+    Metrics.Counter.incr ~labels:[ ("op", t.op) ] opcache_evict
+      (List.length victims)
+
+  let find_or_compute t ~key f =
+    if not !enabled_flag then f ()
+    else begin
+      t.tick <- t.tick + 1;
+      match Hashtbl.find_opt t.table key with
+      | Some e ->
+          e.stamp <- t.tick;
+          Metrics.Counter.incr ~labels:[ ("op", t.op) ] opcache_hit 1;
+          e.value
+      | None ->
+          Metrics.Counter.incr ~labels:[ ("op", t.op) ] opcache_miss 1;
+          let v = f () in
+          if Hashtbl.length t.table >= !capacity then evict_half t;
+          Hashtbl.replace t.table key { value = v; stamp = t.tick };
+          v
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Cached binary operations *)
+
+let inter_memo : handle Memo.t = Memo.create ~op:"inter_lang"
+let concat_memo : handle Memo.t = Memo.create ~op:"concat_lang"
+let union_memo : handle Memo.t = Memo.create ~op:"union_lang"
+let cex_memo : string option Memo.t = Memo.create ~op:"counterexample"
+
+let inter_lang h1 h2 =
+  Memo.find_or_compute inter_memo ~key:[ h1.id; h2.id ] (fun () ->
+      intern (Ops.inter_lang h1.nfa h2.nfa))
+
+let concat_lang h1 h2 =
+  Memo.find_or_compute concat_memo ~key:[ h1.id; h2.id ] (fun () ->
+      intern (Ops.concat_lang h1.nfa h2.nfa))
+
+let union_lang h1 h2 =
+  Memo.find_or_compute union_memo ~key:[ h1.id; h2.id ] (fun () ->
+      intern (Ops.union_lang h1.nfa h2.nfa))
+
+let counterexample h1 h2 =
+  Memo.find_or_compute cex_memo ~key:[ h1.id; h2.id ] (fun () ->
+      Lang.counterexample h1.nfa h2.nfa)
+
+let subset h1 h2 = counterexample h1 h2 = None
+let equal h1 h2 = subset h1 h2 && subset h2 h1
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle *)
+
+let clear () =
+  Hashtbl.reset intern_table;
+  List.iter (fun f -> f ()) !Memo.clearers
+
+let set_enabled b =
+  let was = !enabled_flag in
+  enabled_flag := b;
+  if was && not b then clear ()
+
+let set_capacity n = Memo.capacity := max 16 n

@@ -1,0 +1,126 @@
+(** Interned language store: hash-consed {!Nfa.t} handles with
+    memoized automata operations.
+
+    The paper's pathological row (`secure`, Fig. 12) is driven by
+    re-processing the same constant machines once per path and per
+    solve; §4 suggests minimization/caching as the fix. This module is
+    that caching substrate. A {!handle} names a machine in a global
+    intern table keyed by a {e canonical key} — the pruned
+    ({!Nfa.trim}med) machine serialized under a deterministic
+    breadth-first renumbering, so structurally equal machines (up to
+    dead states and state numbering) share one handle. Equal keys
+    imply isomorphic trimmed machines and therefore equal languages.
+
+    Each handle carries memo slots for the expensive unary questions
+    (determinization, minimization, emptiness), and the binary
+    operations ([inter]/[concat]/[union]/[subset]/[equal]/
+    [counterexample]) go through bounded LRU caches keyed on handle-id
+    tuples. Cache behaviour is observable through the
+    [store.intern.{hit,miss}] and [store.opcache.{hit,miss,evict}]
+    counters (the op-cache ones labelled [op=...]) and the
+    [store.machine.states] histogram (sizes of newly interned
+    machines), and ablatable: {!set_enabled}[ false] (the binaries'
+    [--no-cache]) turns every entry point into a transparent
+    passthrough that computes exactly what the un-stored code would.
+
+    Call sites that need {e provenance} — the paper's sub-NFA slicing
+    invariant in [Ops.concat]/[Ops.intersect] — must keep operating on
+    raw [Nfa.t] values: a handle's representative machine is the first
+    machine interned under its key, so state identities of a specific
+    construction are not preserved across the store. *)
+
+type handle
+
+(** {1 Interning} *)
+
+(** Intern a machine, returning its shared handle. When the store is
+    disabled this is a fresh passthrough handle wrapping [m] itself
+    (no key is computed). *)
+val intern : Nfa.t -> handle
+
+(** The handle's representative machine: the first machine interned
+    under its canonical key (language-equal to every machine since
+    merged into it). *)
+val nfa : handle -> Nfa.t
+
+(** Dense id, unique per process. Handles with equal ids denote the
+    same interned machine; use ids as memo keys ({!Memo}). *)
+val id : handle -> int
+
+(** [canon m = nfa (intern m)] — replace a machine by its interned
+    representative. Identity when the store is disabled. *)
+val canon : Nfa.t -> Nfa.t
+
+(** {1 Memoized unary operations} *)
+
+(** Determinization of the handle's machine, computed once. *)
+val dfa : handle -> Dfa.t
+
+(** Minimized DFA ([Dfa.minimize] of {!dfa}), computed once. *)
+val min_dfa : handle -> Dfa.t
+
+(** [Lang.compact] of the handle's machine, computed once. *)
+val minimized : handle -> Nfa.t
+
+(** Language emptiness, computed once. *)
+val is_empty : handle -> bool
+
+(** {1 Cached binary operations}
+
+    Results are themselves interned, so algebraically convergent
+    expressions share handles across different operation paths. *)
+
+val inter_lang : handle -> handle -> handle
+
+val concat_lang : handle -> handle -> handle
+
+val union_lang : handle -> handle -> handle
+
+(** A word of [L(a) \ L(b)], if any (cached; {!subset} and {!equal}
+    answer from the same cache line). *)
+val counterexample : handle -> handle -> string option
+
+val subset : handle -> handle -> bool
+
+val equal : handle -> handle -> bool
+
+(** {1 Generic memoization}
+
+    Bounded LRU tables keyed on handle-id lists, sharing the store's
+    enable switch, capacity, and [store.opcache.*] counters (labelled
+    with [op]). Higher layers (the solver's concat-intersect, the
+    residual construction) register their own caches here without the
+    store needing to know their value types. *)
+
+module Memo : sig
+  type 'v t
+
+  (** [create ~op] registers a new table; [op] labels its counters
+      and must be unique per call site. The table participates in
+      {!clear}. *)
+  val create : op:string -> 'v t
+
+  (** [find_or_compute t ~key f] returns the cached value for [key],
+      or runs [f], caches, and returns. When the store is disabled
+      this is just [f ()]. *)
+  val find_or_compute : 'v t -> key:int list -> (unit -> 'v) -> 'v
+end
+
+(** {1 Lifecycle} *)
+
+(** [true] iff interning and caching are active (the default). *)
+val enabled : unit -> bool
+
+(** Turn the store on or off. Turning it off also {!clear}s it, so an
+    ablation run ([--no-cache]) holds no stale state. *)
+val set_enabled : bool -> unit
+
+(** Drop the intern table and every op-cache (outstanding handles
+    stay valid; their memo slots are unaffected). Benchmarks call
+    this between arms. *)
+val clear : unit -> unit
+
+(** Per-table entry cap for the LRU op-caches (default 4096; at least
+    16). When a table fills, the least-recently-used half is evicted
+    in one batch. *)
+val set_capacity : int -> unit

@@ -19,12 +19,21 @@ let enumerate_dfa concretize (d : Dfa.t) =
   layer [ (Dfa.start d, "") ]
 
 (* Minimizing first trims dead branches, so forcing the sequence never
-   spins in a part of the machine that cannot produce another word. *)
+   spins in a part of the machine that cannot produce another word.
+   The minimized DFA is built at most once, through the store's
+   per-handle memo, and the stream is [Seq.memoize]d so forcing it a
+   second time replays recorded nodes instead of re-walking the DFA. *)
 let enumerate m =
-  enumerate_dfa (fun cs -> [ Charset.choose cs ]) (Dfa.minimize (Dfa.of_nfa m))
+  let h = Store.intern m in
+  Seq.memoize (fun () ->
+      enumerate_dfa (fun cs -> [ Charset.choose cs ]) (Store.min_dfa h) ())
 
 let exhaustive ~alphabet m =
-  let restricted = Ops.inter_lang m (Ops.star (Nfa.of_charset alphabet)) in
-  enumerate_dfa Charset.to_list (Dfa.minimize (Dfa.of_nfa restricted))
+  let h = Store.intern m in
+  Seq.memoize (fun () ->
+      let restricted =
+        Store.inter_lang h (Store.intern (Ops.star (Nfa.of_charset alphabet)))
+      in
+      enumerate_dfa Charset.to_list (Store.min_dfa restricted) ())
 
 let take n m = List.of_seq (Seq.take n (enumerate m))

@@ -13,7 +13,10 @@
     language restricted to a small alphabet. *)
 
 (** Shortest-first sampled enumeration (see above). The sequence is
-    finite iff the sampled language is. *)
+    finite iff the sampled language is. The minimized DFA behind the
+    stream is built at most once (via {!Store.min_dfa}) and the stream
+    itself is memoized, so forcing it repeatedly does no new automaton
+    work. *)
 val enumerate : Nfa.t -> string Seq.t
 
 (** Complete shortest-first enumeration of [L(m) ∩ alphabet*]. The

@@ -16,12 +16,17 @@ let bindings t = SMap.bindings t
 
 let variables t = List.map fst (SMap.bindings t)
 
+(* Through the store: [prune_subsumed] compares all pairs of
+   disjuncts, and the same variable languages recur across them. *)
 let subsumes a b =
   SMap.for_all
     (fun v lang_b ->
       match SMap.find_opt v a with
       | None -> false
-      | Some lang_a -> Automata.Lang.subset lang_b lang_a)
+      | Some lang_a ->
+          Automata.Store.subset
+            (Automata.Store.intern lang_b)
+            (Automata.Store.intern lang_a))
     b
 
 let equal a b = subsumes a b && subsumes b a

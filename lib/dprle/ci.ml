@@ -1,19 +1,12 @@
 module Nfa = Automata.Nfa
 module Ops = Automata.Ops
+module Store = Automata.Store
 
 type solution = { v1 : Nfa.t; v2 : Nfa.t; cut : Nfa.state * Nfa.state }
 
 type result = { solutions : solution list; m5 : Nfa.t; m4 : Nfa.t }
 
-let concat_intersect m1 m2 m3 =
-  Telemetry.Span.with_span ~name:"ci.concat_intersect"
-    ~attrs:
-      [
-        ("m1_states", `Int (Nfa.num_states m1));
-        ("m2_states", `Int (Nfa.num_states m2));
-        ("m3_states", `Int (Nfa.num_states m3));
-      ]
-  @@ fun () ->
+let compute m1 m2 m3 =
   (* Fig. 3 line 6: l4 = c1 ∘ c2, joined by a single ε-bridge. *)
   let cat = Ops.concat m1 m2 in
   let bridge_src, bridge_dst = cat.bridge in
@@ -57,8 +50,35 @@ let concat_intersect m1 m2 m3 =
               else None)
       (Nfa.states m5)
   in
-  Telemetry.Span.add_attr "m5_states" (`Int (Nfa.num_states m5));
-  Telemetry.Span.add_attr "eps_cuts" (`Int (List.length solutions));
   { solutions; m5; m4 = cat.machine }
+
+(* The whole result is cached on the interned operand triple: Fig. 12
+   rows and symexec paths re-pose the same (c1, c2, c3) queries, and
+   everything in [result] — including the state-identity provenance of
+   the cut slices — is self-consistent relative to the interned
+   representatives the computation ran on. The raw [Ops.concat]/
+   [Ops.intersect] inside [compute] stay uncached by construction. *)
+let ci_memo : result Store.Memo.t = Store.Memo.create ~op:"ci"
+
+let concat_intersect m1 m2 m3 =
+  Telemetry.Span.with_span ~name:"ci.concat_intersect"
+    ~attrs:
+      [
+        ("m1_states", `Int (Nfa.num_states m1));
+        ("m2_states", `Int (Nfa.num_states m2));
+        ("m3_states", `Int (Nfa.num_states m3));
+      ]
+  @@ fun () ->
+  let result =
+    if not (Store.enabled ()) then compute m1 m2 m3
+    else
+      let h1 = Store.intern m1 and h2 = Store.intern m2 and h3 = Store.intern m3 in
+      Store.Memo.find_or_compute ci_memo
+        ~key:[ Store.id h1; Store.id h2; Store.id h3 ]
+        (fun () -> compute (Store.nfa h1) (Store.nfa h2) (Store.nfa h3))
+  in
+  Telemetry.Span.add_attr "m5_states" (`Int (Nfa.num_states result.m5));
+  Telemetry.Span.add_attr "eps_cuts" (`Int (List.length result.solutions));
+  result
 
 let solve m1 m2 m3 = (concat_intersect m1 m2 m3).solutions

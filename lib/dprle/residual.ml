@@ -2,6 +2,7 @@ module Nfa = Automata.Nfa
 module Dfa = Automata.Dfa
 module Ops = Automata.Ops
 module Lang = Automata.Lang
+module Store = Automata.Store
 
 module IS = Set.Make (Int)
 
@@ -77,7 +78,7 @@ let universal_subset_machine (dfa : Dfa.t) t0 good =
   done;
   Nfa.Builder.finish b ~start ~final
 
-let max_middle ~pre ~post ~upper =
+let max_middle_uncached ~pre ~post ~upper =
   if Nfa.is_empty_lang pre || Nfa.is_empty_lang post then Nfa.sigma_star
   else begin
     (* complement-free: complete the DFA so every word has a run *)
@@ -100,6 +101,27 @@ let max_middle ~pre ~post ~upper =
     end
   end
 
+(* The maximalization loop re-poses the same (pre, post, upper)
+   residual once per occurrence per iteration, and the solver's
+   preprocessing poses it again for every alternative sharing a
+   constant run — cache the whole construction on the interned
+   operand triple. *)
+let max_middle_memo : Nfa.t Store.Memo.t =
+  Store.Memo.create ~op:"residual.max_middle"
+
+let max_middle ~pre ~post ~upper =
+  if not (Store.enabled ()) then max_middle_uncached ~pre ~post ~upper
+  else
+    let hp = Store.intern pre
+    and hq = Store.intern post
+    and hu = Store.intern upper in
+    Store.Memo.find_or_compute max_middle_memo
+      ~key:[ Store.id hp; Store.id hq; Store.id hu ]
+      (fun () ->
+        Store.canon
+          (max_middle_uncached ~pre:(Store.nfa hp) ~post:(Store.nfa hq)
+             ~upper:(Store.nfa hu)))
+
 (* Flatten a constraint's left-hand side into its leaves, then compute
    for each occurrence of [v] the concatenation of the leaf languages
    before and after it under the current assignment. *)
@@ -110,9 +132,12 @@ let leaves expr =
   in
   List.rev (go [] expr)
 
-let leaf_lang system a = function
-  | System.Const c -> System.const_lang system c
-  | System.Var v -> Assignment.find a v
+(* Constants resolve to the system's shared handles; assignment
+   values are interned on the spot (cheap relative to the residual
+   they feed, and identical values across occurrences collapse). *)
+let leaf_handle system a = function
+  | System.Const c -> System.const_handle system c
+  | System.Var v -> Store.intern (Assignment.find a v)
   | System.Concat _ | System.Union _ -> assert false
 
 (* Bounds from one union-free alternative of the left-hand side. *)
@@ -126,12 +151,12 @@ let alternative_bounds system a v upper alternative =
       let side lo hi =
         let rec build j m =
           if j > hi then m
-          else build (j + 1) (Ops.concat_lang m (leaf_lang system a arr.(j)))
+          else build (j + 1) (Store.concat_lang m (leaf_handle system a arr.(j)))
         in
-        build lo Nfa.epsilon_lang
+        build lo (Store.intern Nfa.epsilon_lang)
       in
-      let pre = side 0 (i - 1) in
-      let post = side (i + 1) (n - 1) in
+      let pre = Store.nfa (side 0 (i - 1)) in
+      let post = Store.nfa (side (i + 1) (n - 1)) in
       collect (i + 1) (max_middle ~pre ~post ~upper :: acc)
     end
     else collect (i + 1) acc
@@ -153,20 +178,23 @@ let maximize_var system a v =
   match bounds with
   | [] -> Assignment.find a v (* unconstrained: leave as-is *)
   | first :: rest ->
-      Lang.compact (List.fold_left Ops.inter_lang first rest)
+      Store.minimized
+        (List.fold_left
+           (fun acc b -> Store.inter_lang acc (Store.intern b))
+           (Store.intern first) rest)
 
 (* Local satisfaction check (kept here rather than in Validate to
    avoid a dependency cycle). *)
 let satisfies system a =
-  let rec expr_lang = function
-    | System.Const c -> System.const_lang system c
-    | System.Var v -> Assignment.find a v
-    | System.Concat (e1, e2) -> Ops.concat_lang (expr_lang e1) (expr_lang e2)
-    | System.Union (e1, e2) -> Ops.union_lang (expr_lang e1) (expr_lang e2)
+  let rec expr_handle = function
+    | System.Const c -> System.const_handle system c
+    | System.Var v -> Store.intern (Assignment.find a v)
+    | System.Concat (e1, e2) -> Store.concat_lang (expr_handle e1) (expr_handle e2)
+    | System.Union (e1, e2) -> Store.union_lang (expr_handle e1) (expr_handle e2)
   in
   List.for_all
     (fun { System.lhs; rhs } ->
-      Lang.subset (expr_lang lhs) (System.const_lang system rhs))
+      Store.subset (expr_handle lhs) (System.const_handle system rhs))
     (System.constraints system)
 
 let maximize system a =
@@ -177,7 +205,8 @@ let maximize system a =
         (fun (a, grew) v ->
           let current = Assignment.find a v in
           let bigger = maximize_var system a v in
-          if Lang.subset bigger current then (a, grew)
+          if Store.subset (Store.intern bigger) (Store.intern current) then
+            (a, grew)
           else begin
             let candidate =
               Assignment.of_list
@@ -196,4 +225,6 @@ let maximize system a =
   in
   let result = loop a 0 in
   Assignment.of_list
-    (List.map (fun (v, lang) -> (v, Lang.compact lang)) (Assignment.bindings result))
+    (List.map
+       (fun (v, lang) -> (v, Store.minimized (Store.intern lang)))
+       (Assignment.bindings result))

@@ -1,6 +1,7 @@
 module Nfa = Automata.Nfa
 module Ops = Automata.Ops
 module Lang = Automata.Lang
+module Store = Automata.Store
 
 let log = Logs.Src.create "dprle.solver" ~doc:"RMA constraint solver"
 
@@ -81,12 +82,17 @@ let unsat fmt = Format.kasprintf (fun s -> raise (Unsatisfiable s)) fmt
    before being admitted (sound, possibly incomplete; noted in
    DESIGN.md). *)
 
-let is_singleton_lang lang =
-  match Nfa.shortest_word lang with
-  | None -> false
-  (* [w] is drawn from the language, so {w} ⊆ L always holds; one
-     inclusion check decides equality. *)
-  | Some w -> Lang.subset lang (Nfa.of_word w)
+(* Memoized on the handle id: the answer survives across disjuncts,
+   constraint files, and repeated solves of shared constants. *)
+let singleton_memo : bool Store.Memo.t = Store.Memo.create ~op:"is_singleton"
+
+let is_singleton_handle h =
+  Store.Memo.find_or_compute singleton_memo ~key:[ Store.id h ] (fun () ->
+      match Nfa.shortest_word (Store.nfa h) with
+      | None -> false
+      (* [w] is drawn from the language, so {w} ⊆ L always holds; one
+         inclusion check decides equality. *)
+      | Some w -> Store.subset h (Store.intern (Nfa.of_word w)))
 
 let leaves expr =
   let rec go acc = function
@@ -96,31 +102,27 @@ let leaves expr =
   List.rev (go [] expr)
 
 let preprocess system =
-  let const_lang = System.const_lang system in
-  let singleton = Hashtbl.create 16 in
-  let is_singleton name =
-    match Hashtbl.find_opt singleton name with
-    | Some b -> b
-    | None ->
-        let b = is_singleton_lang (const_lang name) in
-        Hashtbl.add singleton name b;
-        b
-  in
+  let const_handle = System.const_handle system in
+  let is_singleton name = is_singleton_handle (const_handle name) in
   let fresh = ref 0 in
   let extra = ref [] in
   let residual_const ~pre ~post ~upper =
     let name = Printf.sprintf "#res%d" !fresh in
     incr fresh;
-    extra := (name, Residual.max_middle ~pre ~post ~upper) :: !extra;
+    extra :=
+      (name,
+        Residual.max_middle ~pre:(Store.nfa pre) ~post:(Store.nfa post)
+          ~upper:(Store.nfa upper))
+      :: !extra;
     name
   in
   let run_lang run =
     List.fold_left
       (fun acc leaf ->
         match leaf with
-        | System.Const c -> Ops.concat_lang acc (const_lang c)
+        | System.Const c -> Store.concat_lang acc (const_handle c)
         | _ -> assert false)
-      Nfa.epsilon_lang run
+      (Store.intern Nfa.epsilon_lang) run
   in
   let needs_fold run =
     run <> []
@@ -148,7 +150,7 @@ let preprocess system =
         let mid = List.rev mid_rev in
         if mid = [] then begin
           (* constant-only alternative: decide inclusion now *)
-          if not (Lang.subset (run_lang pre_run) (const_lang rhs)) then
+          if not (Store.subset (run_lang pre_run) (const_handle rhs)) then
             unsat "constant expression violates its subset constraint";
           None
         end
@@ -157,9 +159,10 @@ let preprocess system =
           if not (fold_pre || fold_post) then
             Option.map (fun lhs -> { System.lhs; rhs }) (rebuild ls)
           else begin
-            let pre = if fold_pre then run_lang pre_run else Nfa.epsilon_lang in
-            let post = if fold_post then run_lang post_run else Nfa.epsilon_lang in
-            let rhs' = residual_const ~pre ~post ~upper:(const_lang rhs) in
+            let eps = Store.intern Nfa.epsilon_lang in
+            let pre = if fold_pre then run_lang pre_run else eps in
+            let post = if fold_post then run_lang post_run else eps in
+            let rhs' = residual_const ~pre ~post ~upper:(const_handle rhs) in
             let kept =
               (if fold_pre then [] else pre_run)
               @ mid
@@ -185,7 +188,7 @@ let group_needs_verification (g : Depgraph.t) members =
       && List.exists
            (function
              | Depgraph.Const c ->
-                 not (is_singleton_lang (System.const_lang g.system c))
+                 not (is_singleton_handle (System.const_handle g.system c))
              | _ -> false)
            [ left; right ])
     g.concats
@@ -196,37 +199,42 @@ let group_needs_verification (g : Depgraph.t) members =
    applied up front — invariant 1 of §3.4.3, subset constraints
    before concatenations. *)
 
+(* The base map carries store handles, not raw machines: the inbound
+   intersections and the constant-vs-constant inclusions below are the
+   first places repeated constants pay off, and downstream consumers
+   (group solving, the singleton-group fast path) reuse the same
+   handles for their own cached queries. *)
 let base_languages (g : Depgraph.t) =
-  let const_lang c = System.const_lang g.system c in
+  let const_handle c = System.const_handle g.system c in
   let inbound n =
     List.filter_map
       (fun (c, n') ->
         if Depgraph.node_equal n n' then
           match c with
-          | Depgraph.Const name -> Some (const_lang name)
+          | Depgraph.Const name -> Some (const_handle name)
           | _ -> assert false (* RHS of ⊆ is a constant by the grammar *)
         else None)
       g.subsets
   in
   List.fold_left
     (fun acc n ->
-      let lang =
+      let h =
         match n with
         | Depgraph.Const name ->
-            let own = const_lang name in
+            let own = const_handle name in
             (* constant-vs-constant constraints are decided here *)
             List.iter
               (fun upper ->
-                if not (Lang.subset own upper) then
+                if not (Store.subset own upper) then
                   unsat "constant %a violates a subset constraint" Depgraph.pp_node n)
               (inbound n);
             own
         | Depgraph.Var _ | Depgraph.Tmp _ -> (
             match inbound n with
-            | [] -> Nfa.sigma_star
-            | first :: rest -> List.fold_left Ops.inter_lang first rest)
+            | [] -> Store.intern Nfa.sigma_star
+            | first :: rest -> List.fold_left Store.inter_lang first rest)
       in
-      NMap.add n lang acc)
+      NMap.add n h acc)
     NMap.empty g.nodes
 
 (* ------------------------------------------------------------------ *)
@@ -293,14 +301,17 @@ let build_machines (g : Depgraph.t) base =
         Hashtbl.replace consumed rid ();
         let r = Hashtbl.find records rid in
         (r.nfa, Some r)
-    | _ -> (NMap.find n base, None)
+    (* raw machines from here on: the concat/intersect provenance
+       below slices the result by state identity, which an interned
+       representative would not preserve *)
+    | _ -> (Store.nfa (NMap.find n base), None)
   in
   List.iteri
     (fun triple_id { Depgraph.left; right; result } ->
       let left_nfa, left_rec = operand left in
       let right_nfa, right_rec = operand right in
       let cat = Ops.concat left_nfa right_nfa in
-      let prod = Ops.intersect cat.machine (NMap.find result base) in
+      let prod = Ops.intersect cat.machine (Store.nfa (NMap.find result base)) in
       let index = index_product prod in
       (* this triple's own ε-cut candidates: images of the bridge *)
       let bridge_src, bridge_dst = cat.bridge in
@@ -442,14 +453,20 @@ let solve_group ~combination_limit ~raw_cap ~verify (roots : record list) base
             match n with
             | Depgraph.Const _ -> acc
             | Depgraph.Var _ | Depgraph.Tmp _ ->
-                let lang =
+                (* slices are interned: distinct ε-cut combinations
+                   often induce identical slice languages, so their
+                   intersections, emptiness checks, and compactions
+                   all answer from cache after the first one *)
+                let h =
                   match slices with
                   | [] -> NMap.find n base
-                  | first :: rest -> List.fold_left Ops.inter_lang first rest
+                  | first :: rest ->
+                      List.fold_left Store.inter_lang (Store.intern first)
+                        (List.map Store.intern rest)
                 in
-                if Nfa.is_empty_lang lang then raise Dead
+                if Store.is_empty h then raise Dead
                 else if match n with Depgraph.Var _ -> true | _ -> false then
-                  (n, lang) :: acc
+                  (n, h) :: acc
                 else acc)
           members []
       with
@@ -457,9 +474,9 @@ let solve_group ~combination_limit ~raw_cap ~verify (roots : record list) base
           let assignment =
             Assignment.of_list
               (List.map
-                 (fun (n, lang) ->
+                 (fun (n, h) ->
                    match n with
-                   | Depgraph.Var v -> (v, Lang.compact lang)
+                   | Depgraph.Var v -> (v, Store.minimized h)
                    | _ -> assert false)
                  bindings)
           in
@@ -509,10 +526,10 @@ let solve ?(max_solutions = 256) ?(combination_limit = 4096) (g : Depgraph.t) =
           match members with
           | [ Depgraph.Const _ ] -> None (* handled in base_languages *)
           | [ (Depgraph.Var v as n) ] ->
-              let lang = NMap.find n base in
-              if Nfa.is_empty_lang lang then
+              let h = NMap.find n base in
+              if Store.is_empty h then
                 unsat "variable %s is constrained to the empty language" v
-              else Some [ Assignment.of_list [ (v, Lang.compact lang) ] ]
+              else Some [ Assignment.of_list [ (v, Store.minimized h) ] ]
           | members ->
               let member_set = NSet.of_list members in
               let group_roots =

@@ -16,7 +16,16 @@ let rec expand_unions = function
 module SMap = Map.Make (String)
 module SSet = Set.Make (String)
 
-type t = { consts : Automata.Nfa.t SMap.t; order : string list; constrs : constr list }
+type t = {
+  consts : Automata.Nfa.t SMap.t;
+  (* Interned views of [consts], built on first use so systems
+     assembled programmatically (tests, bench) don't pay for keys they
+     never query. Per-system rather than global: handles are plain
+     lookups here, invalidation is the store's problem. *)
+  handles : Automata.Store.handle SMap.t Lazy.t;
+  order : string list;
+  constrs : constr list;
+}
 
 let rec expr_names vars consts = function
   | Const c -> (vars, SSet.add c consts)
@@ -50,7 +59,14 @@ let make ~consts ~constraints =
         Error
           (Printf.sprintf "%S is used both as a variable and as a constant"
              (SSet.min_elt clashing))
-      else Ok { consts = map; order; constrs = constraints }
+      else
+        Ok
+          {
+            consts = map;
+            handles = lazy (SMap.map Automata.Store.intern map);
+            order;
+            constrs = constraints;
+          }
 
 let make_exn ~consts ~constraints =
   match make ~consts ~constraints with
@@ -72,6 +88,12 @@ let const_lang t name =
   match SMap.find_opt name t.consts with
   | Some lang -> lang
   | None -> invalid_arg (Printf.sprintf "System.const_lang: unknown constant %S" name)
+
+let const_handle t name =
+  match SMap.find_opt name (Lazy.force t.handles) with
+  | Some h -> h
+  | None ->
+      invalid_arg (Printf.sprintf "System.const_handle: unknown constant %S" name)
 
 let variables t =
   let vars =

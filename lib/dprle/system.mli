@@ -65,6 +65,12 @@ val constraints : t -> constr list
 
 val const_lang : t -> string -> Automata.Nfa.t
 
+(** Interned {!Automata.Store} handle for a constant, so the solver's
+    memoized operations key on it across disjuncts and across solves.
+    Handles for all constants are created lazily on the first call.
+    Raises [Invalid_argument] on an unknown name. *)
+val const_handle : t -> string -> Automata.Store.handle
+
 (** Variables occurring anywhere in the system, sorted. *)
 val variables : t -> string list
 

@@ -1,17 +1,23 @@
 module Nfa = Automata.Nfa
 module Ops = Automata.Ops
 module Lang = Automata.Lang
+module Store = Automata.Store
 
-let rec expr_lang system a : System.expr -> Nfa.t = function
-  | System.Const c -> System.const_lang system c
-  | System.Var v -> Assignment.find a v
+(* Constraint checking goes through the store: the group-verification
+   path in the solver re-evaluates the same constraints for every
+   admitted ε-cut combination, mostly over repeated languages. *)
+let rec expr_handle system a : System.expr -> Store.handle = function
+  | System.Const c -> System.const_handle system c
+  | System.Var v -> Store.intern (Assignment.find a v)
   | System.Concat (e1, e2) ->
-      Ops.concat_lang (expr_lang system a e1) (expr_lang system a e2)
+      Store.concat_lang (expr_handle system a e1) (expr_handle system a e2)
   | System.Union (e1, e2) ->
-      Ops.union_lang (expr_lang system a e1) (expr_lang system a e2)
+      Store.union_lang (expr_handle system a e1) (expr_handle system a e2)
+
+let expr_lang system a expr = Store.nfa (expr_handle system a expr)
 
 let constraint_holds system a { System.lhs; rhs } =
-  Lang.subset (expr_lang system a lhs) (System.const_lang system rhs)
+  Store.subset (expr_handle system a lhs) (System.const_handle system rhs)
 
 let satisfying system a =
   List.for_all (constraint_holds system a) (System.constraints system)

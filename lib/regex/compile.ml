@@ -1,23 +1,34 @@
 module Nfa = Automata.Nfa
 module Ops = Automata.Ops
+module Store = Automata.Store
 
-let rec to_nfa : Ast.t -> Nfa.t = function
+let rec compile : Ast.t -> Nfa.t = function
   | Empty -> Nfa.empty_lang
   | Epsilon -> Nfa.epsilon_lang
   | Chars cs -> if Charset.is_empty cs then Nfa.empty_lang else Nfa.of_charset cs
-  | Seq (a, b) -> Ops.concat_lang (to_nfa a) (to_nfa b)
-  | Alt (a, b) -> Ops.union_lang (to_nfa a) (to_nfa b)
-  | Star a -> Ops.star (to_nfa a)
-  | Plus a -> Ops.plus (to_nfa a)
-  | Opt a -> Ops.opt (to_nfa a)
-  | Repeat (a, lo, hi) -> Ops.repeat (to_nfa a) ~min_count:lo ~max_count:hi
+  | Seq (a, b) -> Ops.concat_lang (compile a) (compile b)
+  | Alt (a, b) -> Ops.union_lang (compile a) (compile b)
+  | Star a -> Ops.star (compile a)
+  | Plus a -> Ops.plus (compile a)
+  | Opt a -> Ops.opt (compile a)
+  | Repeat (a, lo, hi) -> Ops.repeat (compile a) ~min_count:lo ~max_count:hi
+
+(* Compiled constants are interned: textually repeated regexes across
+   constraint files, Fig. 12 rows, and symexec paths collapse to one
+   handle, so every downstream memo (determinization, subset, ci) hits
+   across those repetitions. *)
+let to_nfa ast = Store.canon (compile ast)
 
 let pattern_to_nfa { Ast.re; anchored_start; anchored_end } =
-  let core = to_nfa re in
+  let core = compile re in
   let with_prefix =
     if anchored_start then core else Ops.concat_lang Nfa.sigma_star core
   in
-  if anchored_end then with_prefix else Ops.concat_lang with_prefix Nfa.sigma_star
+  let padded =
+    if anchored_end then with_prefix else Ops.concat_lang with_prefix Nfa.sigma_star
+  in
+  Store.canon padded
 
 let pattern_reject_nfa pattern =
-  Automata.Dfa.to_nfa (Automata.Dfa.complement (Automata.Dfa.of_nfa (pattern_to_nfa pattern)))
+  let h = Store.intern (pattern_to_nfa pattern) in
+  Store.canon (Automata.Dfa.to_nfa (Automata.Dfa.complement (Store.dfa h)))

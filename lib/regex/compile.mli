@@ -1,5 +1,12 @@
 (** Thompson compilation of regexes to single-start/single-final
-    ε-NFAs, the machine format the solver consumes. *)
+    ε-NFAs, the machine format the solver consumes.
+
+    Compiled machines are interned through {!Automata.Store}: the
+    returned NFA is the store's representative for its language key,
+    so repeated compilations of the same (or structurally equivalent)
+    regex yield physically shared machines and downstream memoized
+    operations hit across them. With the store disabled ([--no-cache])
+    compilation returns the raw Thompson machine unchanged. *)
 
 val to_nfa : Ast.t -> Automata.Nfa.t
 

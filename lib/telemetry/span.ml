@@ -40,6 +40,23 @@ let collect ?(attrs = []) ~name f =
 let with_span ?attrs ~name f =
   if not (enabled ()) then f () else fst (collect ?attrs ~name f)
 
+let collect_emit ?(attrs = []) ~name ~emit f =
+  let span =
+    { name; attrs; start_ns = Clock.now_ns (); dur_ns = 0L; children_rev = [] }
+  in
+  stack := span :: !stack;
+  let finally () =
+    (match !stack with
+    | top :: rest when top == span -> stack := rest
+    | _ -> stack := List.filter (fun s -> s != span) !stack);
+    span.dur_ns <- Int64.sub (Clock.now_ns ()) span.start_ns;
+    (match !stack with
+    | parent :: _ -> parent.children_rev <- span :: parent.children_rev
+    | [] -> ());
+    emit span
+  in
+  Fun.protect ~finally f
+
 let add_attr key value =
   match !stack with
   | [] -> ()

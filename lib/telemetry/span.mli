@@ -36,6 +36,16 @@ val collect : ?attrs:(string * attr) list -> name:string -> (unit -> 'a) -> 'a *
     enabled, or calls [f] directly (no allocation) when it is not. *)
 val with_span : ?attrs:(string * attr) list -> name:string -> (unit -> 'a) -> 'a
 
+(** Like {!collect}, but delivers the finished span tree to [emit] on
+    {e both} the normal and the exceptional path (with the children
+    recorded so far), then lets any exception continue unwinding.
+    This is the flush-on-crash primitive behind [--trace]: an
+    interrupted or failing run still leaves its partial trace behind.
+    [emit] runs inside the [Fun.protect] finaliser, so it should not
+    itself raise. *)
+val collect_emit :
+  ?attrs:(string * attr) list -> name:string -> emit:(t -> unit) -> (unit -> 'a) -> 'a
+
 (** Attach an attribute to the innermost open span, for values only
     known mid-phase (e.g. a cut census discovered during the phase).
     No-op when tracing is disabled. *)

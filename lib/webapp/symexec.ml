@@ -1,4 +1,5 @@
 module Nfa = Automata.Nfa
+module Store = Automata.Store
 module System = Dprle.System
 
 (* Symbolic strings: concatenations of literals and input reads, each
@@ -136,10 +137,15 @@ let rec obligation_of_cond env value : Ast.cond -> obligation = function
             pattern;
       }
   | Ast.Str_eq (e, s) ->
-      let word = Nfa.of_word s in
+      (* interned: the same guard recurs on every path through it, and
+         the reject branch's complement comes from the handle's
+         memoized determinization *)
+      let word = Store.intern (Nfa.of_word s) in
       let lang =
-        if value then word
-        else Automata.Dfa.to_nfa (Automata.Dfa.complement (Automata.Dfa.of_nfa word))
+        if value then Store.nfa word
+        else
+          Store.canon
+            (Automata.Dfa.to_nfa (Automata.Dfa.complement (Store.dfa word)))
       in
       {
         sym = normalize (eval_sym env e);
@@ -151,14 +157,17 @@ let rec obligation_of_cond env value : Ast.cond -> obligation = function
          / .{n,} *)
       let any = Nfa.of_charset Charset.full in
       let accept =
-        match cmp with
-        | Ast.Len_eq -> Automata.Ops.repeat any ~min_count:n ~max_count:(Some n)
-        | Ast.Len_le -> Automata.Ops.repeat any ~min_count:0 ~max_count:(Some n)
-        | Ast.Len_ge -> Automata.Ops.repeat any ~min_count:n ~max_count:None
+        Store.intern
+          (match cmp with
+          | Ast.Len_eq -> Automata.Ops.repeat any ~min_count:n ~max_count:(Some n)
+          | Ast.Len_le -> Automata.Ops.repeat any ~min_count:0 ~max_count:(Some n)
+          | Ast.Len_ge -> Automata.Ops.repeat any ~min_count:n ~max_count:None)
       in
       let lang =
-        if value then accept
-        else Automata.Dfa.to_nfa (Automata.Dfa.complement (Automata.Dfa.of_nfa accept))
+        if value then Store.nfa accept
+        else
+          Store.canon
+            (Automata.Dfa.to_nfa (Automata.Dfa.complement (Store.dfa accept)))
       in
       {
         sym = normalize (eval_sym env e);
@@ -207,6 +216,9 @@ let analyze ?(max_paths = 256) ~attack program =
   Telemetry.Span.with_span ~name:"symexec.analyze"
     ~attrs:[ ("max_paths", `Int max_paths) ]
   @@ fun () ->
+  (* one interned attack language for every sink on every path — and,
+     in directory mode, for every file sharing the attack pattern *)
+  let attack = Store.canon attack in
   let results = ref [] in
   let path_count = ref 0 in
   (* DFS over branch decisions; [obligations] accumulates in reverse. *)
@@ -318,10 +330,13 @@ let input_languages query assignment =
               match langs with
               | [] -> None
               | first :: rest ->
-                  let lang =
-                    List.fold_left Automata.Ops.inter_lang first rest
+                  let h =
+                    List.fold_left
+                      (fun acc l -> Store.inter_lang acc (Store.intern l))
+                      (Store.intern first) rest
                   in
-                  if Nfa.is_empty_lang lang then raise Dead else Some (input, lang))
+                  if Store.is_empty h then raise Dead
+                  else Some (input, Store.nfa h))
             query.input_vars))
   with Dead -> None
 

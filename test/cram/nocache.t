@@ -1,0 +1,46 @@
+The interned language store is an optimization, never a semantics
+change: --no-cache disables interning and every memoized automata
+operation, and the output must be byte-identical.
+
+Sat solve with witnesses:
+
+  $ cat > fig1.dprle <<'SYS'
+  > let filter = /[\d]+$/;
+  > let prefix = "nid_";
+  > let unsafe = /'/;
+  > v1 <= filter;
+  > prefix . v1 <= unsafe;
+  > SYS
+
+  $ dprle solve fig1.dprle --witnesses > default.out
+  $ dprle solve fig1.dprle --witnesses --no-cache > nocache.out
+  $ cmp default.out nocache.out
+  $ head -1 default.out
+  sat: 1 disjunctive solution(s)
+
+Unsat solve (both modes must agree on the exit code too):
+
+  $ cat > fixed.dprle <<'SYS'
+  > let filter = /^[\d]+$/;
+  > let prefix = "nid_";
+  > let unsafe = /'/;
+  > v1 <= filter;
+  > prefix . v1 <= unsafe;
+  > SYS
+
+  $ dprle solve fixed.dprle > default_unsat.out
+  [1]
+  $ dprle solve fixed.dprle --no-cache > nocache_unsat.out
+  [1]
+  $ cmp default_unsat.out nocache_unsat.out
+
+Whole-corpus scan through the symbolic executor (timings scrubbed,
+everything else — per-file verdicts, exploits, ordering — compared
+byte for byte):
+
+  $ corpusgen --app utopia . > /dev/null
+  $ webcheck utopia 2>/dev/null | sed 's/([0-9.]* s)/(_ s)/' > wc_default.out
+  $ webcheck utopia --no-cache 2>/dev/null | sed 's/([0-9.]* s)/(_ s)/' > wc_nocache.out
+  $ cmp wc_default.out wc_nocache.out
+  $ grep -c VULNERABLE wc_default.out
+  4

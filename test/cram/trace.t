@@ -52,3 +52,41 @@ disjunction width:
   $ grep -A1 'ε-cuts per concatenation' stats.txt
   ε-cuts per concatenation (§3.5 disjunction width):
     t0 = prefix ∘ v1: 2 ε-cut(s)
+
+An unsatisfiable solve (exit code 1) still writes its trace; a
+metrics snapshot of the traced region rides along under a "metrics"
+key (Chrome ignores unknown top-level keys):
+
+  $ cat > fixed.dprle <<'SYS'
+  > let filter = /^[\d]+$/;
+  > let prefix = "nid_";
+  > let unsafe = /'/;
+  > v1 <= filter;
+  > prefix . v1 <= unsafe;
+  > SYS
+
+  $ dprle solve fixed.dprle --trace unsat.json
+  unsat: every ε-cut combination of a CI-group forces an empty language
+  [1]
+  $ grep -c '"traceEvents"' unsat.json
+  1
+  $ grep -c '"metrics"' unsat.json
+  1
+  $ grep -o '"store.intern.miss"' unsat.json | sort -u
+  "store.intern.miss"
+
+A run that dies mid-analysis flushes the partial trace from the
+Fun.protect finaliser rather than losing it (webcheck shares the
+same plumbing; $oops is never assigned):
+
+  $ cat > boom.mphp <<'PHP'
+  > $x = input("a");
+  > query("SELECT " . $oops);
+  > PHP
+
+  $ webcheck boom.mphp --trace boom.json 2>/dev/null
+  [125]
+  $ grep -o '"name":"webcheck"' boom.json
+  "name":"webcheck"
+  $ grep -c '"metrics"' boom.json
+  1

@@ -190,10 +190,39 @@ let repeat_tests =
         done);
   ]
 
+let store_tests =
+  [
+    test "interning is sound on random machine pairs" (fun () ->
+        let module Store = Automata.Store in
+        let rng = Random.State.make [| 0x570; 0x5e7 |] in
+        for i = 1 to cases do
+          let m1 = rand_nfa rng in
+          let m2 = rand_nfa rng in
+          let h1 = Store.intern m1 and h2 = Store.intern m2 in
+          (* key collision must mean language equality (the converse
+             is not promised: different machines may hash apart) *)
+          if Store.id h1 = Store.id h2 && not (Lang.equal_reference m1 m2) then
+            Alcotest.failf "intern merged different languages on case %d" i;
+          (* the representative a handle answers with is language-equal
+             to the machine interned *)
+          if not (Lang.equal_reference m1 (Store.nfa h1)) then
+            Alcotest.failf "representative changed the language on case %d" i;
+          if Store.subset h1 h2 <> Lang.subset_reference m1 m2 then
+            Alcotest.failf "store subset diverged from reference on case %d" i;
+          if
+            not
+              (Lang.equal_reference
+                 (Store.nfa (Store.inter_lang h1 h2))
+                 (Ops.inter_lang m1 m2))
+          then Alcotest.failf "store inter_lang diverged on case %d" i
+        done);
+  ]
+
 let suite =
   [
     ("crosscheck:bfs", bfs_tests);
     ("crosscheck:subset", subset_tests);
     ("crosscheck:intersect", intersect_tests);
     ("crosscheck:repeat", repeat_tests);
+    ("crosscheck:store", store_tests);
   ]

@@ -1,0 +1,240 @@
+(* The interned language store: semantics preservation against the
+   reference oracles, LRU/memo mechanics, disabled-mode passthrough,
+   and two end-to-end tests showing the cache is load-bearing for the
+   solver and the symbolic executor. *)
+
+open Helpers
+module Nfa = Automata.Nfa
+module Ops = Automata.Ops
+module Lang = Automata.Lang
+module Store = Automata.Store
+module Metrics = Telemetry.Metrics
+
+(* Tests below toggle global store state; always restore. *)
+let with_store_reset f =
+  Fun.protect
+    ~finally:(fun () ->
+      Store.set_enabled true;
+      Store.set_capacity 4096;
+      Store.clear ())
+    f
+
+let counter_total snap name =
+  List.fold_left
+    (fun acc (n, _, v) -> if n = name then acc + v else acc)
+    0
+    (Metrics.Snapshot.counters snap)
+
+let nfa_pair = QCheck2.Gen.pair nfa_gen nfa_gen
+
+let prop_tests =
+  [
+    qtest ~count:150 "interning preserves the language" nfa_gen (fun m ->
+        Lang.equal_reference m (Store.nfa (Store.intern m)));
+    qtest ~count:150 "equal handle ids imply equal languages" nfa_pair
+      (fun (m1, m2) ->
+        Store.id (Store.intern m1) <> Store.id (Store.intern m2)
+        || Lang.equal_reference m1 m2);
+    qtest ~count:150 "store subset/equal agree with the references" nfa_pair
+      (fun (m1, m2) ->
+        let h1 = Store.intern m1 and h2 = Store.intern m2 in
+        Store.subset h1 h2 = Lang.subset_reference m1 m2
+        && Store.equal h1 h2 = Lang.equal_reference m1 m2);
+    qtest ~count:150 "store counterexamples are valid" nfa_pair
+      (fun (m1, m2) ->
+        let h1 = Store.intern m1 and h2 = Store.intern m2 in
+        match Store.counterexample h1 h2 with
+        | None -> Lang.subset_reference m1 m2
+        | Some w -> Nfa.accepts m1 w && not (Nfa.accepts m2 w));
+    qtest ~count:100 "cached binary ops match the raw constructions"
+      nfa_pair
+      (fun (m1, m2) ->
+        let h1 = Store.intern m1 and h2 = Store.intern m2 in
+        Lang.equal_reference
+          (Store.nfa (Store.inter_lang h1 h2))
+          (Ops.inter_lang m1 m2)
+        && Lang.equal_reference
+             (Store.nfa (Store.concat_lang h1 h2))
+             (Ops.concat_lang m1 m2)
+        && Lang.equal_reference
+             (Store.nfa (Store.union_lang h1 h2))
+             (Ops.union_lang m1 m2));
+    qtest ~count:150 "memoized unary ops match their definitions" nfa_gen
+      (fun m ->
+        let h = Store.intern m in
+        Store.is_empty h = Nfa.is_empty_lang_reference m
+        && Lang.equal_reference (Store.minimized h) m
+        && Lang.equal_reference (Automata.Dfa.to_nfa (Store.min_dfa h)) m);
+  ]
+
+let memo_tests =
+  [
+    test "find_or_compute computes once per key" (fun () ->
+        with_store_reset @@ fun () ->
+        let memo : int Store.Memo.t = Store.Memo.create ~op:"test.once" in
+        let runs = ref 0 in
+        let get k =
+          Store.Memo.find_or_compute memo ~key:[ k ] (fun () ->
+              incr runs;
+              k * 7)
+        in
+        check_int "first" 21 (get 3);
+        check_int "second" 21 (get 3);
+        check_int "other key" 35 (get 5);
+        check_int "computed twice total" 2 !runs);
+    test "intern hits on a re-built machine" (fun () ->
+        with_store_reset @@ fun () ->
+        let mk () = Dprle.System.const_of_regex "ab(c|d)*" in
+        let h1 = Store.intern (mk ()) in
+        let h2 = Store.intern (mk ()) in
+        check_int "same id" (Store.id h1) (Store.id h2));
+    test "interning ignores state numbering and dead states" (fun () ->
+        with_store_reset @@ fun () ->
+        (* same machine built twice: once plainly, once with junk
+           states and a different allocation order *)
+        let plain =
+          let b = Nfa.Builder.create () in
+          let s = Nfa.Builder.add_state b in
+          let f = Nfa.Builder.add_state b in
+          Nfa.Builder.add_trans b s (Charset.singleton 'x') f;
+          Nfa.Builder.finish b ~start:s ~final:f
+        in
+        let noisy =
+          let b = Nfa.Builder.create () in
+          let junk = Nfa.Builder.add_states b 3 in
+          let f = Nfa.Builder.add_state b in
+          let s = Nfa.Builder.add_state b in
+          Nfa.Builder.add_trans b s (Charset.singleton 'x') f;
+          Nfa.Builder.add_trans b junk (Charset.singleton 'z') (junk + 1);
+          Nfa.Builder.finish b ~start:s ~final:f
+        in
+        check_int "same id" (Store.id (Store.intern plain))
+          (Store.id (Store.intern noisy)));
+    test "LRU eviction under a small capacity" (fun () ->
+        with_store_reset @@ fun () ->
+        Store.set_capacity 16;
+        let memo : int Store.Memo.t = Store.Memo.create ~op:"test.lru" in
+        let runs = ref 0 in
+        let get k =
+          Store.Memo.find_or_compute memo ~key:[ k ] (fun () ->
+              incr runs;
+              k)
+        in
+        let before = Metrics.Snapshot.of_default () in
+        for k = 1 to 40 do
+          ignore (get k)
+        done;
+        let diff =
+          Metrics.Snapshot.diff ~after:(Metrics.Snapshot.of_default ()) ~before
+        in
+        check_int "all computed" 40 !runs;
+        check_bool "evictions recorded" true
+          (counter_total diff "store.opcache.evict" > 0);
+        (* a hot key kept hot survives; ancient keys were dropped *)
+        ignore (get 40);
+        check_int "recent key cached" 40 !runs;
+        ignore (get 1);
+        check_int "old key recomputed" 41 !runs);
+    test "disabled store is a passthrough" (fun () ->
+        with_store_reset @@ fun () ->
+        Store.set_enabled false;
+        let m = Dprle.System.const_of_regex "a+" in
+        let h1 = Store.intern m and h2 = Store.intern m in
+        check_bool "fresh handles" true (Store.id h1 <> Store.id h2);
+        check_bool "same machine back" true (Store.nfa h1 == m);
+        let memo : int Store.Memo.t = Store.Memo.create ~op:"test.disabled" in
+        let runs = ref 0 in
+        let get () =
+          Store.Memo.find_or_compute memo ~key:[ 1 ] (fun () ->
+              incr runs;
+              0)
+        in
+        ignore (get ());
+        ignore (get ());
+        check_int "recomputed every call" 2 !runs);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Load-bearing end to end *)
+
+let fig1_system () =
+  Dprle.System.make_exn
+    ~consts:
+      [
+        ("filter", Dprle.System.const_of_pattern "/[\\d]+$/");
+        ("prefix", Dprle.System.const_of_word "nid_");
+        ("unsafe", Dprle.System.const_of_pattern "/'/");
+      ]
+    ~constraints:
+      [
+        { Dprle.System.lhs = Var "v1"; rhs = "filter" };
+        { Dprle.System.lhs = Concat (Const "prefix", Var "v1"); rhs = "unsafe" };
+      ]
+
+let utopia_program =
+  {|
+$newsid = input("posted_newsid");
+if (!preg_match(/[\d]+$/, $newsid)) {
+  echo "Invalid article news ID.";
+  exit;
+}
+$newsid = "nid_" . $newsid;
+query("SELECT * FROM news WHERE newsid=" . $newsid);
+|}
+
+let endtoend_tests =
+  [
+    test "repeated solves hit the op-cache" (fun () ->
+        with_store_reset @@ fun () ->
+        let solve () =
+          match Dprle.Solver.solve_system (fig1_system ()) with
+          | Dprle.Solver.Sat (_ :: _) -> ()
+          | _ -> Alcotest.fail "expected sat"
+        in
+        solve ();
+        let before = Metrics.Snapshot.of_default () in
+        solve ();
+        let diff =
+          Metrics.Snapshot.diff ~after:(Metrics.Snapshot.of_default ()) ~before
+        in
+        check_bool "second solve hits" true
+          (counter_total diff "store.opcache.hit" > 0));
+    test "symbolic execution runs warm by default" (fun () ->
+        with_store_reset @@ fun () ->
+        let program = Webapp.Lang_parser.parse_exn utopia_program in
+        let before = Metrics.Snapshot.of_default () in
+        (match
+           Webapp.Symexec.first_exploit
+             ~attack:Webapp.Attack.contains_quote program
+         with
+        | Some inputs ->
+            check_bool "exploit constrains the input" true
+              (List.mem_assoc "posted_newsid" inputs)
+        | None -> Alcotest.fail "expected an exploit");
+        let diff =
+          Metrics.Snapshot.diff ~after:(Metrics.Snapshot.of_default ()) ~before
+        in
+        check_bool "op-cache hits during symexec" true
+          (counter_total diff "store.opcache.hit" > 0);
+        check_bool "intern hits during symexec" true
+          (counter_total diff "store.intern.hit" > 0));
+    test "--no-cache semantics: disabled solve agrees with cached" (fun () ->
+        with_store_reset @@ fun () ->
+        let run () =
+          match Dprle.Solver.solve_system (fig1_system ()) with
+          | Dprle.Solver.Sat assignments ->
+              List.map Dprle.Assignment.witness assignments
+          | Dprle.Solver.Unsat r -> Alcotest.failf "unsat: %s" r
+        in
+        let cached = run () in
+        Store.set_enabled false;
+        let uncached = run () in
+        check_bool "same witnesses" true (cached = uncached));
+  ]
+
+let suite =
+  [
+    ("store:props", prop_tests);
+    ("store:memo", memo_tests);
+    ("store:endtoend", endtoend_tests);
+  ]

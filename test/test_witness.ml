@@ -35,6 +35,24 @@ let unit_tests =
         check_int "seven" 7 (List.length words);
         Alcotest.(check (list string))
           "bfs order" [ ""; "a"; "b"; "aa"; "ab"; "ba"; "bb" ] words);
+    test "forcing a stream twice does no new automaton work" (fun () ->
+        (* regression: enumeration used to rebuild (and re-minimize)
+           its DFA on every re-evaluation of the Seq; now the DFA is
+           memoized behind the store handle and the stream itself is
+           memoized *)
+        let m = re "(a|b)*" in
+        Automata.Store.clear ();
+        let s0 = Automata.Stats.absolute () in
+        let seq = Witness.exhaustive ~alphabet:(Charset.of_string "ab") m in
+        let w1 = List.of_seq (Seq.take 5 seq) in
+        let s1 = Automata.Stats.absolute () in
+        let first = Automata.Stats.diff s1 s0 in
+        check_bool "first force does the work" true (first.visited > 0);
+        let w2 = List.of_seq (Seq.take 5 seq) in
+        let s2 = Automata.Stats.absolute () in
+        let second = Automata.Stats.diff s2 s1 in
+        check_int "second force visits nothing" 0 second.visited;
+        Alcotest.(check (list string)) "same words" w1 w2);
     test "dead branches do not stall the sequence" (fun () ->
         (* a machine with a non-accepting cycle off the main path *)
         let b = Nfa.Builder.create () in
