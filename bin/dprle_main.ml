@@ -20,6 +20,11 @@ let print_assignment index a ~witnesses_only =
   end;
   Fmt.pr "@]@."
 
+(* Worker span trees collected by a batch run, exported as extra trace
+   lanes (tid 2, 3, ...) so concurrent activity lines up in the
+   viewer. Filled by [batch_cmd] before the trace is emitted. *)
+let trace_lanes : (string * Telemetry.Span.t) list ref = ref []
+
 (* Run [f] under a span collector when any trace output was requested;
    write the Chrome trace_event JSON and/or print the indented tree to
    stderr. The writer runs from the [Span.collect_emit] finaliser, so
@@ -40,8 +45,13 @@ let with_trace ~trace ~trace_tree f =
                 ~after:(Telemetry.Metrics.Snapshot.of_default ())
                 ~before
             in
+            let base =
+              match !trace_lanes with
+              | [] -> Telemetry.Span.to_chrome_json span
+              | lanes -> Telemetry.Span.to_chrome_json_lanes ~lanes span
+            in
             let json =
-              match Telemetry.Span.to_chrome_json span with
+              match base with
               | Telemetry.Json.Obj fields ->
                   Telemetry.Json.Obj
                     (fields
@@ -52,13 +62,21 @@ let with_trace ~trace ~trace_tree f =
                 Out_channel.output_string oc (Telemetry.Json.to_string json))
           with Sys_error msg -> Fmt.epr "error: cannot write trace: %s@." msg)
         trace;
-      if trace_tree then Fmt.epr "%a" Telemetry.Span.pp_tree span
+      if trace_tree then begin
+        Fmt.epr "%a" Telemetry.Span.pp_tree span;
+        List.iter
+          (fun (_, lane) -> Fmt.epr "%a" Telemetry.Span.pp_tree lane)
+          !trace_lanes
+      end
     in
     Telemetry.Span.collect_emit ~name:"dprle" ~emit f
   end
 
-let solve_cmd path first max_solutions combination_limit witnesses_only dot
-    smtlib stats trace trace_tree no_cache verbose =
+let budget_of ~budget_ms ~budget_states =
+  Automata.Budget.make ?wall_ms:budget_ms ?max_states:budget_states ()
+
+let solve_cmd path first max_solutions combination_limit budget_ms budget_states
+    witnesses_only dot smtlib stats trace trace_tree no_cache verbose =
   setup_logs verbose;
   if no_cache then Automata.Store.set_enabled false;
   match read_system path with
@@ -66,8 +84,14 @@ let solve_cmd path first max_solutions combination_limit witnesses_only dot
       Fmt.epr "error: %s@." msg;
       2
   | Ok system -> (
-      let max_solutions = if first then 1 else max_solutions in
-      let outcome, report =
+      let config =
+        Dprle.Solver.Config.make
+          ~max_solutions:(if first then 1 else max_solutions)
+          ~combination_limit
+          ~budget:(budget_of ~budget_ms ~budget_states)
+          ()
+      in
+      let solved =
         with_trace ~trace ~trace_tree @@ fun () ->
         let graph = Dprle.Depgraph.of_system system in
         (match dot with
@@ -81,23 +105,33 @@ let solve_cmd path first max_solutions combination_limit witnesses_only dot
             Out_channel.with_open_text smt_path (fun oc ->
                 Out_channel.output_string oc (Dprle.Smtlib.of_system system)));
         if stats then
-          let outcome, report =
-            Dprle.Report.solve_with_report ~max_solutions ~combination_limit graph
-          in
-          (outcome, Some report)
-        else (Dprle.Solver.solve ~max_solutions ~combination_limit graph, None)
+          Result.map
+            (fun (outcome, report) -> (outcome, Some report))
+            (Dprle.Report.solve_with_report ~config graph)
+        else
+          Result.map
+            (fun outcome -> (outcome, None))
+            (Dprle.Solver.run_graph config graph)
       in
-      Option.iter (fun r -> Fmt.pr "%a@.@." Dprle.Report.pp r) report;
-      match outcome with
-      | Dprle.Solver.Unsat reason ->
-          Fmt.pr "unsat: %s@." reason;
-          1
-      | Dprle.Solver.Sat solutions ->
-          Fmt.pr "sat: %d disjunctive solution(s)@." (List.length solutions);
-          List.iteri (fun i a -> print_assignment i a ~witnesses_only) solutions;
-          0)
+      match solved with
+      | Error err ->
+          Fmt.epr "error: %a@." Dprle.Solver.Error.pp err;
+          4
+      | Ok (outcome, report) -> (
+          Option.iter (fun r -> Fmt.pr "%a@.@." Dprle.Report.pp r) report;
+          match outcome with
+          | Dprle.Solver.Unsat reason ->
+              Fmt.pr "unsat: %s@." (Dprle.Solver.unsat_message reason);
+              1
+          | Dprle.Solver.Sat solutions ->
+              Fmt.pr "sat: %d disjunctive solution(s)@."
+                (List.length solutions);
+              List.iteri
+                (fun i a -> print_assignment i a ~witnesses_only)
+                solutions;
+              0))
 
-let check_cmd path no_cache verbose =
+let check_cmd path budget_ms budget_states no_cache verbose =
   setup_logs verbose;
   if no_cache then Automata.Store.set_enabled false;
   match read_system path with
@@ -105,13 +139,106 @@ let check_cmd path no_cache verbose =
       Fmt.epr "error: %s@." msg;
       2
   | Ok system -> (
-      match Dprle.Solver.solve_system ~max_solutions:1 system with
-      | Dprle.Solver.Sat _ ->
+      let config =
+        Dprle.Solver.Config.make ~max_solutions:1
+          ~budget:(budget_of ~budget_ms ~budget_states)
+          ()
+      in
+      match Dprle.Solver.run config system with
+      | Error err ->
+          Fmt.epr "error: %a@." Dprle.Solver.Error.pp err;
+          4
+      | Ok (Dprle.Solver.Sat _) ->
           Fmt.pr "sat@.";
           0
-      | Dprle.Solver.Unsat reason ->
-          Fmt.pr "unsat: %s@." reason;
+      | Ok (Dprle.Solver.Unsat reason) ->
+          Fmt.pr "unsat: %s@." (Dprle.Solver.unsat_message reason);
           1)
+
+(* Batch mode: every .dprle file in a directory, fanned out over the
+   engine's worker pool. Per-file results print in file-name order no
+   matter how many workers ran, so the output is byte-identical for
+   any --jobs value; timing goes to stderr. *)
+let batch_cmd dir jobs budget_ms budget_states max_solutions combination_limit
+    trace trace_tree no_cache verbose =
+  setup_logs verbose;
+  if no_cache then Automata.Store.set_enabled false;
+  if not (Sys.is_directory dir) then begin
+    Fmt.epr "error: %s: not a directory@." dir;
+    2
+  end
+  else begin
+    let files =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".dprle")
+      |> List.sort compare
+    in
+    if files = [] then begin
+      Fmt.epr "error: no .dprle files in %s@." dir;
+      2
+    end
+    else
+      with_trace ~trace ~trace_tree @@ fun () ->
+      let config =
+        Dprle.Solver.Config.make ~max_solutions ~combination_limit ()
+      in
+      let solve_file _worker file =
+        match Dprle.Sysparse.parse_file (Filename.concat dir file) with
+        | Error e -> `Parse_error (Fmt.str "%a" Dprle.Sysparse.pp_error e)
+        | Ok system -> (
+            match Dprle.Solver.run config system with
+            | Ok (Dprle.Solver.Sat solutions) -> `Sat (List.length solutions)
+            | Ok (Dprle.Solver.Unsat reason) -> `Unsat reason
+            | Error (Dprle.Solver.Error.Budget_exceeded stop) ->
+                (* the job's ambient engine budget fired mid-solve and
+                   [Solver.run] caught it; hand it back to the engine
+                   so every budget trip classifies the same way *)
+                raise (Automata.Budget.Exceeded stop))
+      in
+      let results, stats =
+        Engine.map ?jobs
+          ~budget:(budget_of ~budget_ms ~budget_states)
+          ~name:"batch" ~f:solve_file files
+      in
+      trace_lanes := stats.Engine.worker_spans;
+      let sat = ref 0
+      and unsat = ref 0
+      and parse_errors = ref 0
+      and budget_hits = ref 0
+      and failures = ref 0 in
+      List.iter2
+        (fun file (r : _ Engine.job_result) ->
+          match r.outcome with
+          | Engine.Done (`Sat n) ->
+              incr sat;
+              Fmt.pr "%s: sat (%d solution(s))@." file n
+          | Engine.Done (`Unsat reason) ->
+              incr unsat;
+              Fmt.pr "%s: unsat — %s@." file (Dprle.Solver.unsat_message reason)
+          | Engine.Done (`Parse_error msg) ->
+              incr parse_errors;
+              Fmt.pr "%s: parse error: %s@." file msg
+          | Engine.Timeout ->
+              incr budget_hits;
+              Fmt.pr "%s: budget exceeded: timeout@." file
+          | Engine.Budget_exceeded ->
+              incr budget_hits;
+              Fmt.pr "%s: budget exceeded: state budget exhausted@." file
+          | Engine.Failed msg ->
+              incr failures;
+              Fmt.pr "%s: internal failure: %s@." file msg)
+        files results;
+      Fmt.pr "=== %d system(s): %d sat, %d unsat, %d parse error(s), %d over \
+              budget, %d failure(s) ===@."
+        (List.length files) !sat !unsat !parse_errors !budget_hits !failures;
+      Fmt.epr "solved in %.3f s with %d worker(s)@."
+        (Int64.to_float stats.Engine.wall_ns /. 1e9)
+        stats.Engine.workers;
+      if !failures > 0 then 5
+      else if !parse_errors > 0 then 3
+      else if !budget_hits > 0 then 4
+      else 0
+  end
 
 open Cmdliner
 
@@ -119,6 +246,46 @@ let path_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Constraint file.")
 
 let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.")
+
+let budget_ms_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "budget-ms" ] ~docv:"MS"
+        ~doc:
+          "Wall-clock budget per solve in milliseconds; an over-budget solve \
+           stops with a structured budget-exceeded outcome (exit code 4).")
+
+let budget_states_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "budget-states" ] ~docv:"N"
+        ~doc:
+          "Cap on product/subset states materialized per solve; exceeding it \
+           stops the solve with a budget-exceeded outcome (exit code 4).")
+
+let max_solutions_arg =
+  Arg.(
+    value & opt int 256
+    & info [ "max-solutions" ] ~docv:"N" ~doc:"Cap on disjunctive solutions.")
+
+let combination_limit_arg =
+  Arg.(
+    value & opt int 4096
+    & info [ "combination-limit" ] ~docv:"N"
+        ~doc:"Cap on ε-cut combinations explored per CI-group.")
+
+let trace_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event JSON of the solve (open in \
+           chrome://tracing or Perfetto).")
+
+let trace_tree_arg =
+  Arg.(
+    value & flag
+    & info [ "trace-tree" ] ~doc:"Print the span tree of the solve to stderr.")
 
 let no_cache_arg =
   Arg.(
@@ -131,17 +298,6 @@ let no_cache_arg =
 let solve_term =
   let first =
     Arg.(value & flag & info [ "first" ] ~doc:"Stop at the first solution.")
-  in
-  let max_solutions =
-    Arg.(
-      value & opt int 256
-      & info [ "max-solutions" ] ~docv:"N" ~doc:"Cap on disjunctive solutions.")
-  in
-  let combination_limit =
-    Arg.(
-      value & opt int 4096
-      & info [ "combination-limit" ] ~docv:"N"
-          ~doc:"Cap on ε-cut combinations explored per CI-group.")
   in
   let witnesses_only =
     Arg.(
@@ -162,29 +318,66 @@ let solve_term =
       & info [ "smtlib" ] ~docv:"FILE"
           ~doc:"Export the system as an SMT-LIB 2.6 strings-theory script.")
   in
-  let trace =
+  Term.(
+    const solve_cmd $ path_arg $ first $ max_solutions_arg
+    $ combination_limit_arg $ budget_ms_arg $ budget_states_arg
+    $ witnesses_only $ dot $ smtlib $ stats $ trace_arg $ trace_tree_arg
+    $ no_cache_arg $ verbose_arg)
+
+let batch_term =
+  let dir_arg =
     Arg.(
-      value & opt (some string) None
-      & info [ "trace" ] ~docv:"FILE"
-          ~doc:
-            "Write a Chrome trace_event JSON of the solve (open in \
-             chrome://tracing or Perfetto).")
+      required & pos 0 (some dir) None
+      & info [] ~docv:"DIR" ~doc:"Directory of .dprle constraint files.")
   in
-  let trace_tree =
+  let jobs =
     Arg.(
-      value & flag
-      & info [ "trace-tree" ]
-          ~doc:"Print the span tree of the solve to stderr.")
+      value & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains (default: the runtime's recommended domain \
+             count). Output is byte-identical for any value.")
   in
   Term.(
-    const solve_cmd $ path_arg $ first $ max_solutions $ combination_limit
-    $ witnesses_only $ dot $ smtlib $ stats $ trace $ trace_tree $ no_cache_arg
-    $ verbose_arg)
+    const batch_cmd $ dir_arg $ jobs $ budget_ms_arg $ budget_states_arg
+    $ max_solutions_arg $ combination_limit_arg $ trace_arg $ trace_tree_arg
+    $ no_cache_arg $ verbose_arg)
+
+let solve_exits =
+  [
+    Cmd.Exit.info 0 ~doc:"on a satisfiable system.";
+    Cmd.Exit.info 1 ~doc:"on an unsatisfiable system.";
+    Cmd.Exit.info 2 ~doc:"on a parse error (position reported on stderr).";
+    Cmd.Exit.info 4 ~doc:"when the $(b,--budget-ms)/$(b,--budget-states) \
+                          budget was exhausted before a verdict.";
+  ]
+  @ Cmd.Exit.defaults
+
+let batch_exits =
+  [
+    Cmd.Exit.info 0 ~doc:"when every system was decided.";
+    Cmd.Exit.info 2 ~doc:"when $(i,DIR) is missing or holds no .dprle files.";
+    Cmd.Exit.info 3 ~doc:"when at least one file failed to parse.";
+    Cmd.Exit.info 4 ~doc:"when at least one solve exceeded its budget (and \
+                          none failed to parse).";
+    Cmd.Exit.info 5 ~doc:"when at least one job raised an internal error.";
+  ]
+  @ Cmd.Exit.defaults
 
 let solve_cmd_info =
-  Cmd.info "solve" ~doc:"Solve a system of subset constraints over regular languages."
+  Cmd.info "solve" ~exits:solve_exits
+    ~doc:"Solve a system of subset constraints over regular languages."
 
-let check_cmd_info = Cmd.info "check" ~doc:"Report only satisfiability (exit code 0/1)."
+let check_cmd_info =
+  Cmd.info "check" ~exits:solve_exits
+    ~doc:"Report only satisfiability (exit code 0/1)."
+
+let batch_cmd_info =
+  Cmd.info "batch" ~exits:batch_exits
+    ~doc:
+      "Solve every .dprle file in a directory over a parallel worker pool. \
+       Per-file results print in file-name order and are byte-identical for \
+       any $(b,--jobs) value; timing goes to stderr."
 
 let main_info =
   Cmd.info "dprle" ~version:"1.0.0"
@@ -202,5 +395,8 @@ let () =
           [
             Cmd.v solve_cmd_info solve_term;
             Cmd.v check_cmd_info
-              Term.(const check_cmd $ path_arg $ no_cache_arg $ verbose_arg);
+              Term.(
+                const check_cmd $ path_arg $ budget_ms_arg $ budget_states_arg
+                $ no_cache_arg $ verbose_arg);
+            Cmd.v batch_cmd_info batch_term;
           ]))

@@ -25,6 +25,11 @@ let attack_conv =
   in
   Cmdliner.Arg.conv (parse, fun ppf _ -> Fmt.string ppf "<attack>")
 
+(* Worker span trees collected by a directory scan, exported as extra
+   trace lanes (tid 2, 3, ...). Filled by [check_dir] before the trace
+   is emitted. *)
+let trace_lanes : (string * Telemetry.Span.t) list ref = ref []
+
 (* With --structural: recover the intended query by solving the same
    path without the attack constraint, run both input vectors through
    the interpreter, and compare the queries' parse structure. *)
@@ -48,21 +53,36 @@ let structural_verdict program q exploit_inputs =
       | Some i, Some a -> Some (i, Sql.Analysis.compare_queries ~intended:i ~actual:a)
       | _ -> None)
 
-let check_one path attack all structural max_paths =
+(* Scan one file, writing the report to [ppf] (and errors to [err] —
+   directory mode points both at a per-file buffer so the output stays
+   deterministic under parallel workers). Exit code: 0 vulnerable,
+   1 safe, 2 parse error, 4 no vulnerability found but at least one
+   candidate's solve ran out of budget (verdict unknown). *)
+let check_one ~ppf ~err path attack all structural max_paths config =
   match read_program path with
   | Error msg ->
-      Fmt.epr "error: %s@." msg;
+      Fmt.pf err "error: %s@." msg;
       2
   | Ok program ->
       let candidates = Webapp.Symexec.analyze ~max_paths ~attack program in
-      Fmt.pr "%s: %d basic blocks, %d sink-reaching path candidates@." path
+      Fmt.pf ppf "%s: %d basic blocks, %d sink-reaching path candidates@." path
         (Webapp.Ast.basic_blocks program)
         (List.length candidates);
       let vulnerable = ref 0 in
+      let over_budget = ref 0 in
       (try
          List.iter
            (fun q ->
-             match Webapp.Symexec.solve q with
+             let verdict = Webapp.Symexec.solve ~config q in
+             (match verdict.Webapp.Symexec.budget with
+             | Webapp.Symexec.Within_budget -> ()
+             | Webapp.Symexec.Budget_exceeded stop ->
+                 incr over_budget;
+                 Fmt.pf ppf
+                   "skipped (path %d, sink %d): budget exceeded: %a@."
+                   q.Webapp.Symexec.path_id q.Webapp.Symexec.sink_index
+                   Automata.Budget.pp_stop stop);
+             match verdict.Webapp.Symexec.assignment with
              | None -> ()
              | Some assignment ->
                  incr vulnerable;
@@ -77,7 +97,7 @@ let check_one path attack all structural max_paths =
                  let confirmed =
                    Webapp.Eval.vulnerable_run ~attack program ~inputs:all_inputs
                  in
-                 Fmt.pr
+                 Fmt.pf ppf
                    "@[<v2>VULNERABLE (path %d, sink %d, |C|=%d) — %s:@ %a@]@."
                    q.path_id q.sink_index q.constraint_count
                    (if confirmed then "exploit confirmed by concrete run"
@@ -88,29 +108,34 @@ let check_one path attack all structural max_paths =
                  if structural then begin
                    match structural_verdict program q all_inputs with
                    | Some (intended, Some reason) ->
-                       Fmt.pr "  intended query: %s@." intended;
-                       Fmt.pr "  structural verdict: %a@." Sql.Analysis.pp_reason
-                         reason
+                       Fmt.pf ppf "  intended query: %s@." intended;
+                       Fmt.pf ppf "  structural verdict: %a@."
+                         Sql.Analysis.pp_reason reason
                    | Some (intended, None) ->
-                       Fmt.pr "  intended query: %s@." intended;
-                       Fmt.pr
+                       Fmt.pf ppf "  intended query: %s@." intended;
+                       Fmt.pf ppf
                          "  structural verdict: same structure (the regular \
                           approximation over-approximated)@."
                    | None ->
-                       Fmt.pr "  structural verdict: no benign baseline found@."
+                       Fmt.pf ppf
+                         "  structural verdict: no benign baseline found@."
                  end;
                  if not all then raise Exit)
            candidates
        with Exit -> ());
-      if !vulnerable = 0 then begin
-        Fmt.pr "no exploitable path found@.";
-        1
+      if !vulnerable > 0 then 0
+      else begin
+        Fmt.pf ppf "no exploitable path found@.";
+        if !over_budget > 0 then 4 else 1
       end
-      else 0
 
-(* Directory mode: scan every .mphp file, then print the per-app
-   summary the paper's Fig. 11 "vulnerable" column reports. *)
-let check_dir dir attack structural max_paths =
+(* Directory mode: scan every .mphp file over the engine's worker
+   pool, then print the per-app summary the paper's Fig. 11
+   "vulnerable" column reports. Each worker renders its file report
+   into a buffer; the main domain prints the buffers in file-name
+   order, so the output is byte-identical for any --jobs value.
+   Timing goes to stderr. *)
+let check_dir dir attack structural max_paths config jobs =
   let files =
     Sys.readdir dir |> Array.to_list
     |> List.filter (fun f -> Filename.check_suffix f ".mphp")
@@ -121,22 +146,40 @@ let check_dir dir attack structural max_paths =
     2
   end
   else begin
-    let t0 = Unix.gettimeofday () in
-    let vulnerable =
-      List.filter
-        (fun f ->
-          let code =
-            check_one (Filename.concat dir f) attack false structural max_paths
-          in
-          Fmt.pr "@.";
-          code = 0)
-        files
+    let scan _worker file =
+      let buf = Buffer.create 256 in
+      let ppf = Format.formatter_of_buffer buf in
+      let code =
+        check_one ~ppf ~err:ppf (Filename.concat dir file) attack false
+          structural max_paths config
+      in
+      Format.pp_print_flush ppf ();
+      (Buffer.contents buf, code)
     in
-    Fmt.pr "=== %s: %d files scanned, %d vulnerable (%.2f s) ===@." dir
-      (List.length files) (List.length vulnerable)
-      (Unix.gettimeofday () -. t0);
-    List.iter (fun f -> Fmt.pr "  vulnerable: %s@." f) vulnerable;
-    0
+    let results, stats = Engine.map ?jobs ~name:"webcheck" ~f:scan files in
+    trace_lanes := stats.Engine.worker_spans;
+    let vulnerable = ref [] in
+    let failures = ref 0 in
+    List.iter2
+      (fun file (r : _ Engine.job_result) ->
+        match r.outcome with
+        | Engine.Done (output, code) ->
+            Fmt.pr "%s@." output;
+            if code = 0 then vulnerable := file :: !vulnerable
+        | other ->
+            incr failures;
+            Fmt.pr "%s: %a@.@." file
+              (Engine.pp_outcome (fun ppf _ -> Fmt.string ppf ""))
+              other)
+      files results;
+    Fmt.pr "=== %s: %d files scanned, %d vulnerable ===@." dir
+      (List.length files)
+      (List.length !vulnerable);
+    List.iter (fun f -> Fmt.pr "  vulnerable: %s@." f) (List.rev !vulnerable);
+    Fmt.epr "scanned in %.2f s with %d worker(s)@."
+      (Int64.to_float stats.Engine.wall_ns /. 1e9)
+      stats.Engine.workers;
+    if !failures > 0 then 5 else 0
   end
 
 (* Run [f] under a span collector when any trace output was requested;
@@ -159,8 +202,13 @@ let with_trace ~trace ~trace_tree f =
                 ~after:(Telemetry.Metrics.Snapshot.of_default ())
                 ~before
             in
+            let base =
+              match !trace_lanes with
+              | [] -> Telemetry.Span.to_chrome_json span
+              | lanes -> Telemetry.Span.to_chrome_json_lanes ~lanes span
+            in
             let json =
-              match Telemetry.Span.to_chrome_json span with
+              match base with
               | Telemetry.Json.Obj fields ->
                   Telemetry.Json.Obj
                     (fields
@@ -171,18 +219,31 @@ let with_trace ~trace ~trace_tree f =
                 Out_channel.output_string oc (Telemetry.Json.to_string json))
           with Sys_error msg -> Fmt.epr "error: cannot write trace: %s@." msg)
         trace;
-      if trace_tree then Fmt.epr "%a" Telemetry.Span.pp_tree span
+      if trace_tree then begin
+        Fmt.epr "%a" Telemetry.Span.pp_tree span;
+        List.iter
+          (fun (_, lane) -> Fmt.epr "%a" Telemetry.Span.pp_tree lane)
+          !trace_lanes
+      end
     in
     Telemetry.Span.collect_emit ~name:"webcheck" ~emit f
   end
 
-let check_cmd path attack all structural max_paths trace trace_tree no_cache
-    verbose =
+let check_cmd path attack all structural max_paths jobs budget_ms budget_states
+    trace trace_tree no_cache verbose =
   setup_logs verbose;
   if no_cache then Automata.Store.set_enabled false;
+  let config =
+    Dprle.Solver.Config.make
+      ~budget:(Automata.Budget.make ?wall_ms:budget_ms ?max_states:budget_states ())
+      ()
+  in
   with_trace ~trace ~trace_tree @@ fun () ->
-  if Sys.is_directory path then check_dir path attack structural max_paths
-  else check_one path attack all structural max_paths
+  if Sys.is_directory path then
+    check_dir path attack structural max_paths config jobs
+  else
+    check_one ~ppf:Fmt.stdout ~err:Fmt.stderr path attack all structural
+      max_paths config
 
 open Cmdliner
 
@@ -237,13 +298,55 @@ let () =
              operations (cache ablation; identical output, more work).")
   in
   let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.") in
+  let jobs_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for directory scans (default: the runtime's \
+             recommended domain count). Output is byte-identical for any \
+             value.")
+  in
+  let budget_ms_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "budget-ms" ] ~docv:"MS"
+          ~doc:
+            "Wall-clock budget per candidate solve in milliseconds; an \
+             over-budget candidate is skipped with a note (exit code 4 if \
+             nothing vulnerable was found).")
+  in
+  let budget_states_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "budget-states" ] ~docv:"N"
+          ~doc:
+            "Cap on product/subset states materialized per candidate solve; \
+             an over-budget candidate is skipped with a note.")
+  in
   let term =
     Term.(
       const check_cmd $ path_arg $ attack_arg $ all_arg $ structural_arg
-      $ max_paths_arg $ trace_arg $ trace_tree_arg $ no_cache_arg $ verbose_arg)
+      $ max_paths_arg $ jobs_arg $ budget_ms_arg $ budget_states_arg
+      $ trace_arg $ trace_tree_arg $ no_cache_arg $ verbose_arg)
+  in
+  let exits =
+    [
+      Cmd.Exit.info 0 ~doc:"when an exploitable path was found (or, for a \
+                            directory scan, when every file was scanned).";
+      Cmd.Exit.info 1 ~doc:"when no exploitable path was found.";
+      Cmd.Exit.info 2 ~doc:"on a parse error or an empty directory.";
+      Cmd.Exit.info 4 ~doc:"when no exploitable path was found but at least \
+                            one candidate solve exceeded its \
+                            $(b,--budget-ms)/$(b,--budget-states) budget \
+                            (verdict unknown).";
+      Cmd.Exit.info 5 ~doc:"when a directory-scan job raised an internal \
+                            error.";
+    ]
+    @ Cmd.Exit.defaults
   in
   let info =
-    Cmd.info "webcheck" ~version:"1.0.0"
+    Cmd.info "webcheck" ~version:"1.0.0" ~exits
       ~doc:
         "Find SQL-injection exploits in mini-PHP programs via symbolic \
          execution and the DPRLE decision procedure."

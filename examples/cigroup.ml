@@ -46,9 +46,11 @@ let () =
     groups;
   Fmt.pr "@.dot output available via Depgraph.to_dot (%d bytes)@.@."
     (String.length (Depgraph.to_dot graph));
-  match Solver.solve_system system with
-  | Solver.Unsat reason -> Fmt.pr "unsat: %s@." reason
-  | Solver.Sat solutions ->
+  match Solver.run Solver.Config.default system with
+  | Error err -> Fmt.pr "error: %s@." (Solver.Error.to_string err)
+  | Ok (Solver.Unsat reason) ->
+      Fmt.pr "unsat: %a@." Solver.pp_unsat_reason reason
+  | Ok (Solver.Sat solutions) ->
       Fmt.pr "%d maximal disjunctive solutions:@." (List.length solutions);
       List.iteri
         (fun i a ->

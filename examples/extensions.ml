@@ -17,8 +17,8 @@ let () =
          let xxpref = "xx";
          (xpref | xxpref) . v <= short; |}
   in
-  (match Dprle.Solver.solve_system system with
-  | Dprle.Solver.Sat [ a ] ->
+  (match Dprle.Solver.run Dprle.Solver.Config.default system with
+  | Ok (Dprle.Solver.Sat [ a ]) ->
       (* v must survive after both prefixes: x∘v and xx∘v both ⊆ x{1,3} *)
       Fmt.pr "v ↦ /%s/@.@." (Regex.Simplify.pretty (Dprle.Assignment.find a "v"))
   | _ -> Fmt.pr "unexpected@.");

@@ -10,9 +10,11 @@ module Assignment = Dprle.Assignment
 let solve_and_print title system =
   Fmt.pr "== %s ==@." title;
   Fmt.pr "system:@.  @[<v>%a@]@." System.pp system;
-  (match Solver.solve_system system with
-  | Solver.Unsat reason -> Fmt.pr "unsat: %s@." reason
-  | Solver.Sat solutions ->
+  (match Solver.run Solver.Config.default system with
+  | Error err -> Fmt.pr "error: %s@." (Solver.Error.to_string err)
+  | Ok (Solver.Unsat reason) ->
+      Fmt.pr "unsat: %a@." Solver.pp_unsat_reason reason
+  | Ok (Solver.Sat solutions) ->
       Fmt.pr "%d disjunctive solution(s):@." (List.length solutions);
       List.iteri
         (fun i a ->

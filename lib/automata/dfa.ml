@@ -47,6 +47,7 @@ let of_nfa (m : Nfa.t) =
     match Hashtbl.find_opt table k with
     | Some q -> q
     | None ->
+        Budget.charge_states 1;
         let q = !count in
         incr count;
         Hashtbl.add table k q;
@@ -300,6 +301,7 @@ let reverse_det d =
     match Hashtbl.find_opt table k with
     | Some q -> q
     | None ->
+        Budget.charge_states 1;
         let q = !count in
         incr count;
         Hashtbl.add table k q;

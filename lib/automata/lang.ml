@@ -39,6 +39,9 @@ let counterexample a b =
   let push p s word =
     let key = (p, SS.elements s) in
     if not (Hashtbl.mem visited key) then begin
+      (* Each visited (state × subset) pair is a state of the lazy
+         product: charge it against the ambient budget's state cap. *)
+      Budget.charge_states 1;
       Hashtbl.add visited key ();
       incr count;
       Queue.add (p, s, word) worklist

@@ -17,9 +17,15 @@ type t = {
   (* Lazily-built indexes over the immutable delta/eps arrays. They
      are shared (not recomputed) by the [{ m with ... }] copies the
      induce operations make, which is safe because they depend only on
-     the transition structure, never on start/final. *)
-  mutable preds : state list array option;
-  mutable eps_index : (int, unit) Hashtbl.t option;
+     the transition structure, never on start/final. Atomic because
+     top-level machines (attack languages, compiled constants) are
+     shared read-only across engine worker domains: the Atomic
+     get/set pair publishes the fully-built index, where a plain
+     mutable field could expose another domain to a partially-written
+     array. Two domains may race to build the same index; both results
+     are equal, so the losing write is harmless. *)
+  preds : state list array option Atomic.t;
+  eps_index : (int, unit) Hashtbl.t option Atomic.t;
 }
 
 let num_states m = m.n
@@ -39,7 +45,7 @@ let all_eps_edges m =
 (* Predecessor adjacency (character and ε edges together), built on
    first co-reachability query and cached. *)
 let preds m =
-  match m.preds with
+  match Atomic.get m.preds with
   | Some p -> p
   | None ->
       let p = Array.make m.n [] in
@@ -47,21 +53,21 @@ let preds m =
         List.iter (fun (_, q') -> p.(q') <- q :: p.(q')) m.delta.(q);
         List.iter (fun q' -> p.(q') <- q :: p.(q')) m.eps.(q)
       done;
-      m.preds <- Some p;
+      Atomic.set m.preds (Some p);
       p
 
 (* ε-edge membership index: keys are [p * n + q]. Built on first
    [has_eps_edge] so the full-state scans in Ci stop paying a
    [List.mem] per candidate pair. *)
 let eps_index m =
-  match m.eps_index with
+  match Atomic.get m.eps_index with
   | Some t -> t
   | None ->
       let t = Hashtbl.create 64 in
       for q = 0 to m.n - 1 do
         List.iter (fun q' -> Hashtbl.replace t ((q * m.n) + q') ()) m.eps.(q)
       done;
-      m.eps_index <- Some t;
+      Atomic.set m.eps_index (Some t);
       t
 
 let has_eps_edge m p q = Hashtbl.mem (eps_index m) ((p * m.n) + q)
@@ -140,7 +146,15 @@ module Builder = struct
           eps.(fst edge) <- dst :: eps.(fst edge)
         end)
       b.eps_edges;
-    { n = b.count; start; final; delta; eps; preds = None; eps_index = None }
+    {
+      n = b.count;
+      start;
+      final;
+      delta;
+      eps;
+      preds = Atomic.make None;
+      eps_index = Atomic.make None;
+    }
 end
 
 let empty_lang =
@@ -223,6 +237,7 @@ let bfs ?(observe = false) ~n ~roots ~iter_succ () =
   in
   List.iter push roots;
   while !head < !tail do
+    Budget.tick ();
     if !tail - !head > !peak then peak := !tail - !head;
     let q = queue.(!head) in
     incr head;
@@ -356,6 +371,7 @@ let is_empty_lang m =
     in
     push m.start;
     while (not !found) && !head < !tail do
+      Budget.tick ();
       if !tail - !head > !peak then peak := !tail - !head;
       let q = queue.(!head) in
       incr head;

@@ -57,6 +57,7 @@ let intersect m1 m2 =
     | Some q -> q
     | None ->
         Stats.visit_states 1;
+        Budget.charge_states 1;
         let q = Nfa.Builder.add_state b in
         Hashtbl.add table pair q;
         pairs := (q, pair) :: !pairs;

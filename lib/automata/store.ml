@@ -14,8 +14,11 @@ let opcache_miss = Metrics.Counter.make "store.opcache.miss"
 let opcache_evict = Metrics.Counter.make "store.opcache.evict"
 let machine_states = Metrics.Histogram.make "store.machine.states"
 
-let enabled_flag = ref true
-let enabled () = !enabled_flag
+(* Atomic so an engine worker spawned after [--no-cache] reliably
+   observes the ablation flag; it is only ever written from the main
+   domain (CLI setup, bench arms). *)
+let enabled_flag = Atomic.make true
+let enabled () = Atomic.get enabled_flag
 
 type handle = {
   id : int;
@@ -112,15 +115,22 @@ let canonical_key m0 =
 (* ------------------------------------------------------------------ *)
 (* Intern table *)
 
-let intern_table : (string, handle) Hashtbl.t = Hashtbl.create 256
+(* One intern table per domain: the store is deliberately not shared
+   across engine workers (no locks on the solve hot path; a worker's
+   cache dies with its domain). Handles must therefore stay inside
+   the domain that interned them. *)
+let intern_table_key : (string, handle) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 256)
 
-(* Monotone across [clear]/[set_enabled] so stale ids in surviving
-   caller-side memo keys can never alias a new machine. *)
-let next_id = ref 0
+let intern_table () = Domain.DLS.get intern_table_key
+
+(* Monotone across [clear]/[set_enabled] — and globally unique across
+   domains — so stale ids in surviving caller-side memo keys can never
+   alias a new machine. *)
+let next_id = Atomic.make 0
 
 let fresh_handle m =
-  let id = !next_id in
-  incr next_id;
+  let id = Atomic.fetch_and_add next_id 1 in
   {
     id;
     nfa = m;
@@ -131,10 +141,11 @@ let fresh_handle m =
   }
 
 let intern m =
-  if not !enabled_flag then fresh_handle m
+  if not (enabled ()) then fresh_handle m
   else
+    let table = intern_table () in
     let key = canonical_key m in
-    match Hashtbl.find_opt intern_table key with
+    match Hashtbl.find_opt table key with
     | Some h ->
         Metrics.Counter.incr intern_hit 1;
         h
@@ -143,16 +154,16 @@ let intern m =
         Metrics.Histogram.observe machine_states
           (float_of_int (Nfa.num_states m));
         let h = fresh_handle m in
-        Hashtbl.replace intern_table key h;
+        Hashtbl.replace table key h;
         h
 
-let canon m = if not !enabled_flag then m else (intern m).nfa
+let canon m = if not (enabled ()) then m else (intern m).nfa
 
 (* ------------------------------------------------------------------ *)
 (* Per-handle memo slots *)
 
 let dfa h =
-  if not !enabled_flag then Dfa.of_nfa h.nfa
+  if not (enabled ()) then Dfa.of_nfa h.nfa
   else
     match h.dfa_memo with
     | Some d -> d
@@ -162,7 +173,7 @@ let dfa h =
         d
 
 let min_dfa h =
-  if not !enabled_flag then Dfa.minimize (Dfa.of_nfa h.nfa)
+  if not (enabled ()) then Dfa.minimize (Dfa.of_nfa h.nfa)
   else
     match h.min_dfa_memo with
     | Some d -> d
@@ -172,7 +183,7 @@ let min_dfa h =
         d
 
 let minimized h =
-  if not !enabled_flag then Lang.compact h.nfa
+  if not (enabled ()) then Lang.compact h.nfa
   else
     match h.minimized_memo with
     | Some m -> m
@@ -182,7 +193,7 @@ let minimized h =
         m
 
 let is_empty h =
-  if not !enabled_flag then Nfa.is_empty_lang h.nfa
+  if not (enabled ()) then Nfa.is_empty_lang h.nfa
   else
     match h.empty_memo with
     | Some b -> b
@@ -197,63 +208,73 @@ let is_empty h =
 module Memo = struct
   type 'v entry = { value : 'v; mutable stamp : int }
 
-  type 'v t = {
-    op : string;
-    table : (int list, 'v entry) Hashtbl.t;
-    mutable tick : int;
-  }
+  type 'v state = { table : (int list, 'v entry) Hashtbl.t; mutable tick : int }
+
+  (* A memo names a per-domain table: [create] allocates a DLS key and
+     each domain materializes its own state on first use, for the same
+     reason the intern table is domain-local. The [clearers] list is
+     only ever extended at module-init time (all [create] call sites
+     are top-level definitions), before any worker domain exists. *)
+  type 'v t = { op : string; key : 'v state Domain.DLS.key }
 
   (* Every table registers a clearer so [Store.clear] reaches caches
      created by higher layers (solver, residual) without a type-level
-     dependency on their value types. *)
+     dependency on their value types. A clearer resets the calling
+     domain's instance; worker tables are dropped wholesale when their
+     domain exits. *)
   let clearers : (unit -> unit) list ref = ref []
+
+  (* Written from the main domain before workers spawn ([Domain.spawn]
+     publishes it); racy mid-flight writes would only skew eviction. *)
   let capacity = ref 4096
 
   let create ~op =
-    let t = { op; table = Hashtbl.create 64; tick = 0 } in
+    let key = Domain.DLS.new_key (fun () -> { table = Hashtbl.create 64; tick = 0 }) in
+    let t = { op; key } in
     clearers :=
       (fun () ->
-        Hashtbl.reset t.table;
-        t.tick <- 0)
+        let s = Domain.DLS.get key in
+        Hashtbl.reset s.table;
+        s.tick <- 0)
       :: !clearers;
     t
 
   (* Batch-evict the least-recently-used half: O(n) with no auxiliary
      order structure to maintain on hits, amortized O(1) per insert. *)
-  let evict_half t =
-    let n = Hashtbl.length t.table in
+  let evict_half op s =
+    let n = Hashtbl.length s.table in
     let stamps = Array.make n 0 in
     let i = ref 0 in
     Hashtbl.iter
       (fun _ e ->
         stamps.(!i) <- e.stamp;
         incr i)
-      t.table;
+      s.table;
     Array.sort compare stamps;
     let cutoff = stamps.(n / 2) in
     let victims =
       Hashtbl.fold
         (fun k e acc -> if e.stamp < cutoff then k :: acc else acc)
-        t.table []
+        s.table []
     in
-    List.iter (Hashtbl.remove t.table) victims;
-    Metrics.Counter.incr ~labels:[ ("op", t.op) ] opcache_evict
-      (List.length victims)
+    List.iter (Hashtbl.remove s.table) victims;
+    Metrics.Counter.incr ~labels:[ ("op", op) ] opcache_evict (List.length victims)
 
   let find_or_compute t ~key f =
-    if not !enabled_flag then f ()
+    if not (enabled ()) then f ()
     else begin
-      t.tick <- t.tick + 1;
-      match Hashtbl.find_opt t.table key with
+      let s = Domain.DLS.get t.key in
+      s.tick <- s.tick + 1;
+      match Hashtbl.find_opt s.table key with
       | Some e ->
-          e.stamp <- t.tick;
+          e.stamp <- s.tick;
           Metrics.Counter.incr ~labels:[ ("op", t.op) ] opcache_hit 1;
           e.value
       | None ->
           Metrics.Counter.incr ~labels:[ ("op", t.op) ] opcache_miss 1;
           let v = f () in
-          if Hashtbl.length t.table >= !capacity then evict_half t;
-          Hashtbl.replace t.table key { value = v; stamp = t.tick };
+          if Hashtbl.length s.table >= !capacity then evict_half t.op s;
+          Hashtbl.replace s.table key { value = v; stamp = s.tick };
           v
     end
 end
@@ -289,12 +310,12 @@ let equal h1 h2 = subset h1 h2 && subset h2 h1
 (* Lifecycle *)
 
 let clear () =
-  Hashtbl.reset intern_table;
+  Hashtbl.reset (intern_table ());
   List.iter (fun f -> f ()) !Memo.clearers
 
 let set_enabled b =
-  let was = !enabled_flag in
-  enabled_flag := b;
+  let was = Atomic.get enabled_flag in
+  Atomic.set enabled_flag b;
   if was && not b then clear ()
 
 let set_capacity n = Memo.capacity := max 16 n

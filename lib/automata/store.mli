@@ -4,8 +4,8 @@
     The paper's pathological row (`secure`, Fig. 12) is driven by
     re-processing the same constant machines once per path and per
     solve; §4 suggests minimization/caching as the fix. This module is
-    that caching substrate. A {!handle} names a machine in a global
-    intern table keyed by a {e canonical key} — the pruned
+    that caching substrate. A {!handle} names a machine in a
+    {e domain-local} intern table keyed by a {e canonical key} — the pruned
     ({!Nfa.trim}med) machine serialized under a deterministic
     breadth-first renumbering, so structurally equal machines (up to
     dead states and state numbering) share one handle. Equal keys
@@ -27,7 +27,15 @@
     invariant in [Ops.concat]/[Ops.intersect] — must keep operating on
     raw [Nfa.t] values: a handle's representative machine is the first
     machine interned under its key, so state identities of a specific
-    construction are not preserved across the store. *)
+    construction are not preserved across the store.
+
+    {b Domains.} The store is deliberately not shared across engine
+    workers: every domain gets its own intern table and its own memo
+    tables (no locks on the solve hot path; a worker's caches die with
+    its domain). Handles must therefore never cross a domain boundary
+    — each job interns what it needs inside its worker. Handle ids
+    remain globally unique, and the enable switch and capacity apply
+    process-wide (set them before spawning workers). *)
 
 type handle
 
@@ -115,9 +123,9 @@ val enabled : unit -> bool
     ablation run ([--no-cache]) holds no stale state. *)
 val set_enabled : bool -> unit
 
-(** Drop the intern table and every op-cache (outstanding handles
-    stay valid; their memo slots are unaffected). Benchmarks call
-    this between arms. *)
+(** Drop the calling domain's intern table and every op-cache
+    (outstanding handles stay valid; their memo slots are
+    unaffected). Benchmarks call this between arms. *)
 val clear : unit -> unit
 
 (** Per-table entry cap for the LRU op-caches (default 4096; at least

@@ -36,57 +36,76 @@ let pp ppf r =
       pp_census r.census;
   Fmt.pf ppf "@]"
 
-let solve_with_report ?max_solutions ?combination_limit (g : Depgraph.t) =
-  let census = Solver.cut_census g in
-  let groups = Depgraph.ci_groups g in
-  let concat_groups, singles =
-    List.partition (fun members -> List.length members > 1) groups
+let solve_with_report ?(config = Solver.Config.default) (g : Depgraph.t) =
+  let measured () =
+    let census = Solver.cut_census g in
+    let groups = Depgraph.ci_groups g in
+    let concat_groups, singles =
+      List.partition (fun members -> List.length members > 1) groups
+    in
+    let singleton_vars =
+      List.length
+        (List.filter (function [ Depgraph.Var _ ] -> true | _ -> false) singles)
+    in
+    (* combinations multiply within a group; find each group's product *)
+    let triple_group tid =
+      let { Depgraph.result; _ } = List.nth g.concats tid in
+      List.find_opt (List.exists (Depgraph.node_equal result)) concat_groups
+    in
+    let group_products = Hashtbl.create 8 in
+    List.iter
+      (fun (tid, cuts) ->
+        match triple_group tid with
+        | None -> ()
+        | Some members ->
+            let key = List.hd members in
+            let current = Option.value (Hashtbl.find_opt group_products key) ~default:1 in
+            Hashtbl.replace group_products key (current * max 1 cuts))
+      census;
+    let max_group_combinations =
+      Hashtbl.fold (fun _ v acc -> max v acc) group_products 0
+    in
+    (* Diff-based scoping: nested [solve_with_report] calls (or any
+       concurrent bracketing) each hold their own [before] snapshot, so
+       they report independent counts — unlike the historical global
+       [Stats.reset] bracketing, which a nested call would clobber. *)
+    let before = Automata.Stats.absolute () in
+    (* The whole measured pass (census + solve) already runs under
+       [config.budget] via [with_budget] below; pass the solver an
+       unlimited budget so the two do not stack. An [Error] here can
+       only be the ambient outer budget firing mid-solve — re-raise it
+       so the boundary below reports it uniformly. *)
+    let outcome =
+      match
+        Solver.run_graph
+          { config with budget = Automata.Budget.unlimited }
+          g
+      with
+      | Ok outcome -> outcome
+      | Error (Solver.Error.Budget_exceeded stop) ->
+          raise (Automata.Budget.Exceeded stop)
+    in
+    let automata = Automata.Stats.diff (Automata.Stats.absolute ()) before in
+    let solutions =
+      match outcome with Solver.Sat l -> List.length l | Solver.Unsat _ -> 0
+    in
+    ( outcome,
+      {
+        nodes = List.length g.nodes;
+        subset_edges = List.length g.subsets;
+        concat_pairs = List.length g.concats;
+        groups = List.length concat_groups;
+        singleton_vars;
+        cut_candidates = List.fold_left (fun acc (_, c) -> acc + c) 0 census;
+        max_group_combinations;
+        solutions;
+        automata;
+        census =
+          List.map
+            (fun (tid, cuts) -> { triple = List.nth g.concats tid; cuts })
+            census;
+      } )
   in
-  let singleton_vars =
-    List.length
-      (List.filter (function [ Depgraph.Var _ ] -> true | _ -> false) singles)
-  in
-  (* combinations multiply within a group; find each group's product *)
-  let triple_group tid =
-    let { Depgraph.result; _ } = List.nth g.concats tid in
-    List.find_opt (List.exists (Depgraph.node_equal result)) concat_groups
-  in
-  let group_products = Hashtbl.create 8 in
-  List.iter
-    (fun (tid, cuts) ->
-      match triple_group tid with
-      | None -> ()
-      | Some members ->
-          let key = List.hd members in
-          let current = Option.value (Hashtbl.find_opt group_products key) ~default:1 in
-          Hashtbl.replace group_products key (current * max 1 cuts))
-    census;
-  let max_group_combinations =
-    Hashtbl.fold (fun _ v acc -> max v acc) group_products 0
-  in
-  (* Diff-based scoping: nested [solve_with_report] calls (or any
-     concurrent bracketing) each hold their own [before] snapshot, so
-     they report independent counts — unlike the historical global
-     [Stats.reset] bracketing, which a nested call would clobber. *)
-  let before = Automata.Stats.absolute () in
-  let outcome = Solver.solve ?max_solutions ?combination_limit g in
-  let automata = Automata.Stats.diff (Automata.Stats.absolute ()) before in
-  let solutions =
-    match outcome with Solver.Sat l -> List.length l | Solver.Unsat _ -> 0
-  in
-  ( outcome,
-    {
-      nodes = List.length g.nodes;
-      subset_edges = List.length g.subsets;
-      concat_pairs = List.length g.concats;
-      groups = List.length concat_groups;
-      singleton_vars;
-      cut_candidates = List.fold_left (fun acc (_, c) -> acc + c) 0 census;
-      max_group_combinations;
-      solutions;
-      automata;
-      census =
-        List.map
-          (fun (tid, cuts) -> { triple = List.nth g.concats tid; cuts })
-          census;
-    } )
+  try Ok (Automata.Budget.with_budget config.budget measured)
+  with Automata.Budget.Exceeded stop ->
+    Error (Solver.Error.Budget_exceeded stop)

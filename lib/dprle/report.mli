@@ -32,12 +32,13 @@ type t = {
 
 val pp : t Fmt.t
 
-(** Solve and measure in one pass. Returns the outcome together with
-    the report. Measurement is diff-based over {!Automata.Stats}
-    snapshots, so nested or interleaved calls report independent
-    counts. *)
+(** Solve and measure in one pass under [config] (default
+    {!Solver.Config.default}). Returns the outcome together with the
+    report, or the solver error if [config]'s budget ran out — the
+    budget covers the whole measured pass, census included.
+    Measurement is diff-based over {!Automata.Stats} snapshots, so
+    nested or interleaved calls report independent counts. *)
 val solve_with_report :
-  ?max_solutions:int ->
-  ?combination_limit:int ->
+  ?config:Solver.Config.t ->
   Depgraph.t ->
-  Solver.outcome * t
+  (Solver.outcome * t, Solver.Error.t) result

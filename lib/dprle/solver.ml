@@ -2,6 +2,7 @@ module Nfa = Automata.Nfa
 module Ops = Automata.Ops
 module Lang = Automata.Lang
 module Store = Automata.Store
+module Budget = Automata.Budget
 
 let log = Logs.Src.create "dprle.solver" ~doc:"RMA constraint solver"
 
@@ -15,7 +16,56 @@ let c_solves = Telemetry.Metrics.Counter.make "solver.solves"
 let h_group_combinations =
   Telemetry.Metrics.Histogram.make "solver.group_combinations"
 
-type outcome = Sat of Assignment.t list | Unsat of string
+(* Structured unsatisfiability. Every constructor renders to exactly
+   the diagnostic string the pre-redesign [Unsat of string] carried,
+   so CLI output (and the cram tests pinning it) is unchanged. *)
+type unsat_reason =
+  | Const_expr_violation
+  | Const_violation of string
+  | No_cut of int
+  | All_combinations_empty
+  | Empty_variable of string
+
+let pp_unsat_reason ppf = function
+  | Const_expr_violation ->
+      Fmt.string ppf "constant expression violates its subset constraint"
+  | Const_violation name ->
+      Fmt.pf ppf "constant %s violates a subset constraint" name
+  | No_cut tid ->
+      Fmt.pf ppf "concatenation %d admits no ε-cut: its language is empty" tid
+  | All_combinations_empty ->
+      Fmt.string ppf
+        "every ε-cut combination of a CI-group forces an empty language"
+  | Empty_variable v ->
+      Fmt.pf ppf "variable %s is constrained to the empty language" v
+
+let unsat_message reason = Fmt.str "%a" pp_unsat_reason reason
+
+type outcome = Sat of Assignment.t list | Unsat of unsat_reason
+
+module Config = struct
+  type t = {
+    max_solutions : int;
+    combination_limit : int;
+    budget : Budget.t;
+  }
+
+  let default =
+    { max_solutions = 256; combination_limit = 4096; budget = Budget.unlimited }
+
+  let make ?(max_solutions = 256) ?(combination_limit = 4096)
+      ?(budget = Budget.unlimited) () =
+    { max_solutions; combination_limit; budget }
+end
+
+module Error = struct
+  type t = Budget_exceeded of Budget.stop
+
+  let pp ppf = function
+    | Budget_exceeded stop -> Fmt.pf ppf "budget exceeded: %a" Budget.pp_stop stop
+
+  let to_string e = Fmt.str "%a" pp e
+end
 
 module NMap = Map.Make (struct
   type t = Depgraph.node
@@ -54,9 +104,9 @@ type record = {
   slices : (Depgraph.node * slice) list;
 }
 
-exception Unsatisfiable of string
+exception Unsatisfiable of unsat_reason
 
-let unsat fmt = Format.kasprintf (fun s -> raise (Unsatisfiable s)) fmt
+let unsat reason = raise (Unsatisfiable reason)
 
 (* ------------------------------------------------------------------ *)
 (* Constant-operand preprocessing.
@@ -151,7 +201,7 @@ let preprocess system =
         if mid = [] then begin
           (* constant-only alternative: decide inclusion now *)
           if not (Store.subset (run_lang pre_run) (const_handle rhs)) then
-            unsat "constant expression violates its subset constraint";
+            unsat Const_expr_violation;
           None
         end
         else begin
@@ -226,7 +276,7 @@ let base_languages (g : Depgraph.t) =
             List.iter
               (fun upper ->
                 if not (Store.subset own upper) then
-                  unsat "constant %a violates a subset constraint" Depgraph.pp_node n)
+                  unsat (Const_violation (Fmt.str "%a" Depgraph.pp_node n)))
               (inbound n);
             own
         | Depgraph.Var _ | Depgraph.Tmp _ -> (
@@ -414,8 +464,7 @@ let solve_group ~combination_limit ~raw_cap ~verify (roots : record list) base
              cut_menu)));
   List.iter
     (fun (tid, candidates) ->
-      if candidates = [] then
-        unsat "concatenation %d admits no ε-cut: its language is empty" tid)
+      if candidates = [] then unsat (No_cut tid))
     cut_menu;
   let total =
     List.fold_left (fun acc (_, c) -> acc * List.length c) 1 cut_menu
@@ -494,8 +543,7 @@ let solve_group ~combination_limit ~raw_cap ~verify (roots : record list) base
      (the final Maximal filter runs after maximalization in [solve]). *)
   let unsubsumed = Assignment.prune_subsumed (List.rev !solutions) in
   Span.add_attr "solutions" (`Int (List.length unsubsumed));
-  if unsubsumed = [] then
-    unsat "every ε-cut combination of a CI-group forces an empty language";
+  if unsubsumed = [] then unsat All_combinations_empty;
   unsubsumed
 
 (* ------------------------------------------------------------------ *)
@@ -506,7 +554,7 @@ let rec expr_variables acc = function
   | System.Concat (a, b) | System.Union (a, b) ->
       expr_variables (expr_variables acc a) b
 
-let solve ?(max_solutions = 256) ?(combination_limit = 4096) (g : Depgraph.t) =
+let solve_graph ~max_solutions ~combination_limit (g : Depgraph.t) =
   Span.with_span ~name:"solve" @@ fun () ->
   Telemetry.Metrics.Counter.incr c_solves 1;
   try
@@ -527,8 +575,7 @@ let solve ?(max_solutions = 256) ?(combination_limit = 4096) (g : Depgraph.t) =
           | [ Depgraph.Const _ ] -> None (* handled in base_languages *)
           | [ (Depgraph.Var v as n) ] ->
               let h = NMap.find n base in
-              if Store.is_empty h then
-                unsat "variable %s is constrained to the empty language" v
+              if Store.is_empty h then unsat (Empty_variable v)
               else Some [ Assignment.of_list [ (v, Store.minimized h) ] ]
           | members ->
               let member_set = NSet.of_list members in
@@ -607,11 +654,37 @@ let solve ?(max_solutions = 256) ?(combination_limit = 4096) (g : Depgraph.t) =
     Sat capped
   with Unsatisfiable reason -> Unsat reason
 
+(* ------------------------------------------------------------------ *)
+(* Public entry points. [run]/[run_graph] are the primary API: config
+   record in, [result] out, with budget exhaustion surfaced as a
+   structured error rather than an exception. The optional-arg
+   [solve]/[solve_system] below are compatibility shims. *)
+
+let run_graph (cfg : Config.t) g =
+  try
+    Ok
+      (Budget.with_budget cfg.budget (fun () ->
+           solve_graph ~max_solutions:cfg.max_solutions
+             ~combination_limit:cfg.combination_limit g))
+  with Budget.Exceeded stop -> Error (Error.Budget_exceeded stop)
+
+let run (cfg : Config.t) system =
+  try
+    Ok
+      (Budget.with_budget cfg.budget (fun () ->
+           solve_graph ~max_solutions:cfg.max_solutions
+             ~combination_limit:cfg.combination_limit
+             (Depgraph.of_system system)))
+  with Budget.Exceeded stop -> Error (Error.Budget_exceeded stop)
+
+let solve ?(max_solutions = 256) ?(combination_limit = 4096) g =
+  solve_graph ~max_solutions ~combination_limit g
+
 let solve_system ?max_solutions ?combination_limit system =
   solve ?max_solutions ?combination_limit (Depgraph.of_system system)
 
 let first_solution g =
-  match solve ~max_solutions:1 g with
+  match solve_graph ~max_solutions:1 ~combination_limit:4096 g with
   | Sat (a :: _) -> Some a
   | Sat [] | Unsat _ -> None
 

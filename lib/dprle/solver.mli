@@ -27,24 +27,93 @@
     combinations rejected (as in Fig. 3 line 15) and pointwise
     subsumed assignments dropped (they would violate Maximal). *)
 
+(** Why a system is unsatisfiable, as a machine-matchable variant.
+    {!pp_unsat_reason} renders each constructor to exactly the
+    diagnostic string the CLI has always printed. *)
+type unsat_reason =
+  | Const_expr_violation
+      (** a constant-only alternative fails its subset constraint *)
+  | Const_violation of string
+      (** the named constant node fails an inbound subset constraint *)
+  | No_cut of int
+      (** concatenation [i] (index in [Depgraph.concats]) admits no
+          ε-cut: its language is empty *)
+  | All_combinations_empty
+      (** every ε-cut combination of some CI-group forces an empty
+          language *)
+  | Empty_variable of string
+      (** the named variable's inbound constraints intersect to ∅ *)
+
+val pp_unsat_reason : unsat_reason Fmt.t
+
+(** [pp_unsat_reason] as a string — the legacy [Unsat of string]
+    payload. *)
+val unsat_message : unsat_reason -> string
+
 type outcome =
   | Sat of Assignment.t list
       (** all (deduplicated, unsubsumed) disjunctive satisfying
-          assignments, at most [max_solutions] of them *)
-  | Unsat of string  (** human-readable reason *)
+          assignments, at most [Config.max_solutions] of them *)
+  | Unsat of unsat_reason
 
-(** [solve graph] decides the system.
+(** Solve configuration for {!run}/{!run_graph}. *)
+module Config : sig
+  type t = {
+    max_solutions : int;
+        (** cap on returned disjuncts (default 256) *)
+    combination_limit : int;
+        (** cap on ε-cut combinations explored per CI-group (default
+            4096) — the paper's §3.5 exponential worst case made
+            tangible. Combinations are enumerated lazily (the paper
+            notes the first solution needs no full enumeration); when
+            the cap truncates the search a warning is logged and the
+            returned disjunct list may be incomplete (each disjunct
+            is still sound). *)
+    budget : Automata.Budget.t;
+        (** resource budget installed for the duration of the solve
+            (default {!Automata.Budget.unlimited}) *)
+  }
 
-    @param max_solutions cap on returned disjuncts (default 256).
-    @param combination_limit cap on ε-cut combinations explored per
-    CI-group (default 4096) — the paper's §3.5 exponential worst case
-    made tangible. Combinations are enumerated lazily (the paper
-    notes the first solution needs no full enumeration); when the cap
-    truncates the search a warning is logged and the returned
-    disjunct list may be incomplete (each disjunct is still sound). *)
+  val default : t
+
+  val make :
+    ?max_solutions:int ->
+    ?combination_limit:int ->
+    ?budget:Automata.Budget.t ->
+    unit ->
+    t
+end
+
+(** Failures that are neither [Sat] nor [Unsat]. Budget exhaustion is
+    deliberately {e not} an {!unsat_reason}: [Unsat] is a semantic
+    verdict about the system, while running out of budget says
+    nothing about satisfiability. *)
+module Error : sig
+  type t = Budget_exceeded of Automata.Budget.stop
+
+  val pp : t Fmt.t
+  val to_string : t -> string
+end
+
+(** [run config system] builds the dependency graph and decides the
+    system under [config], including its budget. This is the primary
+    entry point. *)
+val run : Config.t -> System.t -> (outcome, Error.t) result
+
+(** Like {!run} on an already-built graph. *)
+val run_graph : Config.t -> Depgraph.t -> (outcome, Error.t) result
+
+(** [solve graph] decides the system with the defaults of
+    {!Config.default} and no budget.
+
+    @deprecated Compatibility shim for pre-[Config] callers; use
+    {!run_graph}. *)
 val solve : ?max_solutions:int -> ?combination_limit:int -> Depgraph.t -> outcome
 
-(** Convenience: graph construction + solve. *)
+(** Convenience: graph construction + solve.
+
+    @deprecated Compatibility shim for pre-[Config] callers; use
+    {!run}. *)
 val solve_system :
   ?max_solutions:int -> ?combination_limit:int -> System.t -> outcome
 

@@ -1,0 +1,117 @@
+module Budget = Automata.Budget
+module Span = Telemetry.Span
+module Snapshot = Telemetry.Metrics.Snapshot
+
+type 'a outcome =
+  | Done of 'a
+  | Timeout
+  | Budget_exceeded
+  | Failed of string
+
+type 'a job_result = {
+  index : int;
+  outcome : 'a outcome;
+  elapsed_ns : int64;
+  worker : int;
+}
+
+type stats = {
+  workers : int;
+  jobs : int;
+  wall_ns : int64;
+  worker_spans : (string * Span.t) list;
+}
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let pp_outcome pp_done ppf = function
+  | Done v -> pp_done ppf v
+  | Timeout -> Fmt.string ppf "budget exceeded: timeout"
+  | Budget_exceeded -> Fmt.string ppf "budget exceeded: state budget exhausted"
+  | Failed msg -> Fmt.pf ppf "internal failure: %s" msg
+
+let outcome_of_stop = function
+  | Budget.Timeout -> Timeout
+  | Budget.Out_of_states -> Budget_exceeded
+
+(* One job, fully isolated: its own budget window, and any exception it
+   leaks becomes [Failed] so the rest of the batch still completes. *)
+let run_job ~budget ~f ~worker index item =
+  let t0 = Telemetry.Clock.now_ns () in
+  let outcome =
+    match Budget.run budget (fun () -> f worker item) with
+    | Ok v -> Done v
+    | Error stop -> outcome_of_stop stop
+    | exception e -> Failed (Printexc.to_string e)
+  in
+  {
+    index;
+    outcome;
+    elapsed_ns = Int64.sub (Telemetry.Clock.now_ns ()) t0;
+    worker;
+  }
+
+let map ?jobs ?(budget = Budget.unlimited) ?(name = "batch") ~f items =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  let workers =
+    min (max 1 (Option.value jobs ~default:(default_jobs ()))) (max 1 n)
+  in
+  let t0 = Telemetry.Clock.now_ns () in
+  let results, worker_spans =
+    if workers = 1 then
+      (* Inline fast path: runs in the calling domain, so spans nest
+         into the caller's open trace and the caller's store is used
+         directly. *)
+      (List.mapi (fun i item -> run_job ~budget ~f ~worker:0 i item)
+         (Array.to_list items),
+       [])
+    else begin
+      (* Slots are disjoint per index and only read after the joins
+         below, so the plain array is race-free. *)
+      let results = Array.make n None in
+      let next = Atomic.make 0 in
+      let trace = Span.enabled () in
+      let worker_body w () =
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            results.(i) <- Some (run_job ~budget ~f ~worker:w i items.(i));
+            loop ()
+          end
+        in
+        let span =
+          if trace then
+            let (), sp =
+              Span.collect ~name:(Fmt.str "%s-worker-%d" name w) loop
+            in
+            Some sp
+          else begin
+            loop ();
+            None
+          end
+        in
+        (* The worker domain's metrics land in its own domain-local
+           default registry; hand a snapshot back for the merge. *)
+        (span, Snapshot.of_default ())
+      in
+      let domains =
+        List.init workers (fun w -> Domain.spawn (worker_body w))
+      in
+      let joined = List.map Domain.join domains in
+      List.iter (fun (_, snap) -> Snapshot.absorb snap) joined;
+      let worker_spans =
+        List.filter_map
+          (fun (w, (sp, _)) ->
+            Option.map (fun sp -> (Fmt.str "worker-%d" w, sp)) sp)
+          (List.mapi (fun w j -> (w, j)) joined)
+      in
+      ( Array.to_list results
+        |> List.map (function
+             | Some r -> r
+             | None -> assert false (* every index is claimed *)),
+        worker_spans )
+    end
+  in
+  let wall_ns = Int64.sub (Telemetry.Clock.now_ns ()) t0 in
+  (results, { workers; jobs = n; wall_ns; worker_spans })

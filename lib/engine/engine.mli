@@ -1,0 +1,80 @@
+(** Parallel batch-solve engine.
+
+    [map] fans a list of jobs out over a pool of OCaml 5 domains and
+    merges the results {e deterministically}: the returned list is in
+    submission order regardless of worker count or scheduling, so any
+    output rendered from it is byte-identical for [--jobs 1] and
+    [--jobs N]. (Timing lives in {!stats} and in [elapsed_ns]; keep it
+    out of deterministic output.)
+
+    Isolation per worker comes from the domain-local design of the
+    layers below: each worker domain gets its own {!Automata.Store}
+    intern/memo tables, its own {!Telemetry.Span} stack, and its own
+    {!Telemetry.Metrics} default registry — no locks, no sharing.
+    After the joins the engine absorbs every worker's metrics snapshot
+    into the caller's default registry, and hands back the per-worker
+    span trees for a multi-lane Chrome trace
+    ({!Telemetry.Span.to_chrome_json_lanes}).
+
+    NFA handles from a {!Automata.Store} must not cross domains; jobs
+    should take plain inputs (paths, parsed systems) and build their
+    automata inside [f]. *)
+
+module Budget = Automata.Budget
+
+(** Result of one job. [Timeout] and [Budget_exceeded] are the two
+    {!Budget.stop} conditions, surfaced structurally so one
+    pathological job degrades gracefully instead of sinking the batch.
+    [Failed] carries the printed exception of a job that raised —
+    also contained to that job. *)
+type 'a outcome =
+  | Done of 'a
+  | Timeout
+  | Budget_exceeded
+  | Failed of string
+
+type 'a job_result = {
+  index : int;  (** submission index; results come back sorted by it *)
+  outcome : 'a outcome;
+  elapsed_ns : int64;  (** per-job wall clock *)
+  worker : int;  (** which worker lane ran it (0-based) *)
+}
+
+type stats = {
+  workers : int;  (** pool size actually used *)
+  jobs : int;
+  wall_ns : int64;  (** whole-batch wall clock *)
+  worker_spans : (string * Telemetry.Span.t) list;
+      (** one finished span tree per worker, labelled ["worker-k"] —
+          only when a trace collection was open at [map] time, and
+          only on the parallel path (with one worker, job spans nest
+          directly into the caller's trace) *)
+}
+
+(** [Domain.recommended_domain_count ()] — the default pool size. *)
+val default_jobs : unit -> int
+
+(** [map ~f items] runs [f worker item] for every item.
+
+    [jobs] (default {!default_jobs}) caps the pool; a pool larger than
+    the job list is trimmed. With [jobs = 1] everything runs inline in
+    the calling domain. [budget] (default {!Budget.unlimited}) is
+    installed afresh around {e each} job, so a wall-clock deadline is
+    per-job, not per-batch. [name] (default ["batch"]) prefixes worker
+    span names.
+
+    Jobs are claimed from a shared counter, so which worker runs which
+    job is nondeterministic — but the result list is always in
+    submission order. *)
+val map :
+  ?jobs:int ->
+  ?budget:Budget.t ->
+  ?name:string ->
+  f:(int -> 'a -> 'b) ->
+  'a list ->
+  'b job_result list * stats
+
+(** [pp_outcome pp_done] prints [Done v] with [pp_done] and the three
+    failure modes as ["budget exceeded: timeout"], ["budget exceeded:
+    state budget exhausted"], ["internal failure: <exn>"]. *)
+val pp_outcome : 'a Fmt.t -> 'a outcome Fmt.t

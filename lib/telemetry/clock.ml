@@ -5,10 +5,15 @@
    deterministic counter via [set_source]. *)
 
 let default_source () = Unix.gettimeofday ()
+
+(* [source] is written only before worker domains spawn (tests and
+   CLIs configure clocks up front), so a plain ref is fine; the clamp
+   is written on every read and must be domain-local. *)
 let source = ref default_source
-let last_ns = ref 0L
+let last_ns_key : int64 ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0L)
 
 let now_ns () =
+  let last_ns = Domain.DLS.get last_ns_key in
   let raw = Int64.of_float (!source () *. 1e9) in
   let clamped = if Int64.compare raw !last_ns < 0 then !last_ns else raw in
   last_ns := clamped;
@@ -19,8 +24,8 @@ let now_ns () =
    value. *)
 let set_source f =
   source := f;
-  last_ns := 0L
+  Domain.DLS.get last_ns_key := 0L
 
 let use_default_source () =
   source := default_source;
-  last_ns := 0L
+  Domain.DLS.get last_ns_key := 0L

@@ -17,7 +17,14 @@ type metric =
 type registry = (string, metric) Hashtbl.t
 
 let create_registry () : registry = Hashtbl.create 32
-let default : registry = create_registry ()
+
+(* The default registry is domain-local: library counters declared at
+   module-init time resolve their cells per domain at increment time,
+   so engine workers count without synchronization. The engine folds
+   each worker's numbers back into the spawning domain's registry
+   with [Snapshot.absorb] after the join. *)
+let default_key : registry Domain.DLS.key = Domain.DLS.new_key create_registry
+let default () = Domain.DLS.get default_key
 
 let register registry name build check =
   match Hashtbl.find_opt registry name with
@@ -33,61 +40,89 @@ let register registry name build check =
       Hashtbl.add registry name metric;
       v
 
+let counter_table registry name =
+  register registry name
+    (fun () ->
+      let table = Hashtbl.create 4 in
+      (C table, table))
+    (function C table -> Some table | H _ -> None)
+
+let counter_cell table labels =
+  let labels = canon labels in
+  match Hashtbl.find_opt table labels with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add table labels r;
+      r
+
+let histogram_table registry ~buckets name =
+  register registry name
+    (fun () ->
+      let table = Hashtbl.create 4 in
+      (H (buckets, table), (buckets, table)))
+    (function H (b, table) -> Some (b, table) | C _ -> None)
+
 module Counter = struct
-  type t = (labels, int ref) Hashtbl.t
+  (* A counter is a name plus (optionally) a pinned registry; its
+     cells are resolved per use so each domain increments its own
+     default registry. [make] still registers eagerly in the calling
+     domain so kind conflicts fail fast at declaration time. *)
+  type t = { name : string; fixed : registry option }
 
-  let make ?(registry = default) name : t =
-    register registry name
-      (fun () ->
-        let table = Hashtbl.create 4 in
-        (C table, table))
-      (function C table -> Some table | H _ -> None)
+  let make ?registry name : t =
+    let reg = match registry with Some r -> r | None -> default () in
+    ignore (counter_table reg name : (labels, int ref) Hashtbl.t);
+    { name; fixed = registry }
 
-  let cell table labels =
-    let labels = canon labels in
-    match Hashtbl.find_opt table labels with
-    | Some r -> r
-    | None ->
-        let r = ref 0 in
-        Hashtbl.add table labels r;
-        r
+  let table t =
+    let reg = match t.fixed with Some r -> r | None -> default () in
+    counter_table reg t.name
 
-  let incr ?(labels = []) table n = cell table labels := !(cell table labels) + n
-  let value ?(labels = []) table = !(cell table labels)
+  let incr ?(labels = []) t n =
+    let r = counter_cell (table t) labels in
+    r := !r + n
+
+  let value ?(labels = []) t = !(counter_cell (table t) labels)
 end
 
 module Histogram = struct
-  type t = float array * (labels, hdata) Hashtbl.t
-
   (* 1-2-5 decades: good resolution for state counts and machine
      sizes, the quantities §3.5 cares about. *)
   let default_buckets =
     [| 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1e3; 2e3; 5e3; 1e4; 1e5; 1e6 |]
 
-  let make ?(registry = default) ?(buckets = default_buckets) name : t =
+  type t = { name : string; buckets : float array; fixed : registry option }
+
+  let make ?registry ?(buckets = default_buckets) name : t =
     let buckets = Array.copy buckets in
     Array.sort compare buckets;
-    register registry name
-      (fun () ->
-        let table = Hashtbl.create 4 in
-        (H (buckets, table), (buckets, table)))
-      (function H (b, table) -> Some (b, table) | C _ -> None)
+    let reg = match registry with Some r -> r | None -> default () in
+    ignore (histogram_table reg ~buckets name);
+    { name; buckets; fixed = registry }
 
-  let cell (buckets, table) labels =
+  let cell t labels =
+    let reg = match t.fixed with Some r -> r | None -> default () in
+    let _, table = histogram_table reg ~buckets:t.buckets t.name in
     let labels = canon labels in
     match Hashtbl.find_opt table labels with
     | Some h -> h
     | None ->
         let h =
-          { count = 0; sum = 0.; bucket_counts = Array.make (Array.length buckets + 1) 0 }
+          {
+            count = 0;
+            sum = 0.;
+            bucket_counts = Array.make (Array.length t.buckets + 1) 0;
+          }
         in
         Hashtbl.add table labels h;
         h
 
-  let observe ?(labels = []) ((buckets, _) as hist) v =
-    let h = cell hist labels in
+  let observe ?(labels = []) t v =
+    let h = cell t labels in
     h.count <- h.count + 1;
     h.sum <- h.sum +. v;
+    let buckets = t.buckets in
     let rec slot i =
       if i >= Array.length buckets then i else if v <= buckets.(i) then i else slot (i + 1)
     in
@@ -136,7 +171,7 @@ module Snapshot = struct
       histograms = List.sort (fun (a, _) (b, _) -> compare a b) !histograms;
     }
 
-  let of_default () = take default
+  let of_default () = take (default ())
 
   let diff ~after ~before =
     let counters =
@@ -164,6 +199,54 @@ module Snapshot = struct
         after.histograms
     in
     { counters; histograms }
+
+  (* Fold a worker domain's snapshot into a live registry (the calling
+     domain's default unless pinned). Counter series add; histogram
+     series add pointwise when the bucket layouts agree (they do for
+     series produced by the same declaration) and fall back to
+     count/sum only otherwise. *)
+  let absorb ?registry t =
+    let reg = match registry with Some r -> r | None -> default () in
+    List.iter
+      (fun ((name, labels), v) ->
+        if v <> 0 then begin
+          let r = counter_cell (counter_table reg name) labels in
+          r := !r + v
+        end)
+      t.counters;
+    List.iter
+      (fun ((name, labels), (h : histogram_stat)) ->
+        if h.count <> 0 then begin
+          let bounds =
+            Array.of_list
+              (List.filter_map
+                 (fun (b, _) -> if b = Float.infinity then None else Some b)
+                 h.buckets)
+          in
+          let _, table = histogram_table reg ~buckets:bounds name in
+          let labels = canon labels in
+          let cell =
+            match Hashtbl.find_opt table labels with
+            | Some c -> c
+            | None ->
+                let c =
+                  {
+                    count = 0;
+                    sum = 0.;
+                    bucket_counts = Array.make (List.length h.buckets) 0;
+                  }
+                in
+                Hashtbl.add table labels c;
+                c
+          in
+          cell.count <- cell.count + h.count;
+          cell.sum <- cell.sum +. h.sum;
+          if List.length h.buckets = Array.length cell.bucket_counts then
+            List.iteri
+              (fun i (_, c) -> cell.bucket_counts.(i) <- cell.bucket_counts.(i) + c)
+              h.buckets
+        end)
+      t.histograms
 
   let counters t = List.map (fun ((name, labels), v) -> (name, labels, v)) t.counters
 

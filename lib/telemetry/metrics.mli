@@ -6,10 +6,17 @@
     unlike reset-bracketed globals, concurrent or nested measurements
     cannot corrupt each other (each holds its own [before]).
 
-    Metrics register in {!default} unless an explicit registry is
-    given (tests use private registries). Registering the same name
-    twice returns the same metric; re-registering under a different
-    kind raises [Invalid_argument]. *)
+    Metrics register in the {!default} registry unless an explicit
+    registry is given (tests use private registries). Registering the
+    same name twice returns the same metric; re-registering under a
+    different kind raises [Invalid_argument].
+
+    The default registry is {e domain-local}: a metric made without
+    [?registry] resolves its cells in the calling domain's registry at
+    increment time, so engine workers count into private registries
+    with no synchronization. After joining its workers the engine
+    folds their snapshots back with {!Snapshot.absorb}, so a snapshot
+    of the main domain's registry accounts for the whole batch. *)
 
 type labels = (string * string) list
 
@@ -17,8 +24,9 @@ type registry
 
 val create_registry : unit -> registry
 
-(** The process-wide registry the solver's instrumentation uses. *)
-val default : registry
+(** The calling domain's default registry — the one the solver's
+    instrumentation uses when no explicit registry is given. *)
+val default : unit -> registry
 
 module Counter : sig
   type t
@@ -61,6 +69,13 @@ module Snapshot : sig
 
   (** Value of one counter series, 0 if absent. *)
   val counter_value : ?labels:labels -> t -> string -> int
+
+  (** Fold a snapshot (typically taken in a worker domain just before
+      it exits) into a live registry — the calling domain's default
+      unless [?registry] is given. Counter series add; histogram
+      series add pointwise. Used by the engine so per-batch metrics
+      reflect work done on every worker. *)
+  val absorb : ?registry:registry -> t -> unit
 
   val to_json : t -> Json.t
   val pp : t Fmt.t

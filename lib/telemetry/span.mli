@@ -9,8 +9,11 @@
     an indented text tree ({!pp_tree}).
 
     Spans nest dynamically: a [with_span] entered while another span
-    is open becomes its child. The span stack is global per process
-    (the solver is single-domain); exceptions close spans correctly. *)
+    is open becomes its child. The span stack is domain-local: each
+    engine worker collects its own tree without synchronization, and
+    the per-worker trees are merged into one trace as separate lanes
+    by {!to_chrome_json_lanes} (or attached to a parent tree with
+    {!graft}). Exceptions close spans correctly. *)
 
 type attr = [ `Int of int | `Float of float | `String of string | `Bool of bool ]
 
@@ -21,9 +24,13 @@ type t
 val name : t -> string
 val attrs : t -> (string * attr) list
 val duration_ns : t -> int64
+
+(** Absolute start timestamp ({!Clock.now_ns} at span open). *)
+val start_ns : t -> int64
+
 val children : t -> t list
 
-(** [true] while a {!collect} scope is open. *)
+(** [true] while a {!collect} scope is open in the calling domain. *)
 val enabled : unit -> bool
 
 (** [collect ~name f] runs [f] with tracing enabled, wrapping it in a
@@ -51,12 +58,26 @@ val collect_emit :
     No-op when tracing is disabled. *)
 val add_attr : string -> attr -> unit
 
+(** Attach an already-finished span tree as the last child of
+    [parent]. The engine uses this to hang a worker's lane under the
+    batch root once the worker has been joined; never graft a span
+    that is still open. *)
+val graft : parent:t -> t -> unit
+
 (** Chrome [trace_event] export: a ["traceEvents"] array of complete
     ("ph":"X") events, timestamps in microseconds relative to the
     root. *)
 val to_chrome_json : ?pid:int -> ?tid:int -> t -> Json.t
 
 val to_chrome_string : ?pid:int -> ?tid:int -> t -> string
+
+(** [to_chrome_json_lanes ~lanes root] exports [root] on tid 1 plus
+    one additional lane (tid 2, 3, ...) per [(label, tree)] in
+    [lanes], all against a common time base — the earliest start
+    across every tree — so concurrent worker activity lines up in the
+    viewer. Each lane carries a ["thread_name"] metadata event with
+    its label. *)
+val to_chrome_json_lanes : ?pid:int -> lanes:(string * t) list -> t -> Json.t
 
 (** Indented text tree: one line per span with duration and
     attributes, children indented two spaces. *)

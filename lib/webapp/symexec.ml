@@ -340,7 +340,15 @@ let input_languages query assignment =
             query.input_vars))
   with Dead -> None
 
-let solve query =
+type budget_status = Within_budget | Budget_exceeded of Automata.Budget.stop
+
+type verdict = {
+  assignment : Dprle.Assignment.t option;
+  slot_languages : (string * Nfa.t) list;
+  budget : budget_status;
+}
+
+let solve ?(config = Dprle.Solver.Config.default) query =
   Telemetry.Span.with_span ~name:"symexec.solve"
     ~attrs:
       [
@@ -349,31 +357,60 @@ let solve query =
         ("constraints", `Int query.constraint_count);
       ]
   @@ fun () ->
+  let safe = { assignment = None; slot_languages = []; budget = Within_budget } in
+  (* The winning disjunct's per-slot languages, before pull-back:
+     what each system variable (e.g. [x~lower]) may evaluate to. *)
+  let slot_languages_of disjunct =
+    List.filter_map
+      (fun (var, _, _) ->
+        Option.map (fun l -> (var, l)) (Dprle.Assignment.find_opt disjunct var))
+      query.slots
+  in
   let attempt max_solutions =
-    match
-      Dprle.Solver.solve ~max_solutions (Dprle.Depgraph.of_system query.system)
-    with
-    | Dprle.Solver.Sat disjuncts -> List.find_map (input_languages query) disjuncts
-    | Dprle.Solver.Unsat _ -> None
+    match Dprle.Solver.run { config with max_solutions } query.system with
+    | Error (Dprle.Solver.Error.Budget_exceeded stop) ->
+        Error (Budget_exceeded stop)
+    | Ok (Dprle.Solver.Unsat _) -> Ok None
+    | Ok (Dprle.Solver.Sat disjuncts) ->
+        Ok
+          (List.find_map
+             (fun d ->
+               Option.map (fun inputs -> (d, inputs)) (input_languages query d))
+             disjuncts)
   in
   match attempt 1 with
-  | Some _ as found -> found
-  | None ->
+  | Error budget -> { safe with budget }
+  | Ok (Some (d, inputs)) ->
+      {
+        assignment = Some inputs;
+        slot_languages = slot_languages_of d;
+        budget = Within_budget;
+      }
+  | Ok None -> (
       (* only case-mapped reads can make the first disjunct unusable
          while a later one works — don't pay for enumeration otherwise *)
-      if List.exists (fun (_, _, chain) -> chain <> []) query.slots then attempt 16
-      else None
+      if not (List.exists (fun (_, _, chain) -> chain <> []) query.slots) then
+        safe
+      else
+        match attempt 16 with
+        | Error budget -> { safe with budget }
+        | Ok (Some (d, inputs)) ->
+            {
+              assignment = Some inputs;
+              slot_languages = slot_languages_of d;
+              budget = Within_budget;
+            }
+        | Ok None -> safe)
 
 (* Inputs that reach the same sink without the attack constraint:
    used to reconstruct the intended query for structural comparison. *)
-let benign_inputs query =
+let benign_inputs ?(config = Dprle.Solver.Config.default) query =
   match
-    Dprle.Solver.solve ~max_solutions:4
-      (Dprle.Depgraph.of_system query.benign_system)
+    Dprle.Solver.run { config with max_solutions = 4 } query.benign_system
   with
-  | Dprle.Solver.Sat disjuncts ->
+  | Ok (Dprle.Solver.Sat disjuncts) ->
       List.find_map (input_languages query) disjuncts
-  | Dprle.Solver.Unsat _ -> None
+  | Ok (Dprle.Solver.Unsat _) | Error _ -> None
 
 let exploit_inputs query assignment =
   List.map
@@ -391,7 +428,7 @@ let first_exploit ?max_paths ~attack program =
   let candidates = analyze ?max_paths ~attack program in
   List.find_map
     (fun query ->
-      match solve query with
+      match (solve query).assignment with
       | Some a ->
           let constrained = exploit_inputs query a in
           (* inputs the program reads but the path never constrains

@@ -49,14 +49,35 @@ type query = {
 val analyze :
   ?max_paths:int -> attack:Automata.Nfa.t -> Ast.program -> query list
 
-(** Solve one candidate: [Some assignment] gives the exploit language
-    {e per input} — the solved language of each slot variable, pulled
-    back through its case map ({!Automata.Relabel.preimage}) and
-    intersected across the input's slots. [None] means this path/sink
-    is safe (the constraint system is unsatisfiable — as for the
-    fixed filter of §2 — or no disjunct survives the pull-back
-    intersection). *)
-val solve : query -> Dprle.Assignment.t option
+(** Whether a solve finished inside its configured budget. *)
+type budget_status =
+  | Within_budget
+  | Budget_exceeded of Automata.Budget.stop
+      (** the solve was cut short; the verdict says nothing about
+          this path/sink *)
+
+(** Structured result of solving one candidate query. *)
+type verdict = {
+  assignment : Dprle.Assignment.t option;
+      (** [Some a]: the exploit language {e per input} — the solved
+          language of each slot variable, pulled back through its
+          case map and intersected across the input's slots. [None]
+          with [budget = Within_budget] means this path/sink is safe
+          (the constraint system is unsatisfiable — as for the fixed
+          filter of §2 — or no disjunct survives the pull-back
+          intersection). *)
+  slot_languages : (string * Automata.Nfa.t) list;
+      (** the winning disjunct's language per {e slot} variable
+          (before pull-back): what each transformed read may evaluate
+          to at the sink. Empty when there is no exploit. *)
+  budget : budget_status;
+}
+
+(** Solve one candidate under [config] (default
+    {!Dprle.Solver.Config.default}, unlimited budget); [config]'s
+    [max_solutions] is overridden internally (1, then 16 when
+    case-mapped slots make later disjuncts matter). *)
+val solve : ?config:Dprle.Solver.Config.t -> query -> verdict
 
 (** Concrete exploit inputs from a solved candidate: the shortest
     witness per constrained input, and ["a"] for inputs the path
@@ -68,8 +89,9 @@ val exploit_inputs : query -> Dprle.Assignment.t -> (string * string) list
     constraint. Running the program on their witnesses yields the
     query the programmer intended, the baseline for the structural
     injection check of {!Sql.Analysis}. [None] when the path is
-    infeasible. *)
-val benign_inputs : query -> Dprle.Assignment.t option
+    infeasible (or [config]'s budget ran out). *)
+val benign_inputs :
+  ?config:Dprle.Solver.Config.t -> query -> Dprle.Assignment.t option
 
 (** End-to-end convenience: first solvable candidate's inputs. *)
 val first_exploit :

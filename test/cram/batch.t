@@ -1,0 +1,65 @@
+Batch mode solves every .dprle file in a directory over a worker
+pool. Build a small corpus with a sat, an unsat, and a broken file:
+
+  $ mkdir corpus
+  $ cat > corpus/a_fig1.dprle <<'SYS'
+  > let filter = /[\d]+$/;
+  > let prefix = "nid_";
+  > let unsafe = /'/;
+  > v1 <= filter;
+  > prefix . v1 <= unsafe;
+  > SYS
+  $ cat > corpus/b_fixed.dprle <<'SYS'
+  > let filter = /^[\d]+$/;
+  > let prefix = "nid_";
+  > let unsafe = /'/;
+  > v1 <= filter;
+  > prefix . v1 <= unsafe;
+  > SYS
+  $ echo 'v1 <= nope;' > corpus/c_bad.dprle
+
+Results print in file-name order; a parse error anywhere makes the
+exit code 3 (timing goes to stderr):
+
+  $ dprle batch corpus 2>/dev/null
+  a_fig1.dprle: sat (1 solution(s))
+  b_fixed.dprle: unsat — every ε-cut combination of a CI-group forces an empty language
+  c_bad.dprle: parse error: 1:12: right-hand side "nope" is not a defined constant
+  === 3 system(s): 1 sat, 1 unsat, 1 parse error(s), 0 over budget, 0 failure(s) ===
+  [3]
+
+The report is byte-identical for any --jobs value:
+
+  $ dprle batch corpus --jobs 1 2>/dev/null > jobs1.txt
+  [3]
+  $ dprle batch corpus --jobs 4 2>/dev/null > jobs4.txt
+  [3]
+  $ cmp jobs1.txt jobs4.txt && echo deterministic
+  deterministic
+
+A starved state budget degrades each job to a structured outcome
+instead of sinking the batch — and deterministically so, since the
+budget is charged on materialized states, not wall clock:
+
+  $ rm corpus/c_bad.dprle
+  $ dprle batch corpus --budget-states 3 2>/dev/null
+  a_fig1.dprle: budget exceeded: state budget exhausted
+  b_fixed.dprle: budget exceeded: state budget exhausted
+  === 2 system(s): 0 sat, 0 unsat, 0 parse error(s), 2 over budget, 0 failure(s) ===
+  [4]
+
+Without .dprle files the directory is rejected:
+
+  $ mkdir empty
+  $ dprle batch empty
+  error: no .dprle files in empty
+  [2]
+
+The solve subcommand exposes the same budget flags (exit code 4):
+
+  $ dprle solve corpus/a_fig1.dprle --budget-states 3
+  error: budget exceeded: state budget exhausted
+  [4]
+  $ dprle check corpus/a_fig1.dprle --budget-states 3
+  error: budget exceeded: state budget exhausted
+  [4]

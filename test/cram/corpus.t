@@ -9,11 +9,21 @@ the paper's section 4 workflow on the synthetic corpus:
   page_00.mphp
   page_01.mphp
 
-  $ webcheck eve 2>/dev/null | tail -2 | sed 's/([0-9.]* s)/(_ s)/'
-  === eve: 8 files scanned, 1 vulnerable (_ s) ===
+Timing goes to stderr, so the per-app summary on stdout is stable:
+
+  $ webcheck eve 2>/dev/null | tail -2
+  === eve: 8 files scanned, 1 vulnerable ===
     vulnerable: edit.mphp
 
 The vulnerable file matches the paper's count for eve (1 of 8):
 
   $ webcheck eve 2>/dev/null | grep -c VULNERABLE
   1
+
+Directory scans fan out over a worker pool; the report is
+byte-identical for any --jobs value:
+
+  $ webcheck eve --jobs 1 2>/dev/null > jobs1.txt
+  $ webcheck eve --jobs 4 2>/dev/null > jobs4.txt
+  $ cmp jobs1.txt jobs4.txt && echo deterministic
+  deterministic

@@ -192,7 +192,8 @@ let depgraph_tests =
 let solve_exn ?max_solutions system =
   match Solver.solve_system ?max_solutions system with
   | Solver.Sat solutions -> solutions
-  | Solver.Unsat reason -> Alcotest.failf "unexpected unsat: %s" reason
+  | Solver.Unsat reason ->
+      Alcotest.failf "unexpected unsat: %s" (Solver.unsat_message reason)
 
 let solver_tests =
   [
@@ -454,7 +455,7 @@ let solver_tests =
         in
         match Solver.solve_system good with
         | Solver.Sat _ -> ()
-        | Solver.Unsat r -> Alcotest.failf "expected sat: %s" r);
+        | Solver.Unsat r -> Alcotest.failf "expected sat: %s" (Solver.unsat_message r));
     test "union lhs splits into conjuncts (§3.1.2 extension)" (fun () ->
         (* (v | w) ⊆ c constrains both variables *)
         let s =
@@ -612,7 +613,9 @@ let report_tests =
   [
     test "report on the motivating system" (fun () ->
         let g = Depgraph.of_system fig6_system in
-        let outcome, r = Dprle.Report.solve_with_report g in
+        let outcome, r =
+          Result.get_ok (Dprle.Report.solve_with_report g)
+        in
         (match outcome with
         | Solver.Sat [ _ ] -> ()
         | _ -> Alcotest.fail "expected one solution");
@@ -638,7 +641,9 @@ let report_tests =
               { lhs = Concat (Var "vb", Var "vc"); rhs = "c2" };
             ]
         in
-        let _, r = Dprle.Report.solve_with_report (Depgraph.of_system s) in
+        let _, r =
+          Result.get_ok (Dprle.Report.solve_with_report (Depgraph.of_system s))
+        in
         (* at least the paper's 2×2 cut combinations (Thompson-built
            machines carry extra ε-cut images of the same solutions) *)
         check_bool "combinations" true (r.max_group_combinations >= 4);

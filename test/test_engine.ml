@@ -1,0 +1,333 @@
+(* The parallel batch engine: deterministic merge, per-job budgets and
+   failure isolation, and the redesigned result-typed solver API it
+   feeds (Config round-trips, structured unsat reasons, shims). *)
+
+module Nfa = Automata.Nfa
+module Ops = Automata.Ops
+module Budget = Automata.Budget
+module Solver = Dprle.Solver
+
+let test name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Workloads                                                          *)
+
+let fig1_source =
+  {| let filter = /[\d]+$/;
+     let prefix = "nid_";
+     let unsafe = /'/;
+     v1 <= filter;
+     prefix . v1 <= unsafe; |}
+
+let fixed_source =
+  {| let filter = /^[\d]+$/;
+     let prefix = "nid_";
+     let unsafe = /'/;
+     v1 <= filter;
+     prefix . v1 <= unsafe; |}
+
+let bad_source = {| v1 <= nope; |}
+
+(* Parse + solve + render, the way `dprle batch` jobs do: everything a
+   job prints is derived from values, so rendering is reproducible no
+   matter which worker ran it. *)
+let solve_and_render source =
+  match Dprle.Sysparse.parse source with
+  | Error e -> Fmt.str "parse error: %a" Dprle.Sysparse.pp_error e
+  | Ok system -> (
+      match Solver.run Solver.Config.default system with
+      | Ok (Solver.Sat sols) -> Fmt.str "sat (%d)" (List.length sols)
+      | Ok (Solver.Unsat reason) ->
+          Fmt.str "unsat — %s" (Solver.unsat_message reason)
+      | Error e -> Fmt.str "error: %s" (Solver.Error.to_string e))
+
+(* Θ(q²) product states when intersecting a{0,q} with (aa){0,q}. *)
+let heavy_product q =
+  let m1 = Ops.repeat (Nfa.of_word "a") ~min_count:0 ~max_count:(Some q) in
+  let m2 = Ops.repeat (Nfa.of_word "aa") ~min_count:0 ~max_count:(Some q) in
+  Nfa.num_states (Ops.intersect m1 m2).machine
+
+let render r =
+  Fmt.str "%d: %a" r.Engine.index (Engine.pp_outcome Fmt.string) r.Engine.outcome
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                             *)
+
+let engine_tests =
+  [
+    test "determinism: jobs=1 and jobs=4 render identically" (fun () ->
+        let work =
+          List.concat
+            (List.init 3 (fun _ -> [ fig1_source; fixed_source; bad_source ]))
+        in
+        let run jobs =
+          let results, stats =
+            Engine.map ~jobs ~f:(fun _ src -> solve_and_render src) work
+          in
+          check_int "pool size" (min jobs (List.length work)) stats.Engine.workers;
+          List.map render results
+        in
+        Alcotest.(check (list string)) "reports" (run 1) (run 4));
+    test "results come back in submission order" (fun () ->
+        let results, stats =
+          Engine.map ~jobs:4 ~f:(fun _ n -> n * n) [ 3; 1; 4; 1; 5; 9; 2; 6 ]
+        in
+        check_int "jobs" 8 stats.Engine.jobs;
+        List.iteri
+          (fun i (r : _ Engine.job_result) -> check_int "index" i r.index)
+          results;
+        Alcotest.(check (list int))
+          "squares in submission order"
+          [ 9; 1; 16; 1; 25; 81; 4; 36 ]
+          (List.map
+             (fun r ->
+               match r.Engine.outcome with
+               | Engine.Done v -> v
+               | _ -> Alcotest.fail "expected Done")
+             results));
+    test "a raising job fails alone" (fun () ->
+        let results, _ =
+          Engine.map ~jobs:2
+            ~f:(fun _ n -> if n = 1 then failwith "boom" else n)
+            [ 0; 1; 2 ]
+        in
+        let contains_boom msg =
+          let n = String.length msg in
+          let rec go i = i + 4 <= n && (String.sub msg i 4 = "boom" || go (i + 1)) in
+          go 0
+        in
+        match List.map (fun r -> r.Engine.outcome) results with
+        | [ Engine.Done 0; Engine.Failed msg; Engine.Done 2 ] ->
+            check_bool "message kept" true (contains_boom msg)
+        | _ -> Alcotest.fail "expected Done/Failed/Done");
+    test "one over-budget job degrades without sinking the batch" (fun () ->
+        let results, _ =
+          Engine.map ~jobs:2
+            ~budget:(Budget.make ~max_states:200 ())
+            ~f:(fun _ q -> heavy_product q)
+            [ 2; 60; 3 ]
+        in
+        match List.map (fun r -> r.Engine.outcome) results with
+        | [ Engine.Done _; Engine.Budget_exceeded; Engine.Done _ ] -> ()
+        | other ->
+            Alcotest.failf "unexpected outcomes: %a"
+              Fmt.(list ~sep:comma (Engine.pp_outcome int))
+              other);
+    test "wall-clock budget times a spinning job out" (fun () ->
+        let spin _ () =
+          (* [Budget.tick] is the solver's BFS-loop hook; a budget of
+             10 ms must stop the loop long before 10^9 iterations *)
+          let i = ref 0 in
+          while !i < 1_000_000_000 do
+            incr i;
+            Budget.tick ()
+          done
+        in
+        let results, _ =
+          Engine.map ~jobs:1 ~budget:(Budget.make ~wall_ms:10 ()) ~f:spin [ () ]
+        in
+        match (List.hd results).Engine.outcome with
+        | Engine.Timeout -> ()
+        | _ -> Alcotest.fail "expected Timeout");
+    test "jobs=1 runs inline: no worker spans" (fun () ->
+        let (), root =
+          Telemetry.Span.collect ~name:"t" (fun () ->
+              let _, stats = Engine.map ~jobs:1 ~f:(fun _ n -> n) [ 1; 2 ] in
+              check_bool "no lanes" true (stats.Engine.worker_spans = []))
+        in
+        ignore root);
+    test "parallel workers hand back span lanes while tracing" (fun () ->
+        let (), _root =
+          Telemetry.Span.collect ~name:"t" (fun () ->
+              let _, stats =
+                Engine.map ~jobs:2 ~name:"lane" ~f:(fun _ n -> n) [ 1; 2; 3 ]
+              in
+              check_int "one lane per worker" 2
+                (List.length stats.Engine.worker_spans);
+              List.iteri
+                (fun i (label, span) ->
+                  check_string "label" (Fmt.str "worker-%d" i) label;
+                  check_string "span name"
+                    (Fmt.str "lane-worker-%d" i)
+                    (Telemetry.Span.name span))
+                stats.Engine.worker_spans)
+        in
+        ());
+    test "worker metrics are absorbed into the caller's registry" (fun () ->
+        let c = Telemetry.Metrics.Counter.make "test.engine.jobs_ran" in
+        let before = Telemetry.Metrics.Counter.value c in
+        let _, _ =
+          Engine.map ~jobs:2
+            ~f:(fun _ _ -> Telemetry.Metrics.Counter.incr c 1)
+            [ (); (); (); () ]
+        in
+        check_int "all four increments visible after the joins" (before + 4)
+          (Telemetry.Metrics.Counter.value c));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Budgets at the solver boundary                                     *)
+
+let budget_tests =
+  [
+    test "state budget stops an adversarial solve structurally" (fun () ->
+        Automata.Store.clear ();
+        let system = Dprle.Sysparse.parse_exn fig1_source in
+        let config =
+          Solver.Config.make ~budget:(Budget.make ~max_states:3 ()) ()
+        in
+        match Solver.run config system with
+        | Error (Solver.Error.Budget_exceeded Budget.Out_of_states) -> ()
+        | Error (Solver.Error.Budget_exceeded Budget.Timeout) ->
+            Alcotest.fail "expected Out_of_states, got Timeout"
+        | Ok _ -> Alcotest.fail "3 states cannot decide fig1");
+    test "an unlimited budget never trips" (fun () ->
+        let system = Dprle.Sysparse.parse_exn fig1_source in
+        match Solver.run Solver.Config.default system with
+        | Ok (Solver.Sat _) -> ()
+        | Ok (Solver.Unsat r) -> Alcotest.failf "unsat: %s" (Solver.unsat_message r)
+        | Error e -> Alcotest.failf "budget: %s" (Solver.Error.to_string e));
+    test "report boundary returns the same structured error" (fun () ->
+        Automata.Store.clear ();
+        let g =
+          Dprle.Depgraph.of_system (Dprle.Sysparse.parse_exn fig1_source)
+        in
+        let config =
+          Solver.Config.make ~budget:(Budget.make ~max_states:3 ()) ()
+        in
+        match Dprle.Report.solve_with_report ~config g with
+        | Error (Solver.Error.Budget_exceeded Budget.Out_of_states) -> ()
+        | Error _ -> Alcotest.fail "wrong stop"
+        | Ok _ -> Alcotest.fail "expected budget error");
+    test "budgets nest: the inner one shadows" (fun () ->
+        let hit =
+          Budget.run (Budget.make ~max_states:1_000_000 ()) (fun () ->
+              Budget.run (Budget.make ~max_states:10 ()) (fun () ->
+                  heavy_product 40))
+        in
+        (match hit with
+        | Ok (Error Budget.Out_of_states) -> ()
+        | Error _ -> Alcotest.fail "outer budget must not catch the inner trip"
+        | _ -> Alcotest.fail "inner budget should trip");
+        (* after the inner scope, the outer (roomy) budget is back *)
+        match Budget.run (Budget.make ~max_states:1_000_000 ()) (fun () ->
+            heavy_product 5)
+        with
+        | Ok n -> check_bool "product built" true (n > 0)
+        | Error _ -> Alcotest.fail "outer budget must not trip");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Config / outcome API                                               *)
+
+let api_tests =
+  [
+    test "Config.make () round-trips to default" (fun () ->
+        check_bool "default" true (Solver.Config.make () = Solver.Config.default));
+    test "Config.make keeps every field" (fun () ->
+        let b = Budget.make ~wall_ms:50 ~max_states:77 () in
+        let c =
+          Solver.Config.make ~max_solutions:9 ~combination_limit:33 ~budget:b ()
+        in
+        check_int "max_solutions" 9 c.Solver.Config.max_solutions;
+        check_int "combination_limit" 33 c.Solver.Config.combination_limit;
+        check_bool "budget" true (c.Solver.Config.budget = b));
+    test "unsat_message renders the legacy strings" (fun () ->
+        List.iter
+          (fun (reason, expected) ->
+            check_string "message" expected (Solver.unsat_message reason))
+          [
+            ( Solver.Const_expr_violation,
+              "constant expression violates its subset constraint" );
+            (Solver.Const_violation "c", "constant c violates a subset constraint");
+            ( Solver.No_cut 3,
+              "concatenation 3 admits no ε-cut: its language is empty" );
+            ( Solver.All_combinations_empty,
+              "every ε-cut combination of a CI-group forces an empty language" );
+            ( Solver.Empty_variable "v",
+              "variable v is constrained to the empty language" );
+          ]);
+    test "structured unsat reason is machine-matchable" (fun () ->
+        let system = Dprle.Sysparse.parse_exn fixed_source in
+        match Solver.run Solver.Config.default system with
+        | Ok (Solver.Unsat Solver.All_combinations_empty) -> ()
+        | Ok (Solver.Unsat r) ->
+            Alcotest.failf "wrong reason: %s" (Solver.unsat_message r)
+        | _ -> Alcotest.fail "expected unsat");
+    test "deprecated shims agree with run" (fun () ->
+        let system = Dprle.Sysparse.parse_exn fig1_source in
+        let g = Dprle.Depgraph.of_system system in
+        let via_shim = Solver.solve ~max_solutions:4 g in
+        let via_run =
+          Result.get_ok
+            (Solver.run_graph (Solver.Config.make ~max_solutions:4 ()) g)
+        in
+        let witnesses = function
+          | Solver.Sat sols -> List.map Dprle.Assignment.witness sols
+          | Solver.Unsat _ -> []
+        in
+        check_bool "same verdict shape" true
+          (witnesses via_shim = witnesses via_run);
+        match Solver.solve_system ~max_solutions:4 system with
+        | Solver.Sat _ -> ()
+        | Solver.Unsat _ -> Alcotest.fail "shim must stay sat");
+    test "symexec verdict carries budget status and slot languages" (fun () ->
+        let program =
+          Webapp.Lang_parser.parse_exn
+            {|$newsid = input("posted_newsid");
+              if (!preg_match(/[\d]+$/, $newsid)) { exit; }
+              $newsid = "nid_" . $newsid;
+              query("SELECT * FROM news WHERE newsid=" . $newsid);|}
+        in
+        match
+          Webapp.Symexec.analyze ~attack:Webapp.Attack.contains_quote program
+        with
+        | [ q ] -> (
+            let v = Webapp.Symexec.solve q in
+            check_bool "within budget" true
+              (v.Webapp.Symexec.budget = Webapp.Symexec.Within_budget);
+            (match v.Webapp.Symexec.assignment with
+            | Some _ -> ()
+            | None -> Alcotest.fail "expected exploit");
+            match v.Webapp.Symexec.slot_languages with
+            | [ (var, lang) ] ->
+                check_bool "slot var" true (String.length var > 0);
+                check_bool "slot language nonempty" false
+                  (Nfa.is_empty_lang lang)
+            | _ -> Alcotest.fail "expected one slot language")
+        | _ -> Alcotest.fail "expected one candidate");
+    test "symexec reports the budget stop instead of claiming safe" (fun () ->
+        Automata.Store.clear ();
+        let program =
+          Webapp.Lang_parser.parse_exn
+            {|$newsid = input("posted_newsid");
+              if (!preg_match(/[\d]+$/, $newsid)) { exit; }
+              $newsid = "nid_" . $newsid;
+              query("SELECT * FROM news WHERE newsid=" . $newsid);|}
+        in
+        match
+          Webapp.Symexec.analyze ~attack:Webapp.Attack.contains_quote program
+        with
+        | [ q ] -> (
+            let config =
+              Solver.Config.make ~budget:(Budget.make ~max_states:3 ()) ()
+            in
+            let v = Webapp.Symexec.solve ~config q in
+            check_bool "no assignment claimed" true
+              (v.Webapp.Symexec.assignment = None);
+            match v.Webapp.Symexec.budget with
+            | Webapp.Symexec.Budget_exceeded _ -> ()
+            | Webapp.Symexec.Within_budget ->
+                Alcotest.fail "expected budget-exceeded status")
+        | _ -> Alcotest.fail "expected one candidate");
+  ]
+
+let suite =
+  [
+    ("engine:map", engine_tests);
+    ("engine:budget", budget_tests);
+    ("engine:api", api_tests);
+  ]

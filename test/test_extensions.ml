@@ -295,7 +295,7 @@ let sanitizer_tests =
         | [ q ] -> (
             (* quote-containing outputs DO exist (escaped as \'), so
                the regex approximation still fires... *)
-            match Webapp.Symexec.solve q with
+            match (Webapp.Symexec.solve q).Webapp.Symexec.assignment with
             | None -> ()
             | Some a ->
                 (* ...but every generated exploit, run concretely,

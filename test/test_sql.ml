@@ -154,7 +154,10 @@ let integration_tests =
   let run_both program =
     match Webapp.Symexec.analyze ~attack program with
     | [ q ] -> (
-        match (Webapp.Symexec.solve q, Webapp.Symexec.benign_inputs q) with
+        match
+          ( (Webapp.Symexec.solve q).Webapp.Symexec.assignment,
+            Webapp.Symexec.benign_inputs q )
+        with
         | Some exploit_a, Some benign_a ->
             let fill inputs =
               inputs
@@ -196,7 +199,7 @@ let integration_tests =
         in
         match Webapp.Symexec.analyze ~attack program with
         | [ q ] -> (
-            match Webapp.Symexec.solve q with
+            match (Webapp.Symexec.solve q).Webapp.Symexec.assignment with
             | None -> Alcotest.fail "regex-level exploit expected"
             | Some _ -> () (* the refinement story is exercised in cram *))
         | _ -> Alcotest.fail "expected one candidate");
@@ -211,7 +214,8 @@ let integration_tests =
         in
         match Webapp.Symexec.analyze ~attack program with
         | [ q ] ->
-            check_bool "no exploit" true (Webapp.Symexec.solve q = None);
+            check_bool "no exploit" true
+              ((Webapp.Symexec.solve q).Webapp.Symexec.assignment = None);
             check_bool "benign exists" true (Webapp.Symexec.benign_inputs q <> None)
         | _ -> Alcotest.fail "expected one candidate");
   ]

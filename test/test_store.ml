@@ -224,7 +224,8 @@ let endtoend_tests =
           match Dprle.Solver.solve_system (fig1_system ()) with
           | Dprle.Solver.Sat assignments ->
               List.map Dprle.Assignment.witness assignments
-          | Dprle.Solver.Unsat r -> Alcotest.failf "unsat: %s" r
+          | Dprle.Solver.Unsat r ->
+              Alcotest.failf "unsat: %s" (Dprle.Solver.unsat_message r)
         in
         let cached = run () in
         Store.set_enabled false;

@@ -209,7 +209,7 @@ let stats_tests =
         (* outer bracketing, with some construction work of its own *)
         Stats.reset ();
         Stats.visit_states 7;
-        let _, inner = Dprle.Report.solve_with_report g in
+        let _, inner = Result.get_ok (Dprle.Report.solve_with_report g) in
         let outer = Stats.snapshot () in
         check_bool "inner counted its solve" true (inner.automata.visited > 0);
         (* with reset-bracketed globals the nested report would zero
@@ -220,8 +220,8 @@ let stats_tests =
           (outer.visited >= 7 + inner.automata.visited));
     test "back-to-back reports count only their own work" (fun () ->
         let g = Dprle.Depgraph.of_system fig1 in
-        let _, r1 = Dprle.Report.solve_with_report g in
-        let _, r2 = Dprle.Report.solve_with_report g in
+        let _, r1 = Result.get_ok (Dprle.Report.solve_with_report g) in
+        let _, r2 = Result.get_ok (Dprle.Report.solve_with_report g) in
         check_int "identical solves, identical counts" r1.automata.visited
           r2.automata.visited;
         check_bool "counts are per-solve, not cumulative" true

@@ -116,7 +116,7 @@ let symexec_tests =
         check_int "one sink-reaching path" 1 (List.length candidates);
         let q = List.hd candidates in
         Alcotest.(check (list string)) "vars" [ "posted_newsid" ] q.input_vars;
-        match Symexec.solve q with
+        match (Symexec.solve q).assignment with
         | None -> Alcotest.fail "expected exploit language"
         | Some a ->
             let lang = Dprle.Assignment.find a "posted_newsid" in
@@ -248,7 +248,7 @@ let symexec_props =
         in
         List.for_all
           (fun q ->
-            match Symexec.solve q with
+            match (Symexec.solve q).assignment with
             | None -> true
             | Some a ->
                 let constrained = Symexec.exploit_inputs q a in
