@@ -155,6 +155,24 @@ let check_cmd path budget_ms budget_states no_cache verbose =
           Fmt.pr "unsat: %s@." (Dprle.Solver.unsat_message reason);
           1)
 
+(* Static lint: every check in [Dprle.Static], not just the empty-rhs
+   warning [Solver.run] emits on its own. No solving happens — the
+   heaviest work is one depgraph build plus memoized inclusions. *)
+let lint_cmd path verbose =
+  setup_logs verbose;
+  match read_system path with
+  | Error msg ->
+      Fmt.epr "error: %s@." msg;
+      2
+  | Ok system ->
+      let findings = Dprle.Static.lint system in
+      List.iter (fun f -> Fmt.pr "%a@." Dprle.Static.pp_finding f) findings;
+      if findings = [] then begin
+        Fmt.pr "no findings@.";
+        0
+      end
+      else 1
+
 (* Batch mode: every .dprle file in a directory, fanned out over the
    engine's worker pool. Per-file results print in file-name order no
    matter how many workers ran, so the output is byte-identical for
@@ -372,6 +390,21 @@ let check_cmd_info =
   Cmd.info "check" ~exits:solve_exits
     ~doc:"Report only satisfiability (exit code 0/1)."
 
+let lint_exits =
+  [
+    Cmd.Exit.info 0 ~doc:"when no findings were reported.";
+    Cmd.Exit.info 1 ~doc:"when at least one finding was reported.";
+    Cmd.Exit.info 2 ~doc:"on a parse error (position reported on stderr).";
+  ]
+  @ Cmd.Exit.defaults
+
+let lint_cmd_info =
+  Cmd.info "lint" ~exits:lint_exits
+    ~doc:
+      "Run every pre-solve static check (empty bounding constants, \
+       constant-only contradictions, unconstrained variables, coupled \
+       CI-groups) without solving."
+
 let batch_cmd_info =
   Cmd.info "batch" ~exits:batch_exits
     ~doc:
@@ -399,4 +432,5 @@ let () =
                 const check_cmd $ path_arg $ budget_ms_arg $ budget_states_arg
                 $ no_cache_arg $ verbose_arg);
             Cmd.v batch_cmd_info batch_term;
+            Cmd.v lint_cmd_info Term.(const lint_cmd $ path_arg $ verbose_arg);
           ]))

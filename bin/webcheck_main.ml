@@ -57,17 +57,62 @@ let structural_verdict program q exploit_inputs =
    directory mode points both at a per-file buffer so the output stays
    deterministic under parallel workers). Exit code: 0 vulnerable,
    1 safe, 2 parse error, 4 no vulnerability found but at least one
-   candidate's solve ran out of budget (verdict unknown). *)
-let check_one ~ppf ~err path attack all structural max_paths config =
+   candidate's solve ran out of budget (verdict unknown).
+
+   With [static_prune] the sound dataflow analysis runs first: sinks
+   whose abstract query language misses the attack language entirely
+   are reported [proved_safe_statically] and skipped by the
+   path-sensitive pipeline — over all paths, loops included, so a
+   truncated enumeration cannot weaken those verdicts. *)
+let check_one ~ppf ~err path attack all structural max_paths static_prune config
+    =
   match read_program path with
   | Error msg ->
       Fmt.pf err "error: %s@." msg;
       2
   | Ok program ->
-      let candidates = Webapp.Symexec.analyze ~max_paths ~attack program in
+      let static =
+        if not static_prune then None
+        else
+          match
+            Automata.Budget.run config.Dprle.Solver.Config.budget (fun () ->
+                Analysis.Fixpoint.analyze ~attack program)
+          with
+          | Ok r -> Some r
+          | Error stop ->
+              Fmt.pf ppf "static analysis: budget exceeded (%a); not pruning@."
+                Automata.Budget.pp_stop stop;
+              None
+      in
+      let safe_ids =
+        match static with
+        | Some r -> Analysis.Fixpoint.safe_sink_ids r
+        | None -> []
+      in
+      let { Webapp.Symexec.candidates; paths_truncated } =
+        Webapp.Symexec.analyze ~max_paths ~attack program
+      in
       Fmt.pf ppf "%s: %d basic blocks, %d sink-reaching path candidates@." path
         (Webapp.Ast.basic_blocks program)
         (List.length candidates);
+      Option.iter
+        (fun (r : Analysis.Fixpoint.result) ->
+          Logs.debug (fun m ->
+              m "static fixpoint: %d blocks, %d iterations, %d widenings"
+                r.Analysis.Fixpoint.blocks r.Analysis.Fixpoint.iterations
+                r.Analysis.Fixpoint.widenings);
+          List.iter
+            (fun id -> Fmt.pf ppf "sink %d: proved safe statically@." id)
+            safe_ids)
+        static;
+      let candidates =
+        List.filter
+          (fun (q : Webapp.Symexec.query) ->
+            not (List.mem q.Webapp.Symexec.sink_id safe_ids))
+          candidates
+      in
+      let total_sinks = List.length (Webapp.Ast.sinks program) in
+      let unpruned_sinks = total_sinks - List.length safe_ids in
       let vulnerable = ref 0 in
       let over_budget = ref 0 in
       (try
@@ -98,8 +143,11 @@ let check_one ~ppf ~err path attack all structural max_paths config =
                    Webapp.Eval.vulnerable_run ~attack program ~inputs:all_inputs
                  in
                  Fmt.pf ppf
-                   "@[<v2>VULNERABLE (path %d, sink %d, |C|=%d) — %s:@ %a@]@."
+                   "@[<v2>VULNERABLE (path %d, sink %d, |C|=%d, %a) — %s:@ \
+                    %a@]@."
                    q.path_id q.sink_index q.constraint_count
+                   Webapp.Symexec.pp_provenance
+                   verdict.Webapp.Symexec.provenance
                    (if confirmed then "exploit confirmed by concrete run"
                     else "WARNING: exploit did not reproduce")
                    Fmt.(
@@ -125,6 +173,11 @@ let check_one ~ppf ~err path attack all structural max_paths config =
        with Exit -> ());
       if !vulnerable > 0 then 0
       else begin
+        if paths_truncated && unpruned_sinks > 0 then
+          Fmt.pf ppf
+            "warning: path enumeration truncated at --max-paths=%d; %d \
+             sink(s) not statically proved may have unexplored paths@."
+            max_paths unpruned_sinks;
         Fmt.pf ppf "no exploitable path found@.";
         if !over_budget > 0 then 4 else 1
       end
@@ -135,7 +188,7 @@ let check_one ~ppf ~err path attack all structural max_paths config =
    into a buffer; the main domain prints the buffers in file-name
    order, so the output is byte-identical for any --jobs value.
    Timing goes to stderr. *)
-let check_dir dir attack structural max_paths config jobs =
+let check_dir dir attack structural max_paths static_prune config jobs =
   let files =
     Sys.readdir dir |> Array.to_list
     |> List.filter (fun f -> Filename.check_suffix f ".mphp")
@@ -151,7 +204,7 @@ let check_dir dir attack structural max_paths config jobs =
       let ppf = Format.formatter_of_buffer buf in
       let code =
         check_one ~ppf ~err:ppf (Filename.concat dir file) attack false
-          structural max_paths config
+          structural max_paths static_prune config
       in
       Format.pp_print_flush ppf ();
       (Buffer.contents buf, code)
@@ -229,8 +282,8 @@ let with_trace ~trace ~trace_tree f =
     Telemetry.Span.collect_emit ~name:"webcheck" ~emit f
   end
 
-let check_cmd path attack all structural max_paths jobs budget_ms budget_states
-    trace trace_tree no_cache verbose =
+let check_cmd path attack all structural max_paths static_prune jobs budget_ms
+    budget_states trace trace_tree no_cache verbose =
   setup_logs verbose;
   if no_cache then Automata.Store.set_enabled false;
   let config =
@@ -240,10 +293,10 @@ let check_cmd path attack all structural max_paths jobs budget_ms budget_states
   in
   with_trace ~trace ~trace_tree @@ fun () ->
   if Sys.is_directory path then
-    check_dir path attack structural max_paths config jobs
+    check_dir path attack structural max_paths static_prune config jobs
   else
     check_one ~ppf:Fmt.stdout ~err:Fmt.stderr path attack all structural
-      max_paths config
+      max_paths static_prune config
 
 open Cmdliner
 
@@ -275,6 +328,23 @@ let () =
   in
   let max_paths_arg =
     Arg.(value & opt int 4096 & info [ "max-paths" ] ~docv:"N" ~doc:"Path exploration bound.")
+  in
+  let static_prune_arg =
+    Arg.(
+      value
+      & vflag true
+          [
+            ( true,
+              info [ "static-prune" ]
+                ~doc:
+                  "Run the sound dataflow string analysis first and skip \
+                   sinks it proves safe (default)." );
+            ( false,
+              info [ "no-static-prune" ]
+                ~doc:
+                  "Ablation: solve every path candidate without the static \
+                   pass. Verdicts are identical; only the work differs." );
+          ])
   in
   let trace_arg =
     Arg.(
@@ -327,8 +397,9 @@ let () =
   let term =
     Term.(
       const check_cmd $ path_arg $ attack_arg $ all_arg $ structural_arg
-      $ max_paths_arg $ jobs_arg $ budget_ms_arg $ budget_states_arg
-      $ trace_arg $ trace_tree_arg $ no_cache_arg $ verbose_arg)
+      $ max_paths_arg $ static_prune_arg $ jobs_arg $ budget_ms_arg
+      $ budget_states_arg $ trace_arg $ trace_tree_arg $ no_cache_arg
+      $ verbose_arg)
   in
   let exits =
     [

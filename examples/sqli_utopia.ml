@@ -39,7 +39,7 @@ let () =
   let program = Webapp.Lang_parser.parse_exn vulnerable_src in
 
   Fmt.pr "=== 2. symbolic execution ===@.";
-  let candidates = Webapp.Symexec.analyze ~attack program in
+  let candidates = (Webapp.Symexec.analyze ~attack program).Webapp.Symexec.candidates in
   List.iter
     (fun q ->
       Fmt.pr "path %d, sink %d: |C| = %d, inputs = {%s}@." q.Webapp.Symexec.path_id

@@ -1,0 +1,125 @@
+module Ast = Webapp.Ast
+
+type node = int
+
+type instr = Assign of string * Ast.expr | Query of int * Ast.expr
+
+type guard = { cond : Ast.cond; value : bool }
+
+type block = { id : node; instrs : instr list; loop_head : bool }
+
+type edge = { src : node; dst : node; guard : guard option }
+
+type t = {
+  blocks : block array;
+  entry : node;
+  exit_ : node;
+  edges : edge list;
+  succs : edge list array;
+  preds : edge list array;
+  num_sinks : int;
+}
+
+let num_blocks g = Array.length g.blocks
+
+let build program =
+  let instrs : (node, instr list ref) Hashtbl.t = Hashtbl.create 16 in
+  let heads : (node, unit) Hashtbl.t = Hashtbl.create 4 in
+  let edges = ref [] in
+  let next = ref 0 in
+  let new_block ?(loop_head = false) () =
+    let id = !next in
+    incr next;
+    Hashtbl.replace instrs id (ref []);
+    if loop_head then Hashtbl.replace heads id ();
+    id
+  in
+  let add_instr b i =
+    let r = Hashtbl.find instrs b in
+    r := i :: !r
+  in
+  let add_edge ?guard src dst = edges := { src; dst; guard } :: !edges in
+  let entry = new_block () in
+  let exit_ = new_block () in
+  (* [lower] returns the block holding the fallthrough edge out of
+     [stmts], or [None] when every suffix ended at [exit;]. *)
+  let rec lower cur stmts =
+    match stmts with
+    | [] -> Some cur
+    | stmt :: rest -> (
+        match stmt with
+        | Ast.Assign (v, e) ->
+            add_instr cur (Assign (v, e));
+            lower cur rest
+        | Ast.Echo _ -> lower cur rest
+        | Ast.Query e ->
+            let id = Option.value (Ast.sink_id program stmt) ~default:(-1) in
+            add_instr cur (Query (id, e));
+            lower cur rest
+        | Ast.Exit ->
+            add_edge cur exit_;
+            None
+        | Ast.If (c, t, f) -> (
+            let then_b = new_block () and else_b = new_block () in
+            add_edge ~guard:{ cond = c; value = true } cur then_b;
+            add_edge ~guard:{ cond = c; value = false } cur else_b;
+            let t_end = lower then_b t in
+            let f_end = lower else_b f in
+            match (t_end, f_end) with
+            | None, None -> None
+            | _ ->
+                let join = new_block () in
+                Option.iter (fun b -> add_edge b join) t_end;
+                Option.iter (fun b -> add_edge b join) f_end;
+                lower join rest)
+        | Ast.While (c, body) ->
+            let head = new_block ~loop_head:true () in
+            add_edge cur head;
+            let body_b = new_block () and exit_b = new_block () in
+            add_edge ~guard:{ cond = c; value = true } head body_b;
+            add_edge ~guard:{ cond = c; value = false } head exit_b;
+            (match lower body_b body with
+            | Some b_end -> add_edge b_end head (* the back edge *)
+            | None -> ());
+            lower exit_b rest)
+  in
+  (match lower entry program with
+  | Some last -> add_edge last exit_
+  | None -> ());
+  let n = !next in
+  let blocks =
+    Array.init n (fun id ->
+        {
+          id;
+          instrs = List.rev !(Hashtbl.find instrs id);
+          loop_head = Hashtbl.mem heads id;
+        })
+  in
+  let edges = List.rev !edges in
+  let succs = Array.make n [] and preds = Array.make n [] in
+  List.iter
+    (fun e ->
+      succs.(e.src) <- e :: succs.(e.src);
+      preds.(e.dst) <- e :: preds.(e.dst))
+    edges;
+  Array.iteri (fun i l -> succs.(i) <- List.rev l) succs;
+  Array.iteri (fun i l -> preds.(i) <- List.rev l) preds;
+  {
+    blocks;
+    entry;
+    exit_;
+    edges;
+    succs;
+    preds;
+    num_sinks = List.length (Ast.sinks program);
+  }
+
+let pp_summary ppf g =
+  let guarded =
+    List.length (List.filter (fun e -> e.guard <> None) g.edges)
+  in
+  let heads =
+    Array.fold_left (fun acc b -> if b.loop_head then acc + 1 else acc) 0 g.blocks
+  in
+  Fmt.pf ppf "%d blocks, %d edges (%d guarded), %d loop heads, %d sinks"
+    (num_blocks g) (List.length g.edges) guarded heads g.num_sinks

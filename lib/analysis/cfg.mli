@@ -1,0 +1,44 @@
+(** Explicit control-flow graph of a mini-PHP program.
+
+    Structured statements are lowered into basic blocks of
+    straight-line instructions connected by (optionally guarded)
+    edges: an [If] becomes a two-way guarded branch re-joining below,
+    a [While] becomes a loop-head block whose guarded exits lead into
+    the body (with a back edge) and past the loop. Every cycle in the
+    graph passes through a [loop_head] block, which is where the
+    fixpoint ({!Fixpoint}) applies widening.
+
+    [Query] instructions carry the statement's {e sink id}
+    ({!Webapp.Ast.sink_id}), the identity shared with
+    {!Webapp.Symexec} candidates so static verdicts can prune
+    path-sensitive work. *)
+
+type node = int
+
+type instr =
+  | Assign of string * Webapp.Ast.expr
+  | Query of int * Webapp.Ast.expr  (** sink id, query expression *)
+
+(** An edge guard: the condition holds with the given polarity when
+    control takes this edge. *)
+type guard = { cond : Webapp.Ast.cond; value : bool }
+
+type block = { id : node; instrs : instr list; loop_head : bool }
+
+type edge = { src : node; dst : node; guard : guard option }
+
+type t = {
+  blocks : block array;  (** indexed by [node] *)
+  entry : node;
+  exit_ : node;  (** target of [exit;] and of the program's fallthrough *)
+  edges : edge list;  (** in construction order *)
+  succs : edge list array;  (** outgoing edges per node *)
+  preds : edge list array;  (** incoming edges per node *)
+  num_sinks : int;  (** [List.length (Ast.sinks program)] *)
+}
+
+val build : Webapp.Ast.program -> t
+
+val num_blocks : t -> int
+
+val pp_summary : t Fmt.t

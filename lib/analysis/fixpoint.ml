@@ -1,0 +1,138 @@
+module Store = Automata.Store
+module Metrics = Telemetry.Metrics
+module Span = Telemetry.Span
+
+let c_iterations = Metrics.Counter.make "analysis.fixpoint.iterations"
+let c_widen = Metrics.Counter.make "analysis.widen.count"
+let c_prune_hit = Metrics.Counter.make "analysis.prune.hit"
+let c_prune_miss = Metrics.Counter.make "analysis.prune.miss"
+
+type sink_verdict = { sink_id : int; lang : Store.handle; safe : bool }
+
+type result = {
+  verdicts : sink_verdict list;
+  iterations : int;
+  widenings : int;
+  blocks : int;
+}
+
+let safe_sink_ids r =
+  List.filter_map (fun v -> if v.safe then Some v.sink_id else None) r.verdicts
+
+let transfer block st =
+  List.fold_left
+    (fun st instr ->
+      match instr with
+      | Cfg.Assign (v, e) -> Absdom.assign st v e
+      | Cfg.Query _ -> st)
+    st block.Cfg.instrs
+
+(* Propagate [out] across [edge]; [None] = the edge is infeasible. *)
+let flow out (edge : Cfg.edge) =
+  match edge.guard with
+  | None -> Some out
+  | Some g -> Absdom.refine out g.value g.cond
+
+let analyze ?(widen_states = 64) ?(widen_delay = 3) ~attack program =
+  let cfg = Cfg.build program in
+  Span.with_span ~name:"analysis.fixpoint"
+    ~attrs:
+      [
+        ("blocks", `Int (Cfg.num_blocks cfg));
+        ("sinks", `Int cfg.num_sinks);
+      ]
+  @@ fun () ->
+  let attack = Store.intern attack in
+  let n = Cfg.num_blocks cfg in
+  (* abstract state at each block's entry; None = not (yet) reachable *)
+  let state : Absdom.t option array = Array.make n None in
+  let visits = Array.make n 0 in
+  let in_queue = Array.make n false in
+  let work = Queue.create () in
+  let enqueue b =
+    if not in_queue.(b) then begin
+      in_queue.(b) <- true;
+      Queue.add b work
+    end
+  in
+  state.(cfg.entry) <- Some Absdom.top;
+  enqueue cfg.entry;
+  let iterations = ref 0 in
+  let widenings = ref 0 in
+  while not (Queue.is_empty work) do
+    Automata.Budget.tick ();
+    let b = Queue.pop work in
+    in_queue.(b) <- false;
+    incr iterations;
+    Metrics.Counter.incr c_iterations 1;
+    match state.(b) with
+    | None -> ()
+    | Some st ->
+        let out = transfer cfg.blocks.(b) st in
+        List.iter
+          (fun (edge : Cfg.edge) ->
+            match flow out edge with
+            | None -> ()
+            | Some out ->
+                let d = edge.dst in
+                let candidate, grew =
+                  match state.(d) with
+                  | None -> (out, true)
+                  | Some old ->
+                      if cfg.blocks.(d).loop_head then begin
+                        visits.(d) <- visits.(d) + 1;
+                        let w, count =
+                          Absdom.widen ~max_states:widen_states
+                            ~force:(visits.(d) > widen_delay) old out
+                        in
+                        widenings := !widenings + count;
+                        Metrics.Counter.incr c_widen count;
+                        (w, not (Absdom.leq w old))
+                      end
+                      else
+                        let j = Absdom.join old out in
+                        (j, not (Absdom.leq j old))
+                in
+                if grew then begin
+                  state.(d) <- Some candidate;
+                  enqueue d
+                end)
+          cfg.succs.(b)
+  done;
+  (* Converged: one more transfer pass per reachable block collects
+     the sink languages under the stable entry states. *)
+  let sink_langs : Store.handle option array = Array.make cfg.num_sinks None in
+  Array.iter
+    (fun (block : Cfg.block) ->
+      match state.(block.id) with
+      | None -> ()
+      | Some st ->
+          ignore
+            (List.fold_left
+               (fun st instr ->
+                 match instr with
+                 | Cfg.Assign (v, e) -> Absdom.assign st v e
+                 | Cfg.Query (id, e) ->
+                     if id >= 0 then begin
+                       let l = Absdom.eval st e in
+                       sink_langs.(id) <-
+                         Some
+                           (match sink_langs.(id) with
+                           | None -> l
+                           | Some prev -> Store.union_lang prev l)
+                     end;
+                     st)
+               st block.instrs))
+    cfg.blocks;
+  let verdicts =
+    List.init cfg.num_sinks (fun sink_id ->
+        let lang =
+          match sink_langs.(sink_id) with
+          | Some l -> l
+          | None -> Store.intern Automata.Nfa.empty_lang (* unreachable sink *)
+        in
+        let safe = Store.is_empty (Store.inter_lang lang attack) in
+        Metrics.Counter.incr (if safe then c_prune_hit else c_prune_miss) 1;
+        { sink_id; lang; safe })
+  in
+  { verdicts; iterations = !iterations; widenings = !widenings; blocks = n }

@@ -1,0 +1,54 @@
+(** Worklist fixpoint over the {!Absdom} domain: the sound static
+    string analysis that proves sinks safe before any RMA solve.
+
+    Blocks are processed from a FIFO worklist; each block's stable
+    entry state transfers through its instructions and flows across
+    guarded edges ({!Absdom.refine}), joining at confluence points
+    and {e widening} at loop heads. Widening (alphabet closure past a
+    state-count threshold, forced after [widen_delay] growing visits)
+    bounds every ascending chain, so the fixpoint terminates on
+    arbitrary loops — the workload the path-sensitive symbolic
+    executor cannot finish.
+
+    On convergence every sink's query language is a sound
+    over-approximation of all SQL strings any concrete run can issue
+    there; [abstract ∩ attack = ∅] therefore proves the sink safe on
+    {e all} paths, loops included.
+
+    Runs under the ambient {!Automata.Budget} (ticked each iteration
+    and inside every automata operation); callers wanting graceful
+    degradation wrap the call in {!Automata.Budget.run} and treat an
+    exceeded budget as "no pruning".
+
+    Metrics: [analysis.fixpoint.iterations], [analysis.widen.count],
+    [analysis.prune.hit]/[analysis.prune.miss] (sinks proved safe /
+    left for symexec); span: [analysis.fixpoint]. *)
+
+type sink_verdict = {
+  sink_id : int;  (** {!Webapp.Ast.sink_id} *)
+  lang : Automata.Store.handle;
+      (** over-approximation of the issued query language *)
+  safe : bool;  (** [lang ∩ attack = ∅] *)
+}
+
+type result = {
+  verdicts : sink_verdict list;  (** one per sink, in sink-id order *)
+  iterations : int;  (** blocks processed before convergence *)
+  widenings : int;  (** keys collapsed by the widening operator *)
+  blocks : int;
+}
+
+(** Sinks the verdict list proves safe — the prune set. *)
+val safe_sink_ids : result -> int list
+
+(** [analyze ~attack program] builds the CFG and runs the fixpoint.
+    [widen_states] (default 64) is the machine-size threshold that
+    triggers alphabet closure; [widen_delay] (default 3) bounds how
+    many growing visits a loop head tolerates before closure is
+    forced. *)
+val analyze :
+  ?widen_states:int ->
+  ?widen_delay:int ->
+  attack:Automata.Nfa.t ->
+  Webapp.Ast.program ->
+  result

@@ -233,6 +233,36 @@ module Fig11 = struct
     done;
     List.rev !stmts
 
+  (* A benign page with a data-dependent accumulator loop: the query
+     grows an unbounded ",0" tail, so bounded unrolling can never
+     exhaust its paths — only the static analysis (join + widening at
+     the loop head) proves the sink safe. *)
+  let loop_program rng ~target_loc =
+    let table = Prng.pick rng word_pool in
+    let stmts = ref [] in
+    let emit s = stmts := s :: !stmts in
+    emit (Ast.Assign ("ids", Ast.Str "0"));
+    emit
+      (Ast.While
+         ( Ast.Not (Ast.Preg_match (pattern "/^done$/", Ast.Input "more")),
+           [ Ast.Assign ("ids", Ast.Concat (Ast.Var "ids", Ast.Str ",0")) ] ));
+    emit
+      (Ast.Assign
+         ( "q",
+           Ast.Concat
+             ( Ast.Str ("SELECT * FROM " ^ table ^ " WHERE id IN ("),
+               Ast.Concat (Ast.Var "ids", Ast.Str ")") ) ));
+    emit (Ast.Query (Ast.Var "q"));
+    let current () = Ast.loc (List.rev !stmts) in
+    while current () < target_loc do
+      emit
+        (Ast.If
+           ( Ast.Str_eq (Ast.Var "q", Prng.pick rng word_pool),
+             [ Ast.Echo (Ast.Str ("<p>" ^ Prng.pick rng word_pool ^ "</p>")) ],
+             [ Ast.Echo (Ast.Str "<hr>") ] ))
+    done;
+    List.rev !stmts
+
   let generate app =
     let rng = Prng.of_string (app.name ^ app.version) in
     let vuln_rows =
@@ -252,8 +282,14 @@ module Fig11 = struct
     let per_file = max 8 (remaining / max 1 benign_count) in
     let benign_files =
       List.init benign_count (fun i ->
-          ( Printf.sprintf "page_%02d.mphp" i,
-            benign_program rng ~target_loc:per_file ))
+          let program =
+            (* eve's first filler page carries the accumulator loop, so
+               every eve scan exercises the widening/pruning path *)
+            if app.name = "eve" && i = 0 then
+              loop_program rng ~target_loc:per_file
+            else benign_program rng ~target_loc:per_file
+          in
+          (Printf.sprintf "page_%02d.mphp" i, program))
     in
     vuln_files @ benign_files
 end

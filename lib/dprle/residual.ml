@@ -1,7 +1,6 @@
 module Nfa = Automata.Nfa
 module Dfa = Automata.Dfa
 module Ops = Automata.Ops
-module Lang = Automata.Lang
 module Store = Automata.Store
 
 module IS = Set.Make (Int)

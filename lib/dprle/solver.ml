@@ -1,6 +1,5 @@
 module Nfa = Automata.Nfa
 module Ops = Automata.Ops
-module Lang = Automata.Lang
 module Store = Automata.Store
 module Budget = Automata.Budget
 
@@ -669,6 +668,11 @@ let run_graph (cfg : Config.t) g =
   with Budget.Exceeded stop -> Error (Error.Budget_exceeded stop)
 
 let run (cfg : Config.t) system =
+  (* pre-solve lint: surface likely authoring bugs (empty bounding
+     constants) on the log before any machine is built *)
+  List.iter
+    (fun f -> Log.warn (fun m -> m "lint: %a" Static.pp_finding f))
+    (Static.quick system);
   try
     Ok
       (Budget.with_budget cfg.budget (fun () ->

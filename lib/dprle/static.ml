@@ -1,0 +1,164 @@
+module Store = Automata.Store
+
+type severity = Warning | Info
+
+type finding = { severity : severity; check : string; message : string }
+
+let pp_severity ppf = function
+  | Warning -> Fmt.string ppf "warning"
+  | Info -> Fmt.string ppf "info"
+
+let pp_finding ppf f =
+  Fmt.pf ppf "%a: [%s] %s" pp_severity f.severity f.check f.message
+
+(* The leaves of a union-free alternative, left to right; [None] when
+   a variable occurs (the alternative is not constant-only). *)
+let const_leaves expr =
+  let rec go acc = function
+    | System.Const c -> Option.map (fun acc -> c :: acc) acc
+    | System.Var _ -> None
+    | System.Concat (a, b) -> go (go acc a) b
+    | System.Union _ -> assert false (* expand_unions output is union-free *)
+  in
+  Option.map List.rev (go (Some []) expr)
+
+let alternative_handle system leaves =
+  match leaves with
+  | [] -> None
+  | first :: rest ->
+      Some
+        (List.fold_left
+           (fun acc c -> Store.concat_lang acc (System.const_handle system c))
+           (System.const_handle system first)
+           rest)
+
+(* Constraints whose right-hand constant is the empty language: the
+   left side is forced empty, which is almost always an authoring
+   error (a regex that matches nothing, an over-intersected constant).
+   The solve itself may still be Sat — with every variable ∅. *)
+let empty_rhs system =
+  List.filter_map
+    (fun { System.lhs = _; rhs } ->
+      if Store.is_empty (System.const_handle system rhs) then
+        Some
+          {
+            severity = Warning;
+            check = "empty-rhs";
+            message =
+              Fmt.str
+                "constant '%s' denotes the empty language; every lhs \
+                 constrained by it is forced empty"
+                rhs;
+          }
+      else None)
+    (System.constraints system)
+
+(* Constant-only alternatives decide by one memoized inclusion: if it
+   fails, the whole system is unsatisfiable before any machine is
+   built. *)
+let contradictions system =
+  List.concat_map
+    (fun { System.lhs; rhs } ->
+      List.filter_map
+        (fun alt ->
+          match const_leaves alt with
+          | None -> None
+          | Some leaves -> (
+              match alternative_handle system leaves with
+              | None -> None
+              | Some h ->
+                  if Store.subset h (System.const_handle system rhs) then None
+                  else
+                    Some
+                      {
+                        severity = Warning;
+                        check = "const-contradiction";
+                        message =
+                          Fmt.str
+                            "constant-only constraint %a ⊆ %s does not hold: \
+                             the system is unsatisfiable"
+                            System.pp_expr alt rhs;
+                      }))
+        (System.expand_unions lhs))
+    (System.constraints system)
+
+(* Variables never bounded by a direct ⊆-edge: only concatenations
+   constrain them, so their solved languages ride entirely on the
+   ε-cut machinery (and an unsatisfiable bound can hide in plain
+   sight). *)
+let unconstrained graph =
+  let direct =
+    List.filter_map
+      (function _, Depgraph.Var v -> Some v | _ -> None)
+      graph.Depgraph.subsets
+  in
+  List.filter_map
+    (fun v ->
+      if List.mem v direct then None
+      else
+        Some
+          {
+            severity = Info;
+            check = "unconstrained-var";
+            message =
+              Fmt.str
+                "variable '%s' has no direct subset constraint (bounded only \
+                 through concatenations)"
+                v;
+          })
+    (System.variables graph.Depgraph.system)
+
+(* CI-groups where one variable feeds several ∘-edge pairs: the
+   ε-cut choices couple, and the paper's §3.5 worst case — the number
+   of cut combinations multiplying across concatenations — becomes
+   reachable. *)
+let ci_cycles graph =
+  let groups = Depgraph.ci_groups graph in
+  List.filter_map
+    (fun group ->
+      let concats_in =
+        List.filter
+          (fun (c : Depgraph.concat) ->
+            List.exists (Depgraph.node_equal c.result) group)
+          graph.Depgraph.concats
+      in
+      if List.length concats_in < 2 then None
+      else
+        let operand_vars =
+          List.concat_map
+            (fun (c : Depgraph.concat) ->
+              List.filter_map
+                (function Depgraph.Var v -> Some v | _ -> None)
+                [ c.left; c.right ])
+            concats_in
+        in
+        let shared =
+          List.sort_uniq compare
+            (List.filter
+               (fun v ->
+                 List.length (List.filter (String.equal v) operand_vars) >= 2)
+               operand_vars)
+        in
+        if shared = [] then None
+        else
+          Some
+            {
+              severity = Info;
+              check = "ci-cycle";
+              message =
+                Fmt.str
+                  "CI-group with %d concatenations is coupled through \
+                   variable(s) %s: ε-cut combinations multiply across them"
+                  (List.length concats_in)
+                  (String.concat ", " shared);
+            })
+    groups
+
+let quick system = empty_rhs system
+
+let lint ?graph system =
+  let graph =
+    match graph with Some g -> g | None -> Depgraph.of_system system
+  in
+  empty_rhs system @ contradictions system @ unconstrained graph
+  @ ci_cycles graph

@@ -19,6 +19,7 @@ type cond =
 type stmt =
   | Assign of string * expr
   | If of cond * stmt list * stmt list
+  | While of cond * stmt list
   | Exit
   | Query of expr
   | Echo of expr
@@ -45,6 +46,9 @@ let rec stmt_inputs acc = function
       let acc = cond_inputs acc c in
       let acc = List.fold_left stmt_inputs acc t in
       List.fold_left stmt_inputs acc f
+  | While (c, body) ->
+      let acc = cond_inputs acc c in
+      List.fold_left stmt_inputs acc body
 
 let inputs program = SSet.elements (List.fold_left stmt_inputs SSet.empty program)
 
@@ -56,9 +60,35 @@ let rec stmt_blocks = function
       + (if t = [] then 0 else 1)
       + (if f = [] then 0 else 1)
       + List.fold_left (fun acc s -> acc + stmt_blocks s) 0 (t @ f)
+  | While (_, body) ->
+      (* loop-head block + exit/join block, plus one for a non-empty body *)
+      2
+      + (if body = [] then 0 else 1)
+      + List.fold_left (fun acc s -> acc + stmt_blocks s) 0 body
 
 let basic_blocks program =
   1 + List.fold_left (fun acc s -> acc + stmt_blocks s) 0 program
+
+let sinks program =
+  let acc = ref [] in
+  let rec stmt s =
+    match s with
+    | Query _ -> acc := s :: !acc
+    | If (_, t, f) ->
+        List.iter stmt t;
+        List.iter stmt f
+    | While (_, body) -> List.iter stmt body
+    | Assign _ | Exit | Echo _ -> ()
+  in
+  List.iter stmt program;
+  List.rev !acc
+
+let sink_id program s =
+  let rec go i = function
+    | [] -> None
+    | s' :: rest -> if s' == s then Some i else go (i + 1) rest
+  in
+  go 0 (sinks program)
 
 (* ------------------------------------------------------------------ *)
 (* Printing: concrete mini-PHP syntax                                 *)
@@ -112,6 +142,8 @@ let rec pp_stmt ppf = function
   | If (c, t, f) ->
       Fmt.pf ppf "@[<v>if (%a) {@;<1 2>@[<v>%a@]@ } else {@;<1 2>@[<v>%a@]@ }@]"
         pp_cond c pp_block t pp_block f
+  | While (c, body) ->
+      Fmt.pf ppf "@[<v>while (%a) {@;<1 2>@[<v>%a@]@ }@]" pp_cond c pp_block body
 
 and pp_block ppf stmts = Fmt.(list ~sep:cut pp_stmt) ppf stmts
 

@@ -1,11 +1,13 @@
 (** Abstract syntax of the mini-PHP string language.
 
     This models the fragment of PHP that the paper's evaluation
-    analyses: straight-line string manipulation with input reads,
-    concatenation, [preg_match] guards, and database query sinks —
-    exactly the features of the Fig. 1 vulnerability. Loops are
-    omitted: the analysis (like the paper's) works on loop-free path
-    slices. *)
+    analyses: string manipulation with input reads, concatenation,
+    [preg_match] guards, [while] loops, and database query sinks —
+    the features of the Fig. 1 vulnerability plus the loops real
+    applications contain. The path-sensitive symbolic executor (like
+    the paper's) works on loop-free path slices obtained by bounded
+    unrolling; the {!Analysis} layer handles loops soundly via
+    widening. *)
 
 type expr =
   | Str of string  (** string literal *)
@@ -35,6 +37,7 @@ type cond =
 type stmt =
   | Assign of string * expr  (** [$x = e;] *)
   | If of cond * stmt list * stmt list
+  | While of cond * stmt list  (** [while (c) { … }] *)
   | Exit  (** [exit;] — abandons the request *)
   | Query of expr  (** [query(e);] — the SQL sink *)
   | Echo of expr  (** output; irrelevant to the analysis but
@@ -47,8 +50,24 @@ val inputs : program -> string list
 
 (** Number of basic blocks of the program's CFG — the paper's [|FG|]
     metric (Fig. 12). Counted as: one entry block, plus, per [If], a
-    join block and one block per non-empty arm. *)
+    join block and one block per non-empty arm; per [While], a
+    loop-head block, an exit block, and one block for a non-empty
+    body. *)
 val basic_blocks : program -> int
+
+(** The program's [query] sinks in syntactic pre-order ([If]: then-arm
+    before else-arm; [While]: body in order). The position of a sink
+    in this list is its {e sink id} — the stable identity shared
+    between the static analysis ({!Analysis.Cfg}) and the symbolic
+    executor, so a verdict proved on the CFG can prune the
+    corresponding path-sensitive candidates. *)
+val sinks : program -> stmt list
+
+(** Sink id of a [Query] statement, by {e physical} identity within
+    [sinks program] (parsing and corpus generation allocate each
+    statement freshly, and path slicing preserves sharing). [None]
+    for statements not in the program. *)
+val sink_id : program -> stmt -> int option
 
 (** Source lines of the pretty-printed program, the Fig. 11 LOC
     metric. *)

@@ -34,8 +34,9 @@ let rec eval_cond env inputs : Ast.cond -> bool = function
       | Ast.Len_ge -> len >= n)
   | Ast.Not c -> not (eval_cond env inputs c)
 
-let run program ~inputs =
+let run ?(max_loop_iters = 100_000) program ~inputs =
   let events = ref [] in
+  let iters = ref 0 in
   let rec exec env = function
     | [] -> env
     | stmt :: rest ->
@@ -50,6 +51,16 @@ let run program ~inputs =
               events := Echoed (eval_expr env inputs e) :: !events;
               env
           | Ast.If (c, t, f) -> exec env (if eval_cond env inputs c then t else f)
+          | Ast.While (c, body) ->
+              let rec loop env =
+                if not (eval_cond env inputs c) then env
+                else begin
+                  incr iters;
+                  if !iters > max_loop_iters then raise Exited;
+                  loop (exec env body)
+                end
+              in
+              loop env
         in
         exec env rest
   in

@@ -18,8 +18,11 @@ type result = {
 (** [run program ~inputs] executes with [$_POST] bound by [inputs];
     missing inputs default to the empty string. Reading an unassigned
     local variable is an error (raises [Invalid_argument]) — corpus
-    programs are well-formed. *)
-val run : Ast.program -> inputs:(string * string) list -> result
+    programs are well-formed. A run exceeding [max_loop_iters] total
+    loop iterations (default 100_000) is abandoned as if it hit
+    [exit;] — divergent requests never reach a sink. *)
+val run :
+  ?max_loop_iters:int -> Ast.program -> inputs:(string * string) list -> result
 
 (** Just the SQL strings sent to the database. *)
 val queries : Ast.program -> inputs:(string * string) list -> string list

@@ -308,6 +308,12 @@ and parse_stmt cur =
             | _ -> []
           in
           Ast.If (cond, then_branch, else_branch)
+      | "while" ->
+          expect_char cur '(';
+          let cond = parse_cond cur in
+          expect_char cur ')';
+          let body = parse_block cur in
+          Ast.While (cond, body)
       | kw -> fail cur (Printf.sprintf "unknown statement '%s'" kw))
   | _ -> fail cur "expected statement"
 

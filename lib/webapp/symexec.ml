@@ -78,6 +78,7 @@ type obligation = { sym : sym; lang : Nfa.t; descr : string }
 type query = {
   path_id : int;
   sink_index : int;
+  sink_id : int;
   system : System.t;
   benign_system : System.t;
       (* the same path constraints without the sink obligation: its
@@ -212,17 +213,23 @@ let system_of_obligations obligations =
   in
   System.make_exn ~consts:(List.rev !consts) ~constraints
 
-let analyze ?(max_paths = 256) ~attack program =
+type exploration = { candidates : query list; paths_truncated : bool }
+
+let analyze ?(max_paths = 256) ?(max_unroll = 16) ~attack program =
   Telemetry.Span.with_span ~name:"symexec.analyze"
-    ~attrs:[ ("max_paths", `Int max_paths) ]
+    ~attrs:[ ("max_paths", `Int max_paths); ("max_unroll", `Int max_unroll) ]
   @@ fun () ->
   (* one interned attack language for every sink on every path — and,
      in directory mode, for every file sharing the attack pattern *)
   let attack = Store.canon attack in
   let results = ref [] in
   let path_count = ref 0 in
-  (* DFS over branch decisions; [obligations] accumulates in reverse. *)
-  let rec exec env obligations sink_index stmts =
+  let truncated = ref false in
+  (* DFS over branch decisions; [obligations] accumulates in reverse.
+     [fuel] bounds the total loop iterations unrolled along one path:
+     loops make the path space infinite, so exhausting it (like
+     exceeding [max_paths]) marks the enumeration truncated. *)
+  let rec exec env obligations sink_index fuel stmts =
     match stmts with
     | [] -> finish_path ()
     | stmt :: rest -> (
@@ -230,30 +237,59 @@ let analyze ?(max_paths = 256) ~attack program =
         | Ast.Exit -> finish_path ()
         | Ast.Assign (v, e) ->
             exec ((v, normalize (eval_sym env e)) :: List.remove_assoc v env)
-              obligations sink_index rest
-        | Ast.Echo _ -> exec env obligations sink_index rest
+              obligations sink_index fuel rest
+        | Ast.Echo _ -> exec env obligations sink_index fuel rest
         | Ast.Query e ->
             let sink =
               { sym = normalize (eval_sym env e); lang = attack; descr = "sink" }
             in
-            emit env (sink :: obligations) !sink_index;
+            emit stmt (sink :: obligations) !sink_index;
             incr sink_index;
-            exec env obligations sink_index rest
+            exec env obligations sink_index fuel rest
         | Ast.If (c, t, f) -> (
             match concrete_cond env c with
-            | Some true -> exec env obligations sink_index (t @ rest)
-            | Some false -> exec env obligations sink_index (f @ rest)
+            | Some true -> exec env obligations sink_index fuel (t @ rest)
+            | Some false -> exec env obligations sink_index fuel (f @ rest)
             | None ->
                 if !path_count < max_paths then begin
                   let taken = obligation_of_cond env true c in
                   let fallen = obligation_of_cond env false c in
                   incr path_count;
-                  exec env (taken :: obligations) (ref !sink_index) (t @ rest);
-                  exec env (fallen :: obligations) (ref !sink_index) (f @ rest)
-                end))
+                  exec env (taken :: obligations) (ref !sink_index) fuel (t @ rest);
+                  exec env (fallen :: obligations) (ref !sink_index) fuel (f @ rest)
+                end
+                else truncated := true)
+        | Ast.While (c, body) -> (
+            (* unroll: the taken branch re-queues the same [stmt] so a
+               sink inside the body keeps its physical identity (and
+               hence its sink id) across iterations *)
+            match concrete_cond env c with
+            | Some false -> exec env obligations sink_index fuel rest
+            | Some true ->
+                if fuel > 0 then
+                  exec env obligations sink_index (fuel - 1)
+                    (body @ (stmt :: rest))
+                else begin
+                  (* concretely spinning with no fuel left: this path's
+                     suffix is unexplored *)
+                  truncated := true;
+                  finish_path ()
+                end
+            | None ->
+                if !path_count < max_paths then begin
+                  let taken = obligation_of_cond env true c in
+                  let fallen = obligation_of_cond env false c in
+                  incr path_count;
+                  if fuel > 0 then
+                    exec env (taken :: obligations) (ref !sink_index) (fuel - 1)
+                      (body @ (stmt :: rest))
+                  else truncated := true;
+                  exec env (fallen :: obligations) (ref !sink_index) fuel rest
+                end
+                else truncated := true))
   and finish_path () = ()
-  and emit env obligations sink_index =
-    ignore env;
+  and emit stmt obligations sink_index =
+    let sink_id = Option.value (Ast.sink_id program stmt) ~default:(-1) in
     let obligations = List.rev obligations in
     (* the sink obligation is the last one *)
     let benign_obligations =
@@ -291,6 +327,7 @@ let analyze ?(max_paths = 256) ~attack program =
       {
         path_id = !path_count;
         sink_index;
+        sink_id;
         system;
         benign_system;
         input_vars;
@@ -299,8 +336,8 @@ let analyze ?(max_paths = 256) ~attack program =
       }
       :: !results
   in
-  exec [] [] (ref 0) program;
-  List.rev !results
+  exec [] [] (ref 0) max_unroll program;
+  { candidates = List.rev !results; paths_truncated = !truncated }
 
 (* A transformed read constrains the transformed value; pull the
    solved language back to the raw input through the chain's
@@ -342,11 +379,27 @@ let input_languages query assignment =
 
 type budget_status = Within_budget | Budget_exceeded of Automata.Budget.stop
 
+type provenance = Proved_safe_statically | Witnessed | Unknown
+
+let pp_provenance ppf = function
+  | Proved_safe_statically -> Fmt.string ppf "proved_safe_statically"
+  | Witnessed -> Fmt.string ppf "witnessed"
+  | Unknown -> Fmt.string ppf "unknown"
+
 type verdict = {
   assignment : Dprle.Assignment.t option;
   slot_languages : (string * Nfa.t) list;
   budget : budget_status;
+  provenance : provenance;
 }
+
+let statically_safe_verdict =
+  {
+    assignment = None;
+    slot_languages = [];
+    budget = Within_budget;
+    provenance = Proved_safe_statically;
+  }
 
 let solve ?(config = Dprle.Solver.Config.default) query =
   Telemetry.Span.with_span ~name:"symexec.solve"
@@ -357,7 +410,14 @@ let solve ?(config = Dprle.Solver.Config.default) query =
         ("constraints", `Int query.constraint_count);
       ]
   @@ fun () ->
-  let safe = { assignment = None; slot_languages = []; budget = Within_budget } in
+  let safe =
+    {
+      assignment = None;
+      slot_languages = [];
+      budget = Within_budget;
+      provenance = Unknown;
+    }
+  in
   (* The winning disjunct's per-slot languages, before pull-back:
      what each system variable (e.g. [x~lower]) may evaluate to. *)
   let slot_languages_of disjunct =
@@ -385,6 +445,7 @@ let solve ?(config = Dprle.Solver.Config.default) query =
         assignment = Some inputs;
         slot_languages = slot_languages_of d;
         budget = Within_budget;
+        provenance = Witnessed;
       }
   | Ok None -> (
       (* only case-mapped reads can make the first disjunct unusable
@@ -399,6 +460,7 @@ let solve ?(config = Dprle.Solver.Config.default) query =
               assignment = Some inputs;
               slot_languages = slot_languages_of d;
               budget = Within_budget;
+              provenance = Witnessed;
             }
         | Ok None -> safe)
 
@@ -425,7 +487,7 @@ let exploit_inputs query assignment =
 
 let first_exploit ?max_paths ~attack program =
   let all_inputs = Ast.inputs program in
-  let candidates = analyze ?max_paths ~attack program in
+  let { candidates; paths_truncated = _ } = analyze ?max_paths ~attack program in
   List.find_map
     (fun query ->
       match (solve query).assignment with

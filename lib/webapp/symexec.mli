@@ -24,6 +24,10 @@ type xform = Lower | Upper | Addslashes | Replace of char * string
 type query = {
   path_id : int;  (** index of the explored path *)
   sink_index : int;  (** which [query] along that path *)
+  sink_id : int;
+      (** {e syntactic} sink identity ({!Ast.sink_id}): stable across
+          the paths reaching the same [query] statement, and shared
+          with {!Analysis.Cfg} — the key static pruning filters on *)
   system : Dprle.System.t;
       (** branch + sink constraints; constants are auto-named.
           A case-mapped read appears as its own system variable
@@ -43,11 +47,27 @@ type query = {
           ∘-edge pair per concatenation *)
 }
 
-(** Explore all paths (bounded by [max_paths], default 256) and
+(** Result of path enumeration. [paths_truncated] is set whenever the
+    DFS dropped work: a branch fork past [max_paths], or a loop
+    iteration past [max_unroll]. A truncated enumeration with no
+    solvable candidate does {e not} establish safety — callers must
+    surface it (webcheck prints a warning; statically-proved sinks
+    are unaffected since their verdict never relies on enumeration). *)
+type exploration = {
+  candidates : query list;  (** one per explored (path, sink) *)
+  paths_truncated : bool;
+}
+
+(** Explore all paths (bounded by [max_paths], default 256; loops
+    unrolled up to [max_unroll] iterations per path, default 16) and
     return one candidate query per (path, sink). Paths that
     concretely cannot reach a sink (ended by [exit]) yield nothing. *)
 val analyze :
-  ?max_paths:int -> attack:Automata.Nfa.t -> Ast.program -> query list
+  ?max_paths:int ->
+  ?max_unroll:int ->
+  attack:Automata.Nfa.t ->
+  Ast.program ->
+  exploration
 
 (** Whether a solve finished inside its configured budget. *)
 type budget_status =
@@ -55,6 +75,19 @@ type budget_status =
   | Budget_exceeded of Automata.Budget.stop
       (** the solve was cut short; the verdict says nothing about
           this path/sink *)
+
+(** How a per-sink verdict was established.
+    - [Proved_safe_statically]: the {!Analysis} fixpoint showed
+      [abstract ∩ attack = ∅]; sound over {e all} paths, loops
+      included, independent of path enumeration.
+    - [Witnessed]: the solver produced an exploit language (and a
+      concrete witness).
+    - [Unknown]: no witness found — safety follows only if the
+      enumeration was exhaustive (see {!exploration.paths_truncated})
+      and the solve stayed within budget. *)
+type provenance = Proved_safe_statically | Witnessed | Unknown
+
+val pp_provenance : provenance Fmt.t
 
 (** Structured result of solving one candidate query. *)
 type verdict = {
@@ -71,7 +104,12 @@ type verdict = {
           (before pull-back): what each transformed read may evaluate
           to at the sink. Empty when there is no exploit. *)
   budget : budget_status;
+  provenance : provenance;  (** [Witnessed] or [Unknown] from {!solve} *)
 }
+
+(** The verdict the static layer issues for a pruned sink: no
+    assignment, within budget, [Proved_safe_statically]. *)
+val statically_safe_verdict : verdict
 
 (** Solve one candidate under [config] (default
     {!Dprle.Solver.Config.default}, unlimited budget); [config]'s

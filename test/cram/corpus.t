@@ -2,7 +2,7 @@ Regenerate the eve application from Fig. 11 and scan it end to end —
 the paper's section 4 workflow on the synthetic corpus:
 
   $ corpusgen --app eve .
-  eve      1.0        8 files    929 loc -> ./eve
+  eve      1.0        8 files    925 loc -> ./eve
 
   $ ls eve | head -3
   edit.mphp

@@ -1,0 +1,68 @@
+The static analysis layer: a worklist fixpoint over variable-to-
+regular-language abstractions proves sinks safe before symbolic
+execution, and widening at loop heads handles programs bounded
+unrolling cannot exhaust.
+
+A loop appends ",0" to the query forever; every unrolling depth is a
+distinct path, so symbolic execution alone can never cover them all:
+
+  $ cat > loop.mphp <<'PHP'
+  > $ids = "0";
+  > while (!preg_match(/^done$/, input("more"))) {
+  >   $ids = $ids . ",0";
+  > }
+  > query("SELECT * FROM t WHERE id IN (" . $ids . ")");
+  > PHP
+
+With the static layer (the default), the widened abstraction of $ids
+contains no quote, so the sink is proved safe with no solving at all:
+
+  $ webcheck loop.mphp
+  loop.mphp: 4 basic blocks, 17 sink-reaching path candidates
+  sink 0: proved safe statically
+  no exploitable path found
+  [1]
+
+The ablation has only the truncated path enumeration to go on, and
+says so — its "safe" is weaker:
+
+  $ webcheck loop.mphp --no-static-prune
+  loop.mphp: 4 basic blocks, 17 sink-reaching path candidates
+  warning: path enumeration truncated at --max-paths=4096; 1 sink(s) not statically proved may have unexplored paths
+  no exploitable path found
+  [1]
+
+Pruning never changes verdicts, only work: a vulnerable program is
+reported identically in both modes (the analysis cannot prove its
+sink safe, so nothing is pruned):
+
+  $ cat > vuln.mphp <<'PHP'
+  > $newsid = input("posted_newsid");
+  > if (!preg_match(/[\d]+$/, $newsid)) { exit; }
+  > query("SELECT * FROM news WHERE newsid=nid_" . $newsid);
+  > PHP
+
+  $ webcheck vuln.mphp > with.txt; echo "exit=$?"
+  exit=0
+  $ webcheck vuln.mphp --no-static-prune > without.txt; echo "exit=$?"
+  exit=0
+  $ cmp with.txt without.txt && echo identical
+  identical
+
+A conditional sanitizer is where the branch-sensitive refinement
+matters: the quote-stripping branch makes the sink safe, and the
+analysis proves it even though a path-insensitive view of $x would
+still contain a quote:
+
+  $ cat > sanitized.mphp <<'PHP'
+  > $x = input("x");
+  > if (!preg_match(/^[0-9']+$/, $x)) { exit; }
+  > $x = str_replace("'", "", $x);
+  > query("SELECT * FROM t WHERE id=" . $x);
+  > PHP
+
+  $ webcheck sanitized.mphp
+  sanitized.mphp: 3 basic blocks, 1 sink-reaching path candidates
+  sink 0: proved safe statically
+  no exploitable path found
+  [1]

@@ -12,7 +12,7 @@ The Fig. 1 mini-PHP program:
 
   $ webcheck utopia.mphp
   utopia.mphp: 3 basic blocks, 1 sink-reaching path candidates
-  VULNERABLE (path 1, sink 0, |C|=3) — exploit confirmed by concrete run:
+  VULNERABLE (path 1, sink 0, |C|=3, witnessed) — exploit confirmed by concrete run:
     posted_newsid = "'0"
 
 The fixed program is safe (exit code 1):
@@ -26,6 +26,7 @@ The fixed program is safe (exit code 1):
 
   $ webcheck fixed.mphp
   fixed.mphp: 3 basic blocks, 1 sink-reaching path candidates
+  sink 0: proved safe statically
   no exploitable path found
   [1]
 
@@ -39,7 +40,7 @@ A case-mapped filter is handled via regular preimages:
 
   $ webcheck lower.mphp
   lower.mphp: 3 basic blocks, 1 sink-reaching path candidates
-  VULNERABLE (path 1, sink 0, |C|=3) — exploit confirmed by concrete run:
+  VULNERABLE (path 1, sink 0, |C|=3, witnessed) — exploit confirmed by concrete run:
     x = "'"
 
 Structural confirmation (Su-Wassermann criterion): the intended query
@@ -47,7 +48,7 @@ is recovered by solving the same path without the attack constraint:
 
   $ webcheck utopia.mphp --structural
   utopia.mphp: 3 basic blocks, 1 sink-reaching path candidates
-  VULNERABLE (path 1, sink 0, |C|=3) — exploit confirmed by concrete run:
+  VULNERABLE (path 1, sink 0, |C|=3, witnessed) — exploit confirmed by concrete run:
     posted_newsid = "'0"
     intended query: SELECT * FROM news WHERE newsid=nid_0
     structural verdict: query no longer parses
@@ -61,7 +62,7 @@ A tautology payload is classified as such:
 
   $ webcheck taut.mphp --attack tautology --structural
   taut.mphp: 1 basic blocks, 1 sink-reaching path candidates
-  VULNERABLE (path 0, sink 0, |C|=3) — exploit confirmed by concrete run:
+  VULNERABLE (path 0, sink 0, |C|=3, witnessed) — exploit confirmed by concrete run:
     id = "OR1=1"
     intended query: SELECT * FROM news WHERE newsid = 'a'
     structural verdict: same structure (the regular approximation over-approximated)

@@ -7,7 +7,7 @@ module Symexec = Webapp.Symexec
 let find_candidate row =
   let program = Fig12.program row in
   let candidates =
-    Symexec.analyze ~max_paths:4096 ~attack:Fig12.attack program
+    (Symexec.analyze ~max_paths:4096 ~attack:Fig12.attack program).Symexec.candidates
   in
   match candidates with
   | [ q ] -> q
@@ -65,6 +65,8 @@ let fig12_tests =
           | Ast.Exit -> 0
           | Ast.If (_, t, f) ->
               List.fold_left (fun acc s -> max acc (max_lit s)) 0 (t @ f)
+          | Ast.While (_, body) ->
+              List.fold_left (fun acc s -> max acc (max_lit s)) 0 body
         in
         let biggest = List.fold_left (fun acc s -> max acc (max_lit s)) 0 program in
         check_bool "big constant" true (biggest > 2000));

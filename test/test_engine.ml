@@ -283,7 +283,8 @@ let api_tests =
               query("SELECT * FROM news WHERE newsid=" . $newsid);|}
         in
         match
-          Webapp.Symexec.analyze ~attack:Webapp.Attack.contains_quote program
+          (Webapp.Symexec.analyze ~attack:Webapp.Attack.contains_quote program)
+            .Webapp.Symexec.candidates
         with
         | [ q ] -> (
             let v = Webapp.Symexec.solve q in
@@ -309,7 +310,8 @@ let api_tests =
               query("SELECT * FROM news WHERE newsid=" . $newsid);|}
         in
         match
-          Webapp.Symexec.analyze ~attack:Webapp.Attack.contains_quote program
+          (Webapp.Symexec.analyze ~attack:Webapp.Attack.contains_quote program)
+            .Webapp.Symexec.candidates
         with
         | [ q ] -> (
             let config =

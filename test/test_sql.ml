@@ -152,7 +152,7 @@ let analysis_tests =
 let integration_tests =
   let attack = Webapp.Attack.contains_quote in
   let run_both program =
-    match Webapp.Symexec.analyze ~attack program with
+    match (Webapp.Symexec.analyze ~attack program).Webapp.Symexec.candidates with
     | [ q ] -> (
         match
           ( (Webapp.Symexec.solve q).Webapp.Symexec.assignment,
@@ -197,7 +197,7 @@ let integration_tests =
               if (!preg_match(/^[a-z0-9 =']{1,8}$/, $id)) { exit; }
               query("SELECT * FROM t WHERE a = '" . $id . "'");|}
         in
-        match Webapp.Symexec.analyze ~attack program with
+        match (Webapp.Symexec.analyze ~attack program).Webapp.Symexec.candidates with
         | [ q ] -> (
             match (Webapp.Symexec.solve q).Webapp.Symexec.assignment with
             | None -> Alcotest.fail "regex-level exploit expected"
@@ -212,7 +212,7 @@ let integration_tests =
               if (!preg_match(/^[\d]+$/, $newsid)) { exit; }
               query("SELECT * FROM news WHERE newsid=" . $newsid);|}
         in
-        match Webapp.Symexec.analyze ~attack program with
+        match (Webapp.Symexec.analyze ~attack program).Webapp.Symexec.candidates with
         | [ q ] ->
             check_bool "no exploit" true
               ((Webapp.Symexec.solve q).Webapp.Symexec.assignment = None);

@@ -111,7 +111,8 @@ let symexec_tests =
   [
     test "vulnerable program yields a solvable candidate" (fun () ->
         let candidates =
-          Symexec.analyze ~attack:Attack.contains_quote utopia
+          (Symexec.analyze ~attack:Attack.contains_quote utopia)
+            .Symexec.candidates
         in
         check_int "one sink-reaching path" 1 (List.length candidates);
         let q = List.hd candidates in
@@ -136,7 +137,11 @@ let symexec_tests =
         (* filter ⊆-edge + sink ⊆-edge + one ∘-pair: the adjacent
            literals "SELECT …=" and "nid_" merge into one constant
            during symbolic evaluation *)
-        let q = List.hd (Symexec.analyze ~attack:Attack.contains_quote utopia) in
+        let q =
+          List.hd
+            (Symexec.analyze ~attack:Attack.contains_quote utopia)
+              .Symexec.candidates
+        in
         check_int "c" 3 q.constraint_count);
     test "constant branches are folded, input branches fork" (fun () ->
         let p =
@@ -146,7 +151,9 @@ let symexec_tests =
               if (input("u") == "q") { query("'" . input("u")); }
               query("safe");|}
         in
-        let candidates = Symexec.analyze ~attack:Attack.contains_quote p in
+        let candidates =
+          (Symexec.analyze ~attack:Attack.contains_quote p).Symexec.candidates
+        in
         (* sinks: quoted query on the taken branch; "safe" sink on both
            forks of the input branch *)
         check_int "three candidates" 3 (List.length candidates));
@@ -155,7 +162,9 @@ let symexec_tests =
           Lang_parser.parse_exn
             {|query("a" . input("x")); query("b" . input("y"));|}
         in
-        let candidates = Symexec.analyze ~attack:Attack.contains_quote p in
+        let candidates =
+          (Symexec.analyze ~attack:Attack.contains_quote p).Symexec.candidates
+        in
         check_int "two" 2 (List.length candidates);
         Alcotest.(check (list int))
           "sink indices" [ 0; 1 ]
@@ -244,7 +253,8 @@ let symexec_props =
         (* solve every candidate; its witness inputs must drive a real
            run that issues an attack query *)
         let candidates =
-          Symexec.analyze ~attack:Attack.contains_quote program
+          (Symexec.analyze ~attack:Attack.contains_quote program)
+            .Symexec.candidates
         in
         List.for_all
           (fun q ->
