@@ -17,10 +17,14 @@ module Ci = Dprle.Ci
 
 let re = System.const_of_regex
 
+(* All wall-clock measurements use the monotonic clock — immune to NTP
+   steps; [Unix.time] survives only as the run's calendar timestamp. *)
+let now_s () = Int64.to_float (Telemetry.Clock.now_ns ()) /. 1e9
+
 let time_once f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = now_s () in
   let result = f () in
-  (result, Unix.gettimeofday () -. t0)
+  (result, now_s () -. t0)
 
 let hr title =
   Fmt.pr "@.%s@.%s@." title (String.make (String.length title) '=')
@@ -38,10 +42,12 @@ let json_results : Json.t list ref = ref []
 
 let experiment name f =
   let before = Snapshot.of_default () in
-  let t0 = Unix.gettimeofday () in
+  let t0 = now_s () in
   f ();
-  let seconds = Unix.gettimeofday () -. t0 in
+  let seconds = now_s () -. t0 in
   let diff = Snapshot.diff ~after:(Snapshot.of_default ()) ~before in
+  Telemetry.Events.emit_global ~kind:"experiment"
+    [ ("name", Json.String name); ("seconds", Json.Float seconds) ];
   json_results :=
     Json.Obj
       [
@@ -59,7 +65,7 @@ let write_json path =
   let doc =
     Json.Obj
       [
-        ("schema", Json.String "dprle-bench/1");
+        ("schema", Json.String "dprle-bench/2");
         ("unix_time", Json.Float (Unix.time ()));
         ("experiments", Json.List (List.rev !json_results));
       ]
@@ -560,7 +566,7 @@ let static_prune_arm ~prune files =
   let attack = Corpus.Fig12.attack in
   Automata.Store.clear ();
   let before = Snapshot.of_default () in
-  let t0 = Unix.gettimeofday () in
+  let t0 = now_s () in
   let pruned = ref 0 in
   let verdicts =
     List.map
@@ -585,7 +591,7 @@ let static_prune_arm ~prune files =
         (name, vulnerable))
       files
   in
-  let seconds = Unix.gettimeofday () -. t0 in
+  let seconds = now_s () -. t0 in
   let diff = Snapshot.diff ~after:(Snapshot.of_default ()) ~before in
   (verdicts, seconds, Snapshot.counter_value diff "solver.solves", !pruned)
 
@@ -669,9 +675,9 @@ let cache_ablation name workload =
   let arm () =
     Store.clear ();
     let before = Snapshot.of_default () in
-    let t0 = Unix.gettimeofday () in
+    let t0 = now_s () in
     workload ();
-    let seconds = Unix.gettimeofday () -. t0 in
+    let seconds = now_s () -. t0 in
     let diff = Snapshot.diff ~after:(Snapshot.of_default ()) ~before in
     (seconds, store_hits diff)
   in
@@ -715,6 +721,47 @@ let cache_ablation_report ~fast () =
        done));
   Fmt.pr "@.(the uncached arm must show zero op-cache hits: with the store@.";
   Fmt.pr " disabled every operation recomputes from scratch.)@."
+
+(* ------------------------------------------------------------------ *)
+(* Observability overhead: the fig12 solve workload with the timer
+   registry recording (the default) vs globally disabled via
+   [Metrics.set_timing_enabled false].  The two wall clocks land in
+   the JSON so a timer added on a hot path shows up as a growing gap
+   between the arms — the acceptance bound is ±10% on this workload. *)
+
+let observability_report ~fast () =
+  hr "Observability — timer overhead on the Fig. 12 workload";
+  let workload () =
+    List.iter
+      (fun row ->
+        if not (fast && row.Corpus.Fig12.name = "secure") then
+          ignore (solve_row row))
+      Corpus.Fig12.rows
+  in
+  let arm () =
+    Store.clear ();
+    let t0 = now_s () in
+    workload ();
+    now_s () -. t0
+  in
+  let seconds_timed = arm () in
+  Telemetry.Metrics.set_timing_enabled false;
+  let seconds_untimed =
+    Fun.protect
+      ~finally:(fun () -> Telemetry.Metrics.set_timing_enabled true)
+      arm
+  in
+  Fmt.pr "timers on:  %8.4f s@.timers off: %8.4f s@.overhead:   %+.1f%%@."
+    seconds_timed seconds_untimed
+    (100. *. ((seconds_timed -. seconds_untimed) /. seconds_untimed));
+  json_results :=
+    Json.Obj
+      [
+        ("name", Json.String "observability/overhead");
+        ("seconds_timed", Json.Float seconds_timed);
+        ("seconds_untimed", Json.Float seconds_untimed);
+      ]
+    :: !json_results
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one kernel per experiment               *)
@@ -795,7 +842,71 @@ let json_path () =
   in
   scan argv
 
-let () =
+(* [--events FILE]: JSONL event log, one record per experiment. *)
+let events_path () =
+  let rec scan = function
+    | [] -> None
+    | "--events" :: path :: _ when String.length path > 0 && path.[0] <> '-' ->
+        Some path
+    | _ :: rest -> scan rest
+  in
+  scan (Array.to_list Sys.argv)
+
+(* ------------------------------------------------------------------ *)
+(* [--diff OLD NEW]: compare two bench JSON documents instead of
+   running the experiments.  Deterministic content (counters, shapes,
+   timer call counts) is hard-gated; wall clock is ratio-gated and can
+   be demoted to warnings for noisy CI runners.  Exit 0 = clean,
+   1 = hard regressions (named on stdout), 2 = usage/parse error. *)
+
+let diff_main args =
+  let usage () =
+    Fmt.epr
+      "usage: bench --diff OLD.json NEW.json [--threshold X] \
+       [--wall-warn-only] [--skip NAME]...@.";
+    2
+  in
+  let rec parse paths threshold warn skip = function
+    | [] -> Ok (List.rev paths, threshold, warn, skip)
+    | "--diff" :: rest -> parse paths threshold warn skip rest
+    | "--threshold" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some t -> parse paths t warn skip rest
+        | None -> Error ())
+    | "--wall-warn-only" :: rest -> parse paths threshold true skip rest
+    | "--skip" :: name :: rest -> parse paths threshold warn (name :: skip) rest
+    | arg :: rest when String.length arg > 0 && arg.[0] <> '-' ->
+        parse (arg :: paths) threshold warn skip rest
+    | _ -> Error ()
+  in
+  match parse [] 1.5 false [] args with
+  | Ok ([ old_path; new_path ], threshold, wall_warn_only, skip) -> (
+      let load path =
+        match
+          Json.of_string (In_channel.with_open_text path In_channel.input_all)
+        with
+        | Ok doc -> Ok doc
+        | Error msg -> Error (Fmt.str "%s: %s" path msg)
+        | exception Sys_error msg -> Error msg
+      in
+      match (load old_path, load new_path) with
+      | Ok old_doc, Ok new_doc -> (
+          match
+            Telemetry.Benchdiff.run ~threshold ~wall_warn_only ~skip ~old_doc
+              ~new_doc ()
+          with
+          | Ok report ->
+              Fmt.pr "%a" Telemetry.Benchdiff.pp_report report;
+              if Telemetry.Benchdiff.hard_count report > 0 then 1 else 0
+          | Error msg ->
+              Fmt.epr "error: %s@." msg;
+              2)
+      | Error msg, _ | _, Error msg ->
+          Fmt.epr "error: %s@." msg;
+          2)
+  | Ok _ | Error () -> usage ()
+
+let run_experiments () =
   let fast = Array.exists (( = ) "--fast") Sys.argv in
   let json = json_path () in
   Fmt.pr "DPRLE benchmark harness — every table and figure of the paper@.";
@@ -812,7 +923,13 @@ let () =
   experiment "static_prune/ablation" static_prune_report;
   experiment "extension/sanitizers" sanitizers_report;
   experiment "cache_ablation" (cache_ablation_report ~fast);
+  experiment "observability" (observability_report ~fast);
   if json = None then run_bechamel ()
   else experiment "bechamel/microbench" run_bechamel;
   Option.iter write_json json;
   Fmt.pr "@.done.@."
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if List.mem "--diff" args then exit (diff_main args)
+  else Telemetry.Events.with_sink (events_path ()) run_experiments

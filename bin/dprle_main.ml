@@ -75,10 +75,54 @@ let with_trace ~trace ~trace_tree f =
 let budget_of ~budget_ms ~budget_states =
   Automata.Budget.make ?wall_ms:budget_ms ?max_states:budget_states ()
 
+(* ------------------------------------------------------------------ *)
+(* Observability plumbing shared by the subcommands: [--events FILE]
+   opens the JSONL sink around the whole command (closed and flushed
+   via Fun.protect, so a crash keeps every emitted line), and
+   [--metrics] dumps the final registry snapshot — deterministic text:
+   counts only, no nanoseconds — to stderr on the way out. *)
+
+module Snapshot = Telemetry.Metrics.Snapshot
+
+let with_observability ~metrics ~events f =
+  Telemetry.Events.with_sink events @@ fun () ->
+  Fun.protect
+    ~finally:(fun () ->
+      if metrics then Fmt.epr "%a" Snapshot.pp (Snapshot.of_default ()))
+    f
+
+let sum_counters diff name =
+  List.fold_left
+    (fun acc (n, _, v) -> if n = name then acc + v else acc)
+    0 (Snapshot.counters diff)
+
+(* Common tail fields of a per-solve event: total attributed timer
+   self-time plus the store's hit/miss deltas over the bracket. *)
+let obs_fields diff =
+  let module J = Telemetry.Json in
+  let timer_self_total =
+    List.fold_left
+      (fun acc (_, _, (s : Snapshot.timer_stat)) -> Int64.add acc s.self_ns)
+      0L (Snapshot.timers diff)
+  in
+  [
+    ("timer_self_ns_total", J.Int (Int64.to_int timer_self_total));
+    ( "store",
+      J.Obj
+        [
+          ("intern_hit", J.Int (sum_counters diff "store.intern.hit"));
+          ("intern_miss", J.Int (sum_counters diff "store.intern.miss"));
+          ("opcache_hit", J.Int (sum_counters diff "store.opcache.hit"));
+          ("opcache_miss", J.Int (sum_counters diff "store.opcache.miss"));
+        ] );
+  ]
+
 let solve_cmd path first max_solutions combination_limit budget_ms budget_states
-    witnesses_only dot smtlib stats trace trace_tree no_cache verbose =
+    witnesses_only dot smtlib stats trace trace_tree no_cache metrics events
+    verbose =
   setup_logs verbose;
   if no_cache then Automata.Store.set_enabled false;
+  with_observability ~metrics ~events @@ fun () ->
   match read_system path with
   | Error msg ->
       Fmt.epr "error: %s@." msg;
@@ -90,6 +134,17 @@ let solve_cmd path first max_solutions combination_limit budget_ms budget_states
           ~combination_limit
           ~budget:(budget_of ~budget_ms ~budget_states)
           ()
+      in
+      let before_obs = Snapshot.of_default () in
+      let emit_solve ~outcome ~solutions =
+        let diff = Snapshot.diff ~after:(Snapshot.of_default ()) ~before:before_obs in
+        Telemetry.Events.emit_global ~kind:"solve"
+          ([
+             ("file", Telemetry.Json.String path);
+             ("outcome", Telemetry.Json.String outcome);
+             ("solutions", Telemetry.Json.Int solutions);
+           ]
+          @ obs_fields diff)
       in
       let solved =
         with_trace ~trace ~trace_tree @@ fun () ->
@@ -115,15 +170,18 @@ let solve_cmd path first max_solutions combination_limit budget_ms budget_states
       in
       match solved with
       | Error err ->
+          emit_solve ~outcome:"budget_exceeded" ~solutions:0;
           Fmt.epr "error: %a@." Dprle.Solver.Error.pp err;
           4
       | Ok (outcome, report) -> (
           Option.iter (fun r -> Fmt.pr "%a@.@." Dprle.Report.pp r) report;
           match outcome with
           | Dprle.Solver.Unsat reason ->
+              emit_solve ~outcome:"unsat" ~solutions:0;
               Fmt.pr "unsat: %s@." (Dprle.Solver.unsat_message reason);
               1
           | Dprle.Solver.Sat solutions ->
+              emit_solve ~outcome:"sat" ~solutions:(List.length solutions);
               Fmt.pr "sat: %d disjunctive solution(s)@."
                 (List.length solutions);
               List.iteri
@@ -131,9 +189,10 @@ let solve_cmd path first max_solutions combination_limit budget_ms budget_states
                 solutions;
               0))
 
-let check_cmd path budget_ms budget_states no_cache verbose =
+let check_cmd path budget_ms budget_states no_cache metrics events verbose =
   setup_logs verbose;
   if no_cache then Automata.Store.set_enabled false;
+  with_observability ~metrics ~events @@ fun () ->
   match read_system path with
   | Error msg ->
       Fmt.epr "error: %s@." msg;
@@ -173,14 +232,146 @@ let lint_cmd path verbose =
       end
       else 1
 
+(* ------------------------------------------------------------------ *)
+(* Profile: run a workload under full cost accounting, then print the
+   attribution this subcommand exists for — the top ops by self time,
+   the per-tier breakdown, and the store's cache-effectiveness ledger
+   (ROADMAP item 3's "which caches pay for themselves" signal). *)
+
+let pp_op_labels ppf = function
+  | [] -> ()
+  | l ->
+      Fmt.pf ppf "{%s}"
+        (String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) l))
+
+let print_profile ~top diff =
+  let timers =
+    List.filter
+      (fun (_, _, (s : Snapshot.timer_stat)) -> s.count > 0)
+      (Snapshot.timers diff)
+  in
+  let ms ns = Int64.to_float ns /. 1e6 in
+  let by_self =
+    List.sort
+      (fun (_, _, (a : Snapshot.timer_stat)) (_, _, (b : Snapshot.timer_stat)) ->
+        Int64.compare b.self_ns a.self_ns)
+      timers
+  in
+  Fmt.pr "== top ops by self time ==@.";
+  Fmt.pr "%-42s %10s %12s %12s %12s@." "op" "count" "self(ms)" "total(ms)"
+    "max(ms)";
+  List.iteri
+    (fun i (name, labels, (s : Snapshot.timer_stat)) ->
+      if i < top then
+        Fmt.pr "%-42s %10d %12.3f %12.3f %12.3f@."
+          (Fmt.str "%s%a" name pp_op_labels labels)
+          s.count (ms s.self_ns) (ms s.total_ns) (ms s.max_ns))
+    by_self;
+  let tiers = Hashtbl.create 8 in
+  List.iter
+    (fun (name, _, (s : Snapshot.timer_stat)) ->
+      let tier =
+        match String.index_opt name '.' with
+        | Some i -> String.sub name 0 i
+        | None -> name
+      in
+      let cur = Option.value (Hashtbl.find_opt tiers tier) ~default:0L in
+      Hashtbl.replace tiers tier (Int64.add cur s.self_ns))
+    timers;
+  let total = Hashtbl.fold (fun _ v acc -> Int64.add acc v) tiers 0L in
+  Fmt.pr "@.== self time by tier ==@.";
+  List.iter
+    (fun (tier, ns) ->
+      Fmt.pr "%-12s %12.3f ms %6.1f%%@." tier (ms ns)
+        (if total = 0L then 0.
+         else 100. *. Int64.to_float ns /. Int64.to_float total))
+    (List.sort
+       (fun (_, a) (_, b) -> Int64.compare b a)
+       (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tiers []));
+  Fmt.pr "@.== cache-effectiveness ledger ==@.";
+  Fmt.pr "%a" Automata.Store.Ledger.pp (Automata.Store.Ledger.of_snapshot diff)
+
+(* The corpus workload mirrors webcheck's pipeline — dataflow
+   fixpoint, then symbolic execution, then solves for the sinks the
+   fixpoint could not discharge — so every instrumented tier shows up
+   in the attribution. *)
+let profile_corpus name =
+  match
+    List.find_opt (fun a -> a.Corpus.Fig11.name = name) Corpus.Fig11.apps
+  with
+  | None ->
+      Error
+        (Fmt.str "unknown corpus %S (have: %s)" name
+           (String.concat ", "
+              (List.map (fun a -> a.Corpus.Fig11.name) Corpus.Fig11.apps)))
+  | Some app ->
+      Ok
+        (fun () ->
+          let attack = Corpus.Fig12.attack in
+          List.iter
+            (fun (_, program) ->
+              let safe_ids =
+                Analysis.Fixpoint.safe_sink_ids
+                  (Analysis.Fixpoint.analyze ~attack program)
+              in
+              let { Webapp.Symexec.candidates; _ } =
+                Webapp.Symexec.analyze ~max_paths:256 ~attack program
+              in
+              List.iter
+                (fun q ->
+                  if not (List.mem q.Webapp.Symexec.sink_id safe_ids) then
+                    ignore (Webapp.Symexec.solve q))
+                candidates)
+            (Corpus.Fig11.generate app))
+
+let profile_files path () =
+  let files =
+    if Sys.is_directory path then
+      Sys.readdir path |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".dprle")
+      |> List.sort compare
+      |> List.map (Filename.concat path)
+    else [ path ]
+  in
+  List.iter
+    (fun file ->
+      match Dprle.Sysparse.parse_file file with
+      | Error e -> Fmt.epr "warning: %s: %a@." file Dprle.Sysparse.pp_error e
+      | Ok system ->
+          ignore (Dprle.Solver.run Dprle.Solver.Config.default system))
+    files
+
+let profile_cmd target corpus top metrics events no_cache verbose =
+  setup_logs verbose;
+  if no_cache then Automata.Store.set_enabled false;
+  with_observability ~metrics ~events @@ fun () ->
+  let workload =
+    match (corpus, target) with
+    | Some name, _ -> profile_corpus name
+    | None, Some path when Sys.file_exists path -> Ok (profile_files path)
+    | None, Some path -> Error (Fmt.str "%s: no such file or directory" path)
+    | None, None -> profile_corpus "eve"
+  in
+  match workload with
+  | Error msg ->
+      Fmt.epr "error: %s@." msg;
+      2
+  | Ok run ->
+      let before = Snapshot.of_default () in
+      run ();
+      let diff = Snapshot.diff ~after:(Snapshot.of_default ()) ~before in
+      print_profile ~top diff;
+      0
+
 (* Batch mode: every .dprle file in a directory, fanned out over the
    engine's worker pool. Per-file results print in file-name order no
    matter how many workers ran, so the output is byte-identical for
    any --jobs value; timing goes to stderr. *)
 let batch_cmd dir jobs budget_ms budget_states max_solutions combination_limit
-    trace trace_tree no_cache verbose =
+    trace trace_tree no_cache metrics events verbose =
   setup_logs verbose;
   if no_cache then Automata.Store.set_enabled false;
+  with_observability ~metrics ~events @@ fun () ->
   if not (Sys.is_directory dir) then begin
     Fmt.epr "error: %s: not a directory@." dir;
     2
@@ -245,6 +436,25 @@ let batch_cmd dir jobs budget_ms budget_states max_solutions combination_limit
           | Engine.Failed msg ->
               incr failures;
               Fmt.pr "%s: internal failure: %s@." file msg)
+        files results;
+      List.iter2
+        (fun file (r : _ Engine.job_result) ->
+          let outcome =
+            match r.outcome with
+            | Engine.Done (`Sat _) -> "sat"
+            | Engine.Done (`Unsat _) -> "unsat"
+            | Engine.Done (`Parse_error _) -> "parse_error"
+            | Engine.Timeout -> "timeout"
+            | Engine.Budget_exceeded -> "budget_exceeded"
+            | Engine.Failed _ -> "failed"
+          in
+          Telemetry.Events.emit_global ~kind:"job"
+            [
+              ("file", Telemetry.Json.String file);
+              ("outcome", Telemetry.Json.String outcome);
+              ("worker", Telemetry.Json.Int r.worker);
+              ("elapsed_ns", Telemetry.Json.Int (Int64.to_int r.elapsed_ns));
+            ])
         files results;
       Fmt.pr "=== %d system(s): %d sat, %d unsat, %d parse error(s), %d over \
               budget, %d failure(s) ===@."
@@ -313,6 +523,22 @@ let no_cache_arg =
           "Disable the interned language store and all memoized automata \
            operations (cache ablation; identical output, more work).")
 
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Dump the final metrics registry snapshot to stderr on exit \
+           (deterministic sorted text; timers report call counts only).")
+
+let events_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "events" ] ~docv:"FILE"
+        ~doc:
+          "Append one JSONL event record per solve/job to $(docv) (schema \
+           dprle-events/1; the file survives crashes — each line is flushed).")
+
 let solve_term =
   let first =
     Arg.(value & flag & info [ "first" ] ~doc:"Stop at the first solution.")
@@ -340,7 +566,7 @@ let solve_term =
     const solve_cmd $ path_arg $ first $ max_solutions_arg
     $ combination_limit_arg $ budget_ms_arg $ budget_states_arg
     $ witnesses_only $ dot $ smtlib $ stats $ trace_arg $ trace_tree_arg
-    $ no_cache_arg $ verbose_arg)
+    $ no_cache_arg $ metrics_arg $ events_arg $ verbose_arg)
 
 let batch_term =
   let dir_arg =
@@ -359,6 +585,33 @@ let batch_term =
   Term.(
     const batch_cmd $ dir_arg $ jobs $ budget_ms_arg $ budget_states_arg
     $ max_solutions_arg $ combination_limit_arg $ trace_arg $ trace_tree_arg
+    $ no_cache_arg $ metrics_arg $ events_arg $ verbose_arg)
+
+let profile_term =
+  let target =
+    Arg.(
+      value & pos 0 (some string) None
+      & info [] ~docv:"PATH"
+          ~doc:
+            "A .dprle file or a directory of them; when omitted, \
+             $(b,--corpus) selects the workload (default: eve).")
+  in
+  let corpus =
+    Arg.(
+      value & opt (some string) None
+      & info [ "corpus" ] ~docv:"NAME"
+          ~doc:
+            "Profile a synthetic fig. 11 corpus application through the full \
+             pipeline: dataflow fixpoint, symbolic execution, and solves for \
+             the undischarged sinks.")
+  in
+  let top =
+    Arg.(
+      value & opt int 15
+      & info [ "top" ] ~docv:"N" ~doc:"Rows in the self-time table.")
+  in
+  Term.(
+    const profile_cmd $ target $ corpus $ top $ metrics_arg $ events_arg
     $ no_cache_arg $ verbose_arg)
 
 let solve_exits =
@@ -405,6 +658,20 @@ let lint_cmd_info =
        constant-only contradictions, unconstrained variables, coupled \
        CI-groups) without solving."
 
+let profile_exits =
+  [
+    Cmd.Exit.info 0 ~doc:"when the workload ran.";
+    Cmd.Exit.info 2 ~doc:"on an unknown corpus or missing $(i,PATH).";
+  ]
+  @ Cmd.Exit.defaults
+
+let profile_cmd_info =
+  Cmd.info "profile" ~exits:profile_exits
+    ~doc:
+      "Run a workload under cost accounting and print where the time went: \
+       the top ops by self time, the per-tier breakdown, and the store's \
+       cache-effectiveness ledger (net ns saved per memo table)."
+
 let batch_cmd_info =
   Cmd.info "batch" ~exits:batch_exits
     ~doc:
@@ -430,7 +697,8 @@ let () =
             Cmd.v check_cmd_info
               Term.(
                 const check_cmd $ path_arg $ budget_ms_arg $ budget_states_arg
-                $ no_cache_arg $ verbose_arg);
+                $ no_cache_arg $ metrics_arg $ events_arg $ verbose_arg);
             Cmd.v batch_cmd_info batch_term;
             Cmd.v lint_cmd_info Term.(const lint_cmd $ path_arg $ verbose_arg);
+            Cmd.v profile_cmd_info profile_term;
           ]))

@@ -64,6 +64,20 @@ let structural_verdict program q exploit_inputs =
    are reported [proved_safe_statically] and skipped by the
    path-sensitive pipeline — over all paths, loops included, so a
    truncated enumeration cannot weaken those verdicts. *)
+(* Observability plumbing shared with dprle: [--events FILE] installs
+   a process-global JSONL sink (mutex-protected, so directory-scan
+   workers can emit concurrently), [--metrics] dumps the final registry
+   snapshot to stderr. Both leave stdout untouched, preserving the
+   byte-identical-for-any---jobs guarantee. *)
+let with_observability ~metrics ~events f =
+  Telemetry.Events.with_sink events @@ fun () ->
+  Fun.protect
+    ~finally:(fun () ->
+      if metrics then
+        Fmt.epr "%a" Telemetry.Metrics.Snapshot.pp
+          (Telemetry.Metrics.Snapshot.of_default ()))
+    f
+
 let check_one ~ppf ~err path attack all structural max_paths static_prune config
     =
   match read_program path with
@@ -119,6 +133,21 @@ let check_one ~ppf ~err path attack all structural max_paths static_prune config
          List.iter
            (fun q ->
              let verdict = Webapp.Symexec.solve ~config q in
+             Telemetry.Events.emit_global ~kind:"sink"
+               [
+                 ("file", Telemetry.Json.String path);
+                 ("path", Telemetry.Json.Int q.Webapp.Symexec.path_id);
+                 ("sink", Telemetry.Json.Int q.Webapp.Symexec.sink_index);
+                 ( "outcome",
+                   Telemetry.Json.String
+                     (match
+                        ( verdict.Webapp.Symexec.budget,
+                          verdict.Webapp.Symexec.assignment )
+                      with
+                     | Webapp.Symexec.Budget_exceeded _, _ -> "budget_exceeded"
+                     | _, Some _ -> "vulnerable"
+                     | _, None -> "no_exploit") );
+               ];
              (match verdict.Webapp.Symexec.budget with
              | Webapp.Symexec.Within_budget -> ()
              | Webapp.Symexec.Budget_exceeded stop ->
@@ -171,16 +200,28 @@ let check_one ~ppf ~err path attack all structural max_paths static_prune config
                  if not all then raise Exit)
            candidates
        with Exit -> ());
-      if !vulnerable > 0 then 0
-      else begin
-        if paths_truncated && unpruned_sinks > 0 then
-          Fmt.pf ppf
-            "warning: path enumeration truncated at --max-paths=%d; %d \
-             sink(s) not statically proved may have unexplored paths@."
-            max_paths unpruned_sinks;
-        Fmt.pf ppf "no exploitable path found@.";
-        if !over_budget > 0 then 4 else 1
-      end
+      let code =
+        if !vulnerable > 0 then 0
+        else begin
+          if paths_truncated && unpruned_sinks > 0 then
+            Fmt.pf ppf
+              "warning: path enumeration truncated at --max-paths=%d; %d \
+               sink(s) not statically proved may have unexplored paths@."
+              max_paths unpruned_sinks;
+          Fmt.pf ppf "no exploitable path found@.";
+          if !over_budget > 0 then 4 else 1
+        end
+      in
+      Telemetry.Events.emit_global ~kind:"file"
+        [
+          ("file", Telemetry.Json.String path);
+          ("code", Telemetry.Json.Int code);
+          ("candidates", Telemetry.Json.Int (List.length candidates));
+          ("pruned_statically", Telemetry.Json.Int (List.length safe_ids));
+          ("vulnerable", Telemetry.Json.Int !vulnerable);
+          ("over_budget", Telemetry.Json.Int !over_budget);
+        ];
+      code
 
 (* Directory mode: scan every .mphp file over the engine's worker
    pool, then print the per-app summary the paper's Fig. 11
@@ -224,6 +265,23 @@ let check_dir dir attack structural max_paths static_prune config jobs =
             Fmt.pr "%s: %a@.@." file
               (Engine.pp_outcome (fun ppf _ -> Fmt.string ppf ""))
               other)
+      files results;
+    List.iter2
+      (fun file (r : _ Engine.job_result) ->
+        let outcome =
+          match r.outcome with
+          | Engine.Done (_, code) -> string_of_int code
+          | Engine.Failed _ -> "failed"
+          | Engine.Timeout -> "timeout"
+          | Engine.Budget_exceeded -> "budget_exceeded"
+        in
+        Telemetry.Events.emit_global ~kind:"job"
+          [
+            ("file", Telemetry.Json.String file);
+            ("code", Telemetry.Json.String outcome);
+            ("worker", Telemetry.Json.Int r.worker);
+            ("elapsed_ns", Telemetry.Json.Int (Int64.to_int r.elapsed_ns));
+          ])
       files results;
     Fmt.pr "=== %s: %d files scanned, %d vulnerable ===@." dir
       (List.length files)
@@ -283,7 +341,7 @@ let with_trace ~trace ~trace_tree f =
   end
 
 let check_cmd path attack all structural max_paths static_prune jobs budget_ms
-    budget_states trace trace_tree no_cache verbose =
+    budget_states trace trace_tree no_cache metrics events verbose =
   setup_logs verbose;
   if no_cache then Automata.Store.set_enabled false;
   let config =
@@ -291,6 +349,7 @@ let check_cmd path attack all structural max_paths static_prune jobs budget_ms
       ~budget:(Automata.Budget.make ?wall_ms:budget_ms ?max_states:budget_states ())
       ()
   in
+  with_observability ~metrics ~events @@ fun () ->
   with_trace ~trace ~trace_tree @@ fun () ->
   if Sys.is_directory path then
     check_dir path attack structural max_paths static_prune config jobs
@@ -367,6 +426,23 @@ let () =
             "Disable the interned language store and all memoized automata \
              operations (cache ablation; identical output, more work).")
   in
+  let metrics_arg =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Dump the final metrics registry snapshot to stderr on exit \
+             (deterministic sorted text; timers report call counts only).")
+  in
+  let events_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "events" ] ~docv:"FILE"
+          ~doc:
+            "Append one JSONL event record per file/sink/job to $(docv) \
+             (schema dprle-events/1; each line is flushed, so a crash keeps \
+             everything emitted so far).")
+  in
   let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.") in
   let jobs_arg =
     Arg.(
@@ -399,7 +475,7 @@ let () =
       const check_cmd $ path_arg $ attack_arg $ all_arg $ structural_arg
       $ max_paths_arg $ static_prune_arg $ jobs_arg $ budget_ms_arg
       $ budget_states_arg $ trace_arg $ trace_tree_arg $ no_cache_arg
-      $ verbose_arg)
+      $ metrics_arg $ events_arg $ verbose_arg)
   in
   let exits =
     [

@@ -3,6 +3,8 @@ module Metrics = Telemetry.Metrics
 module Span = Telemetry.Span
 
 let c_iterations = Metrics.Counter.make "analysis.fixpoint.iterations"
+let t_fixpoint = Metrics.Timer.make "analysis.fixpoint"
+let t_iteration = Metrics.Timer.make "analysis.fixpoint.iteration"
 let c_widen = Metrics.Counter.make "analysis.widen.count"
 let c_prune_hit = Metrics.Counter.make "analysis.prune.hit"
 let c_prune_miss = Metrics.Counter.make "analysis.prune.miss"
@@ -42,6 +44,7 @@ let analyze ?(widen_states = 64) ?(widen_delay = 3) ~attack program =
         ("sinks", `Int cfg.num_sinks);
       ]
   @@ fun () ->
+  Metrics.Timer.time t_fixpoint @@ fun () ->
   let attack = Store.intern attack in
   let n = Cfg.num_blocks cfg in
   (* abstract state at each block's entry; None = not (yet) reachable *)
@@ -60,6 +63,7 @@ let analyze ?(widen_states = 64) ?(widen_delay = 3) ~attack program =
   let iterations = ref 0 in
   let widenings = ref 0 in
   while not (Queue.is_empty work) do
+    Metrics.Timer.time t_iteration @@ fun () ->
     Automata.Budget.tick ();
     let b = Queue.pop work in
     in_queue.(b) <- false;

@@ -34,7 +34,10 @@ let merge_edges edges =
     edges;
   Hashtbl.fold (fun q cs acc -> (cs, q) :: acc) tbl []
 
-let of_nfa (m : Nfa.t) =
+let t_determinize = Telemetry.Metrics.Timer.make "automata.dfa.determinize"
+let t_minimize = Telemetry.Metrics.Timer.make "automata.dfa.minimize"
+
+let of_nfa_untimed (m : Nfa.t) =
   let module SS = Nfa.StateSet in
   let key set = SS.elements set in
   let table : (Nfa.state list, state) Hashtbl.t = Hashtbl.create 64 in
@@ -78,6 +81,8 @@ let of_nfa (m : Nfa.t) =
   let finals_arr = Array.make !count false in
   List.iter (fun q -> finals_arr.(q) <- true) !finals;
   { n = !count; start = start_q; finals = finals_arr; trans }
+
+let of_nfa m = Telemetry.Metrics.Timer.time t_determinize (fun () -> of_nfa_untimed m)
 
 let to_nfa d =
   let b = Nfa.Builder.create () in
@@ -214,7 +219,7 @@ let is_empty_lang d =
 (* Moore partition refinement over the completed machine. The
    transition alphabet is refined globally into blocks so each state's
    behaviour is a finite signature of block→class entries. *)
-let minimize d0 =
+let minimize_untimed d0 =
   let d = complete (trim d0) in
   let blocks = ref [] in
   Array.iter
@@ -275,6 +280,8 @@ let minimize d0 =
     end
   done;
   trim { n = k; start = cls.(d.start); finals; trans }
+
+let minimize d = Telemetry.Metrics.Timer.time t_minimize (fun () -> minimize_untimed d)
 
 (* Determinization of the reversed machine, directly on DFA states
    (predecessor subset construction). No ε-edges are introduced, so

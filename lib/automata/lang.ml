@@ -4,6 +4,12 @@
    small prefix of it. *)
 let h_subset_visited = Telemetry.Metrics.Histogram.make "automata.subset.visited"
 
+let t_counterexample =
+  Telemetry.Metrics.Timer.make "automata.lang.counterexample"
+
+let t_subset = Telemetry.Metrics.Timer.make "automata.lang.subset"
+let t_equal = Telemetry.Metrics.Timer.make "automata.lang.equal"
+
 module SS = Nfa.StateSet
 
 (* --------------------------------------------------------------- *)
@@ -32,7 +38,7 @@ let counterexample_reference a b =
    the first counterexample instead of materializing either
    determinization. *)
 
-let counterexample a b =
+let counterexample_untimed a b =
   let visited : (int * int list, unit) Hashtbl.t = Hashtbl.create 64 in
   let worklist = Queue.create () in
   let count = ref 0 in
@@ -92,9 +98,16 @@ let counterexample a b =
   Telemetry.Metrics.Histogram.observe h_subset_visited (float_of_int !count);
   Option.map (fun chars -> String.init (List.length chars) (List.nth chars)) !result
 
-let subset a b = Option.is_none (counterexample a b)
+let counterexample a b =
+  Telemetry.Metrics.Timer.time t_counterexample (fun () ->
+      counterexample_untimed a b)
 
-let equal a b = subset a b && subset b a
+let subset a b =
+  Telemetry.Metrics.Timer.time t_subset (fun () ->
+      Option.is_none (counterexample a b))
+
+let equal a b =
+  Telemetry.Metrics.Timer.time t_equal (fun () -> subset a b && subset b a)
 
 let is_empty a = Nfa.is_empty_lang a
 

@@ -5,6 +5,12 @@
 let h_concat_states = Telemetry.Metrics.Histogram.make "automata.concat.states"
 let h_product_states = Telemetry.Metrics.Histogram.make "automata.product.states"
 
+(* Construction-cost timers: the ledger and `dprle profile` attribute
+   solver time to these kernels. *)
+let t_concat = Telemetry.Metrics.Timer.make "automata.ops.concat"
+let t_intersect = Telemetry.Metrics.Timer.make "automata.ops.intersect"
+let t_repeat = Telemetry.Metrics.Timer.make "automata.ops.repeat"
+
 type concat_result = {
   machine : Nfa.t;
   left_embed : Nfa.state -> Nfa.state;
@@ -12,7 +18,7 @@ type concat_result = {
   bridge : Nfa.state * Nfa.state;
 }
 
-let concat m1 m2 =
+let concat_untimed m1 m2 =
   Stats.count_concat ();
   Stats.visit_states (Nfa.num_states m1 + Nfa.num_states m2);
   Telemetry.Metrics.Histogram.observe h_concat_states
@@ -35,6 +41,7 @@ let concat m1 m2 =
     bridge = (f1, s2);
   }
 
+let concat m1 m2 = Telemetry.Metrics.Timer.time t_concat (fun () -> concat_untimed m1 m2)
 let concat_lang m1 m2 = (concat m1 m2).machine
 
 type product_result = {
@@ -43,7 +50,7 @@ type product_result = {
   state_of_pair : Nfa.state * Nfa.state -> Nfa.state option;
 }
 
-let intersect m1 m2 =
+let intersect_untimed m1 m2 =
   Stats.count_product ();
   Telemetry.Metrics.Histogram.observe h_product_states
     ~labels:[ ("dir", "in") ]
@@ -164,6 +171,9 @@ let intersect m1 m2 =
     state_of_pair = (fun pair -> Hashtbl.find_opt table pair);
   }
 
+let intersect m1 m2 =
+  Telemetry.Metrics.Timer.time t_intersect (fun () -> intersect_untimed m1 m2)
+
 (* The original pairwise-intersection product, kept as the oracle for
    the randomized cross-check suite ([test/test_crosscheck.ml]): the
    minterm version above must produce a structurally identical
@@ -256,7 +266,7 @@ let plus m = concat_lang m (star m)
 
 let opt m = union_lang m Nfa.epsilon_lang
 
-let repeat m ~min_count ~max_count =
+let repeat_untimed m ~min_count ~max_count =
   if min_count < 0 then invalid_arg "Ops.repeat: negative min";
   (match max_count with
   | Some mx when mx < min_count -> invalid_arg "Ops.repeat: max < min"
@@ -292,6 +302,10 @@ let repeat m ~min_count ~max_count =
         cur := mf
       done);
   Nfa.Builder.finish b ~start ~final
+
+let repeat m ~min_count ~max_count =
+  Telemetry.Metrics.Timer.time t_repeat (fun () ->
+      repeat_untimed m ~min_count ~max_count)
 
 (* The original quadratic construction, retained as the language
    oracle for the cross-check suite. *)

@@ -14,6 +14,13 @@ let opcache_miss = Metrics.Counter.make "store.opcache.miss"
 let opcache_evict = Metrics.Counter.make "store.opcache.evict"
 let machine_states = Metrics.Histogram.make "store.machine.states"
 
+(* The ledger's raw material: per op, where the cache spends ([key] =
+   keying/lookup, paid on hit and miss alike) and what a hit avoids
+   ([miss] = the compute the cache would have skipped). [Ledger] below
+   derives net savings from these plus the hit/miss counters. *)
+let ledger_key = Metrics.Timer.make "store.ledger.key"
+let ledger_miss = Metrics.Timer.make "store.ledger.miss"
+
 (* Atomic so an engine worker spawned after [--no-cache] reliably
    observes the ablation flag; it is only ever written from the main
    domain (CLI setup, bench arms). *)
@@ -140,11 +147,19 @@ let fresh_handle m =
     empty_memo = None;
   }
 
+(* Interning pays the canonical key on {e every} call — that
+   serialization is the "key-hash tax" the cache-effectiveness ledger
+   prices, because a hit saves almost nothing here (a handle
+   allocation) while the key cost scales with machine size. *)
 let intern m =
   if not (enabled ()) then fresh_handle m
   else
     let table = intern_table () in
-    let key = canonical_key m in
+    let key =
+      Metrics.Timer.time ledger_key
+        ~labels:[ ("op", "intern") ]
+        (fun () -> canonical_key m)
+    in
     match Hashtbl.find_opt table key with
     | Some h ->
         Metrics.Counter.incr intern_hit 1;
@@ -153,7 +168,11 @@ let intern m =
         Metrics.Counter.incr intern_miss 1;
         Metrics.Histogram.observe machine_states
           (float_of_int (Nfa.num_states m));
-        let h = fresh_handle m in
+        let h =
+          Metrics.Timer.time ledger_miss
+            ~labels:[ ("op", "intern") ]
+            (fun () -> fresh_handle m)
+        in
         Hashtbl.replace table key h;
         h
 
@@ -265,14 +284,19 @@ module Memo = struct
     else begin
       let s = Domain.DLS.get t.key in
       s.tick <- s.tick + 1;
-      match Hashtbl.find_opt s.table key with
+      let labels = [ ("op", t.op) ] in
+      let found =
+        Metrics.Timer.time ledger_key ~labels (fun () ->
+            Hashtbl.find_opt s.table key)
+      in
+      match found with
       | Some e ->
           e.stamp <- s.tick;
-          Metrics.Counter.incr ~labels:[ ("op", t.op) ] opcache_hit 1;
+          Metrics.Counter.incr ~labels opcache_hit 1;
           e.value
       | None ->
-          Metrics.Counter.incr ~labels:[ ("op", t.op) ] opcache_miss 1;
-          let v = f () in
+          Metrics.Counter.incr ~labels opcache_miss 1;
+          let v = Metrics.Timer.time ledger_miss ~labels f in
           if Hashtbl.length s.table >= !capacity then evict_half t.op s;
           Hashtbl.replace s.table key { value = v; stamp = s.tick };
           v
@@ -305,6 +329,106 @@ let counterexample h1 h2 =
 
 let subset h1 h2 = counterexample h1 h2 = None
 let equal h1 h2 = subset h1 h2 && subset h2 h1
+
+(* ------------------------------------------------------------------ *)
+(* Cache-effectiveness ledger *)
+
+module Ledger = struct
+  module Snapshot = Metrics.Snapshot
+
+  type row = {
+    op : string;
+    hits : int;
+    misses : int;
+    key_ns : int64;
+    miss_ns : int64;
+    avg_miss_ns : float;
+    net_saved_ns : float;
+  }
+
+  (* One row per op seen in the snapshot: the memo tables (from the
+     [store.opcache.*] counters) plus the intern table itself. The
+     formula prices a cache by what its hits actually avoided (the
+     average observed miss cost) minus what every caller paid to ask
+     (total keying/lookup time) — a cache whose net is negative costs
+     more than it saves on this workload. *)
+  let of_snapshot snap =
+    let ops = Hashtbl.create 8 in
+    let note_op labels =
+      match List.assoc_opt "op" labels with
+      (* intern tracks hits in its own counters, not the per-memo ones;
+         it gets a dedicated row below rather than a generic one here. *)
+      | Some "intern" | None -> ()
+      | Some op -> Hashtbl.replace ops op ()
+    in
+    List.iter
+      (fun (name, labels, _) ->
+        if name = "store.opcache.hit" || name = "store.opcache.miss" then
+          note_op labels)
+      (Snapshot.counters snap);
+    List.iter
+      (fun (name, labels, _) ->
+        if name = "store.ledger.key" || name = "store.ledger.miss" then
+          note_op labels)
+      (Snapshot.timers snap);
+    let timer name op =
+      match Snapshot.timer_stat snap ~labels:[ ("op", op) ] name with
+      | Some s -> s.Snapshot.total_ns
+      | None -> 0L
+    in
+    let row op ~hits ~misses =
+      let key_ns = timer "store.ledger.key" op in
+      let miss_ns = timer "store.ledger.miss" op in
+      let avg_miss_ns =
+        if misses = 0 then 0.
+        else Int64.to_float miss_ns /. float_of_int misses
+      in
+      {
+        op;
+        hits;
+        misses;
+        key_ns;
+        miss_ns;
+        avg_miss_ns;
+        net_saved_ns = (float_of_int hits *. avg_miss_ns) -. Int64.to_float key_ns;
+      }
+    in
+    let memo_rows =
+      Hashtbl.fold
+        (fun op () acc ->
+          let c name = Snapshot.counter_value snap ~labels:[ ("op", op) ] name in
+          row op ~hits:(c "store.opcache.hit") ~misses:(c "store.opcache.miss")
+          :: acc)
+        ops []
+    in
+    let all =
+      if
+        Snapshot.counter_value snap "store.intern.hit" > 0
+        || Snapshot.counter_value snap "store.intern.miss" > 0
+      then
+        row "intern"
+          ~hits:(Snapshot.counter_value snap "store.intern.hit")
+          ~misses:(Snapshot.counter_value snap "store.intern.miss")
+        :: memo_rows
+      else memo_rows
+    in
+    (* worst offenders first: most negative net savings at the top *)
+    List.sort (fun a b -> compare a.net_saved_ns b.net_saved_ns) all
+
+  let ms ns = ns /. 1e6
+
+  let pp_row ppf r =
+    Fmt.pf ppf "%-18s %8d %8d %10.3f %12.1f %12.3f %12.3f" r.op r.hits r.misses
+      (ms (Int64.to_float r.key_ns))
+      r.avg_miss_ns
+      (ms (Int64.to_float r.miss_ns))
+      (ms r.net_saved_ns)
+
+  let pp ppf rows =
+    Fmt.pf ppf "%-18s %8s %8s %10s %12s %12s %12s@." "op" "hits" "misses"
+      "key(ms)" "avg_miss(ns)" "miss(ms)" "net_saved(ms)";
+    List.iter (fun r -> Fmt.pf ppf "%a@." pp_row r) rows
+end
 
 (* ------------------------------------------------------------------ *)
 (* Lifecycle *)

@@ -114,6 +114,37 @@ module Memo : sig
   val find_or_compute : 'v t -> key:int list -> (unit -> 'v) -> 'v
 end
 
+(** {1 Cache-effectiveness ledger}
+
+    Derived view over a metrics snapshot: per op, what the cache's
+    hits actually avoided versus what every caller paid to ask. The
+    raw material is recorded by the store itself — the
+    [store.ledger.key{op=...}] timer brackets keying/lookup work
+    (canonical-key serialization for [intern], table lookup for memo
+    ops; paid on hit and miss alike) and [store.ledger.miss{op=...}]
+    brackets the computation a hit would have skipped. *)
+
+module Ledger : sig
+  type row = {
+    op : string;
+    hits : int;
+    misses : int;
+    key_ns : int64;  (** total keying/lookup time *)
+    miss_ns : int64;  (** total compute time of misses *)
+    avg_miss_ns : float;  (** [miss_ns / misses]; 0 when no misses *)
+    net_saved_ns : float;
+        (** [hits·avg_miss_ns − key_ns]: negative means the cache
+            costs more than it saves on this workload *)
+  }
+
+  (** One row per op present in the snapshot ([store.opcache.*] memo
+      tables plus ["intern"]), most negative [net_saved_ns] first. *)
+  val of_snapshot : Telemetry.Metrics.Snapshot.t -> row list
+
+  (** Fixed-width table, header plus one line per row. *)
+  val pp : row list Fmt.t
+end
+
 (** {1 Lifecycle} *)
 
 (** [true] iff interning and caching are active (the default). *)

@@ -15,6 +15,11 @@ let c_solves = Telemetry.Metrics.Counter.make "solver.solves"
 let h_group_combinations =
   Telemetry.Metrics.Histogram.make "solver.group_combinations"
 
+(* One timer series per solve phase, nested like the spans, so
+   `dprle profile` can apportion solver self-time without tracing. *)
+let t_phase = Telemetry.Metrics.Timer.make "solver.phase"
+let timed name f = Telemetry.Metrics.Timer.time t_phase ~labels:[ ("phase", name) ] f
+
 (* Structured unsatisfiability. Every constructor renders to exactly
    the diagnostic string the pre-redesign [Unsat of string] carried,
    so CLI output (and the cram tests pinning it) is unchanged. *)
@@ -452,6 +457,7 @@ let solve_group ~combination_limit ~raw_cap ~verify (roots : record list) base
     (members : NSet.t) =
   Span.with_span ~name:"gci" ~attrs:[ ("group_size", `Int (NSet.cardinal members)) ]
   @@ fun () ->
+  timed "gci" @@ fun () ->
   (* all concatenations of this group, with their candidates *)
   let cut_menu = List.concat_map (fun r -> r.cuts) roots in
   Span.add_attr "concats" (`Int (List.length cut_menu));
@@ -555,16 +561,22 @@ let rec expr_variables acc = function
 
 let solve_graph ~max_solutions ~combination_limit (g : Depgraph.t) =
   Span.with_span ~name:"solve" @@ fun () ->
+  timed "solve" @@ fun () ->
   Telemetry.Metrics.Counter.incr c_solves 1;
   try
     let g =
       Depgraph.of_system
-        (Span.with_span ~name:"preprocess" (fun () -> preprocess g.system))
+        (Span.with_span ~name:"preprocess" (fun () ->
+             timed "preprocess" (fun () -> preprocess g.system)))
     in
     let raw_cap = max 64 (max_solutions * 4) in
-    let base = Span.with_span ~name:"reduce" (fun () -> base_languages g) in
+    let base =
+      Span.with_span ~name:"reduce" (fun () ->
+          timed "reduce" (fun () -> base_languages g))
+    in
     let roots =
-      Span.with_span ~name:"build-machines" (fun () -> build_machines g base)
+      Span.with_span ~name:"build-machines" (fun () ->
+          timed "build-machines" (fun () -> build_machines g base))
     in
     let groups = Depgraph.ci_groups g in
     let group_solutions =
@@ -615,6 +627,7 @@ let solve_graph ~max_solutions ~combination_limit (g : Depgraph.t) =
       Span.with_span ~name:"combine"
         ~attrs:[ ("groups", `Int (List.length group_solutions)) ]
       @@ fun () ->
+      timed "combine" @@ fun () ->
       List.fold_left
         (fun acc sols ->
           let merged =
@@ -643,6 +656,7 @@ let solve_graph ~max_solutions ~combination_limit (g : Depgraph.t) =
       Span.with_span ~name:"maximize"
         ~attrs:[ ("disjuncts_in", `Int (List.length combined)) ]
       @@ fun () ->
+      timed "maximize" @@ fun () ->
       Assignment.prune_subsumed
         (List.map (Residual.maximize g.system) combined)
     in

@@ -1,0 +1,51 @@
+(** Comparator over two bench snapshot documents (BENCH_dprle.json),
+    backing [bench --diff OLD NEW].
+
+    Deterministic content — the schema string, the experiment set,
+    per-experiment fields, integer counters, histogram counts and
+    bucket occupancies, timer call counts — is hard-gated: any drift
+    is a behavior change. Wall-clock [seconds*] fields are flagged
+    only past a ratio threshold plus an absolute noise floor, and can
+    be demoted to warnings (CI runs wall-warn-only). Timer
+    nanoseconds, timestamps, and derived floats are never gated.
+    Experiments with inherently nondeterministic counters (bechamel,
+    the parallel engine arm) are skipped by default. *)
+
+type severity = Hard | Warn
+
+type finding = {
+  experiment : string;
+  field : string;
+  detail : string;
+  severity : severity;
+}
+
+type report = {
+  findings : finding list;
+  compared : int;  (** experiments actually diffed *)
+  skipped : string list;
+}
+
+val default_skip : string list
+
+(** [run ~old_doc ~new_doc ()] compares two parsed bench documents.
+    [threshold] (default 1.5) is the wall-time regression ratio;
+    [wall_warn_only] demotes wall findings to warnings; [skip] names
+    additional experiments to ignore. [Error _] when either document
+    lacks an [experiments] array. *)
+val run :
+  ?threshold:float ->
+  ?wall_warn_only:bool ->
+  ?skip:string list ->
+  old_doc:Json.t ->
+  new_doc:Json.t ->
+  unit ->
+  (report, string) result
+
+val hard_count : report -> int
+val warn_count : report -> int
+
+(** Experiments with at least one hard finding, sorted. *)
+val regressed_experiments : report -> string list
+
+val pp_report : report Fmt.t

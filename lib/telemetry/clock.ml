@@ -1,10 +1,12 @@
-(* The default source is wall-clock [Unix.gettimeofday]; a
-   monotonicity clamp below makes the reported time never run
-   backwards, which is all the span tree needs (NTP steps would
-   otherwise produce negative durations). Tests install a
-   deterministic counter via [set_source]. *)
+(* The default source is the monotonic clock (CLOCK_MONOTONIC via the
+   bechamel stub): timers and span durations must not jump when NTP
+   steps the wall clock. A monotonicity clamp below additionally makes
+   the reported time never run backwards across [set_source] games —
+   which is all the span tree needs. Tests install a deterministic
+   counter via [set_source]; wall-clock timestamps (run metadata, file
+   names) stay with [Unix.time] at their call sites. *)
 
-let default_source () = Unix.gettimeofday ()
+let default_source () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
 
 (* [source] is written only before worker domains spawn (tests and
    CLIs configure clocks up front), so a plain ref is fine; the clamp
@@ -20,7 +22,7 @@ let now_ns () =
   clamped
 
 (* Installing a source resets the clamp: a deterministic test clock
-   would otherwise be stuck below a previously-observed wall-clock
+   would otherwise be stuck below a previously-observed monotonic
    value. *)
 let set_source f =
   source := f;

@@ -1,8 +1,11 @@
-(** Nanosecond timestamp source for spans.
+(** Nanosecond timestamp source for spans and timers.
 
-    Backed by wall-clock time with a monotonicity clamp: successive
-    calls never decrease, so span durations are always ≥ 0 even
-    across clock steps. *)
+    Backed by the {e monotonic} clock ([CLOCK_MONOTONIC]): durations
+    are immune to NTP steps and wall-clock adjustments. A monotonicity
+    clamp additionally guarantees successive calls never decrease even
+    under a misbehaving replacement source, so span and timer
+    durations are always ≥ 0. Timestamps are relative to an arbitrary
+    epoch (boot time) — use [Unix.time] for calendar timestamps. *)
 
 (** Current timestamp in nanoseconds. Monotone non-decreasing. *)
 val now_ns : unit -> int64
@@ -11,5 +14,5 @@ val now_ns : unit -> int64
     deterministic tests. The monotonicity clamp still applies. *)
 val set_source : (unit -> float) -> unit
 
-(** Restore the default wall-clock source. *)
+(** Restore the default monotonic source. *)
 val use_default_source : unit -> unit

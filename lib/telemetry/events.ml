@@ -1,0 +1,48 @@
+(* Append-only JSONL event log. One JSON object per line, flushed per
+   event under a mutex: webcheck's worker domains emit sink records
+   concurrently, and a crash mid-run must leave every already-emitted
+   line intact on disk (the flush-per-line discipline plus the
+   [with_sink] Fun.protect close give that). *)
+
+let schema = "dprle-events/1"
+
+type t = { oc : out_channel; mutex : Mutex.t; seq : int Atomic.t }
+
+let create oc = { oc; mutex = Mutex.create (); seq = Atomic.make 0 }
+let open_file path = create (open_out path)
+
+let emit t ~kind fields =
+  let seq = Atomic.fetch_and_add t.seq 1 in
+  let line =
+    Json.to_string
+      (Json.Obj
+         (("schema", Json.String schema)
+         :: ("event", Json.String kind)
+         :: ("seq", Json.Int seq)
+         :: fields))
+  in
+  Mutex.protect t.mutex (fun () ->
+      output_string t.oc line;
+      output_char t.oc '\n';
+      flush t.oc)
+
+let close t = Mutex.protect t.mutex (fun () -> close_out t.oc)
+
+(* The global sink is set once by the CLI before any work (and before
+   worker domains spawn), so a plain ref is safe; emission itself is
+   mutex-guarded above. *)
+let global : t option ref = ref None
+let set_global sink = global := sink
+let emit_global ~kind fields = Option.iter (fun t -> emit t ~kind fields) !global
+
+let with_sink path f =
+  match path with
+  | None -> f ()
+  | Some path ->
+      let t = open_file path in
+      set_global (Some t);
+      Fun.protect
+        ~finally:(fun () ->
+          set_global None;
+          close t)
+        f

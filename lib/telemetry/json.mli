@@ -1,7 +1,7 @@
-(** Minimal JSON document builder — just enough for the Chrome
-    trace_event export and the bench snapshot files, with correct
-    string escaping and number formatting (NaN/∞ become [null]). No
-    parser: this repo only ever *emits* JSON. *)
+(** Minimal JSON document builder and reader — just enough for the
+    Chrome trace_event export, the bench snapshot files, and reading
+    those snapshots back for [bench --diff]. Correct string escaping
+    and number formatting (NaN/∞ become [null]). *)
 
 type t =
   | Null
@@ -16,3 +16,19 @@ type t =
 val to_string : t -> string
 
 val pp : t Fmt.t
+
+(** Parse a complete JSON document. Standard JSON, except non-ASCII
+    [\uXXXX] escapes decode to their literal escaped form (this repo
+    never emits them). *)
+val of_string : string -> (t, string) result
+
+(** Accessors for reading parsed documents; [None] on kind mismatch. *)
+
+val member : string -> t -> t option
+
+val to_list : t -> t list option
+
+(** Numeric value of an [Int] or [Float]. *)
+val to_number : t -> float option
+
+val to_str : t -> string option

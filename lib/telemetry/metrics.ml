@@ -7,12 +7,22 @@ let canon labels = List.sort (fun (a, _) (b, _) -> String.compare a b) labels
 type hdata = {
   mutable count : int;
   mutable sum : float;
+  mutable vmax : float; (* largest observed value; meaningful when count > 0 *)
   bucket_counts : int array; (* one per bound, plus overflow at the end *)
+}
+
+type tdata = {
+  mutable t_count : int;
+  mutable total_ns : int64;
+  mutable self_ns : int64; (* total minus time spent in nested timers *)
+  mutable max_ns : int64;
 }
 
 type metric =
   | C of (labels, int ref) Hashtbl.t
+  | G of (labels, int ref) Hashtbl.t
   | H of float array * (labels, hdata) Hashtbl.t
+  | T of (labels, tdata) Hashtbl.t
 
 type registry = (string, metric) Hashtbl.t
 
@@ -25,6 +35,13 @@ let create_registry () : registry = Hashtbl.create 32
    with [Snapshot.absorb] after the join. *)
 let default_key : registry Domain.DLS.key = Domain.DLS.new_key create_registry
 let default () = Domain.DLS.get default_key
+
+(* Global kill switch for all cost accounting (timers and the store's
+   ledger clock reads). Written from the main domain before workers
+   spawn — bench flips it to price the instrumentation itself. *)
+let timing_flag = Atomic.make true
+let timing_enabled () = Atomic.get timing_flag
+let set_timing_enabled b = Atomic.set timing_flag b
 
 let register registry name build check =
   match Hashtbl.find_opt registry name with
@@ -45,9 +62,23 @@ let counter_table registry name =
     (fun () ->
       let table = Hashtbl.create 4 in
       (C table, table))
-    (function C table -> Some table | H _ -> None)
+    (function C table -> Some table | _ -> None)
 
-let counter_cell table labels =
+let gauge_table registry name =
+  register registry name
+    (fun () ->
+      let table = Hashtbl.create 4 in
+      (G table, table))
+    (function G table -> Some table | _ -> None)
+
+let timer_table registry name =
+  register registry name
+    (fun () ->
+      let table = Hashtbl.create 4 in
+      (T table, table))
+    (function T table -> Some table | _ -> None)
+
+let int_cell table labels =
   let labels = canon labels in
   match Hashtbl.find_opt table labels with
   | Some r -> r
@@ -56,12 +87,14 @@ let counter_cell table labels =
       Hashtbl.add table labels r;
       r
 
+let counter_cell = int_cell
+
 let histogram_table registry ~buckets name =
   register registry name
     (fun () ->
       let table = Hashtbl.create 4 in
       (H (buckets, table), (buckets, table)))
-    (function H (b, table) -> Some (b, table) | C _ -> None)
+    (function H (b, table) -> Some (b, table) | _ -> None)
 
 module Counter = struct
   (* A counter is a name plus (optionally) a pinned registry; its
@@ -84,6 +117,32 @@ module Counter = struct
     r := !r + n
 
   let value ?(labels = []) t = !(counter_cell (table t) labels)
+end
+
+module Gauge = struct
+  (* Last-value semantics: [set] overwrites, [add] adjusts. Unlike
+     counters a gauge may go down; snapshot diffs pass the current
+     value through unchanged and [absorb] keeps the maximum across
+     domains (the useful cross-worker reading for occupancy-style
+     gauges). *)
+  type t = { name : string; fixed : registry option }
+
+  let make ?registry name : t =
+    let reg = match registry with Some r -> r | None -> default () in
+    ignore (gauge_table reg name : (labels, int ref) Hashtbl.t);
+    { name; fixed = registry }
+
+  let table t =
+    let reg = match t.fixed with Some r -> r | None -> default () in
+    gauge_table reg t.name
+
+  let set ?(labels = []) t v = int_cell (table t) labels := v
+
+  let add ?(labels = []) t n =
+    let r = int_cell (table t) labels in
+    r := !r + n
+
+  let value ?(labels = []) t = !(int_cell (table t) labels)
 end
 
 module Histogram = struct
@@ -112,6 +171,7 @@ module Histogram = struct
           {
             count = 0;
             sum = 0.;
+            vmax = Float.neg_infinity;
             bucket_counts = Array.make (Array.length t.buckets + 1) 0;
           }
         in
@@ -122,34 +182,124 @@ module Histogram = struct
     let h = cell t labels in
     h.count <- h.count + 1;
     h.sum <- h.sum +. v;
+    if v > h.vmax then h.vmax <- v;
     let buckets = t.buckets in
     let rec slot i =
       if i >= Array.length buckets then i else if v <= buckets.(i) then i else slot (i + 1)
     in
     let i = slot 0 in
     h.bucket_counts.(i) <- h.bucket_counts.(i) + 1
+  end
+
+module Timer = struct
+  type t = { name : string; fixed : registry option }
+
+  let make ?registry name : t =
+    let reg = match registry with Some r -> r | None -> default () in
+    ignore (timer_table reg name : (labels, tdata) Hashtbl.t);
+    { name; fixed = registry }
+
+  let table t =
+    let reg = match t.fixed with Some r -> r | None -> default () in
+    timer_table reg t.name
+
+  let cell t labels =
+    let table = table t in
+    let labels = canon labels in
+    match Hashtbl.find_opt table labels with
+    | Some d -> d
+    | None ->
+        let d = { t_count = 0; total_ns = 0L; self_ns = 0L; max_ns = 0L } in
+        Hashtbl.add table labels d;
+        d
+
+  (* The open-timer stack, one per domain: each frame accumulates the
+     time of the timers nested inside it, so a closing timer can book
+     [elapsed - children] as self time. Like the span stack this makes
+     timers nestable and engine-worker-safe without synchronization. *)
+  let frames_key : int64 ref list ref Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> ref [])
+
+  let record cell elapsed ~self =
+    cell.t_count <- cell.t_count + 1;
+    cell.total_ns <- Int64.add cell.total_ns elapsed;
+    cell.self_ns <- Int64.add cell.self_ns self;
+    if Int64.compare elapsed cell.max_ns > 0 then cell.max_ns <- elapsed
+
+  let time ?(labels = []) t f =
+    if not (Atomic.get timing_flag) then f ()
+    else begin
+      let frames = Domain.DLS.get frames_key in
+      let child_acc = ref 0L in
+      frames := child_acc :: !frames;
+      let t0 = Clock.now_ns () in
+      let finally () =
+        let elapsed = Int64.sub (Clock.now_ns ()) t0 in
+        (frames :=
+           match !frames with
+           | top :: rest when top == child_acc -> rest
+           | other -> List.filter (fun r -> r != child_acc) other);
+        (match !frames with
+        | parent :: _ -> parent := Int64.add !parent elapsed
+        | [] -> ());
+        record (cell t labels) elapsed
+          ~self:(Int64.max 0L (Int64.sub elapsed !child_acc))
+      in
+      Fun.protect ~finally f
+    end
+
+  (* Record an externally-measured duration. It books as a leaf: full
+     duration as self time, and charged as child time to the innermost
+     open [time] frame so enclosing self times stay exclusive. *)
+  let observe_ns ?(labels = []) t ns =
+    if Atomic.get timing_flag then begin
+      (match !(Domain.DLS.get frames_key) with
+      | parent :: _ -> parent := Int64.add !parent ns
+      | [] -> ());
+      record (cell t labels) ns ~self:ns
+    end
+
+  let count ?(labels = []) t = (cell t labels).t_count
+  let total_ns ?(labels = []) t = (cell t labels).total_ns
 end
 
 module Snapshot = struct
   type histogram_stat = {
     count : int;
     sum : float;
+    max : float; (* largest observed value; [neg_infinity] when count = 0 *)
     buckets : (float * int) list; (* (upper bound, occupancy); +∞ last *)
+  }
+
+  type timer_stat = {
+    count : int;
+    total_ns : int64;
+    self_ns : int64;
+    max_ns : int64;
   }
 
   type t = {
     counters : ((string * labels) * int) list;
+    gauges : ((string * labels) * int) list;
     histograms : ((string * labels) * histogram_stat) list;
+    timers : ((string * labels) * timer_stat) list;
   }
 
   let take (registry : registry) =
-    let counters = ref [] and histograms = ref [] in
+    let counters = ref []
+    and gauges = ref []
+    and histograms = ref []
+    and timers = ref [] in
     Hashtbl.iter
       (fun name metric ->
         match metric with
         | C table ->
             Hashtbl.iter
               (fun labels r -> counters := ((name, labels), !r) :: !counters)
+              table
+        | G table ->
+            Hashtbl.iter
+              (fun labels r -> gauges := ((name, labels), !r) :: !gauges)
               table
         | H (bounds, table) ->
             Hashtbl.iter
@@ -162,13 +312,30 @@ module Snapshot = struct
                         h.bucket_counts.(i) ))
                 in
                 histograms :=
-                  ((name, labels), { count = h.count; sum = h.sum; buckets })
+                  ( (name, labels),
+                    { count = h.count; sum = h.sum; max = h.vmax; buckets } )
                   :: !histograms)
+              table
+        | T table ->
+            Hashtbl.iter
+              (fun labels d ->
+                timers :=
+                  ( (name, labels),
+                    {
+                      count = d.t_count;
+                      total_ns = d.total_ns;
+                      self_ns = d.self_ns;
+                      max_ns = d.max_ns;
+                    } )
+                  :: !timers)
               table)
       registry;
+    let by_key (a, _) (b, _) = compare a b in
     {
       counters = List.sort compare !counters;
-      histograms = List.sort (fun (a, _) (b, _) -> compare a b) !histograms;
+      gauges = List.sort compare !gauges;
+      histograms = List.sort by_key !histograms;
+      timers = List.sort by_key !timers;
     }
 
   let of_default () = take (default ())
@@ -181,6 +348,9 @@ module Snapshot = struct
           (key, v - prior))
         after.counters
     in
+    (* gauges are instantaneous readings: the diff of a region is the
+       value at its end, not a subtraction *)
+    let gauges = after.gauges in
     let histograms =
       List.map
         (fun ((key, h) : (string * labels) * histogram_stat) ->
@@ -191,6 +361,9 @@ module Snapshot = struct
                 {
                   count = h.count - prior.count;
                   sum = h.sum -. prior.sum;
+                  (* max of just the region is not recoverable from two
+                     cumulative readings; report the running max *)
+                  max = h.max;
                   buckets =
                     List.map2
                       (fun (bound, c) (_, c') -> (bound, c - c'))
@@ -198,13 +371,28 @@ module Snapshot = struct
                 } ))
         after.histograms
     in
-    { counters; histograms }
+    let timers =
+      List.map
+        (fun ((key, (t : timer_stat)) : (string * labels) * timer_stat) ->
+          match List.assoc_opt key before.timers with
+          | None -> (key, t)
+          | Some (prior : timer_stat) ->
+              ( key,
+                {
+                  count = t.count - prior.count;
+                  total_ns = Int64.sub t.total_ns prior.total_ns;
+                  self_ns = Int64.sub t.self_ns prior.self_ns;
+                  max_ns = t.max_ns (* running max, as for histograms *);
+                } ))
+        after.timers
+    in
+    { counters; gauges; histograms; timers }
 
   (* Fold a worker domain's snapshot into a live registry (the calling
-     domain's default unless pinned). Counter series add; histogram
-     series add pointwise when the bucket layouts agree (they do for
-     series produced by the same declaration) and fall back to
-     count/sum only otherwise. *)
+     domain's default unless pinned). Counter and timer series add;
+     gauges keep the maximum; histogram series add pointwise when the
+     bucket layouts agree (they do for series produced by the same
+     declaration) and fall back to count/sum only otherwise. *)
   let absorb ?registry t =
     let reg = match registry with Some r -> r | None -> default () in
     List.iter
@@ -214,6 +402,11 @@ module Snapshot = struct
           r := !r + v
         end)
       t.counters;
+    List.iter
+      (fun ((name, labels), v) ->
+        let r = int_cell (gauge_table reg name) labels in
+        if v > !r then r := v)
+      t.gauges;
     List.iter
       (fun ((name, labels), (h : histogram_stat)) ->
         if h.count <> 0 then begin
@@ -233,6 +426,7 @@ module Snapshot = struct
                   {
                     count = 0;
                     sum = 0.;
+                    vmax = Float.neg_infinity;
                     bucket_counts = Array.make (List.length h.buckets) 0;
                   }
                 in
@@ -241,56 +435,101 @@ module Snapshot = struct
           in
           cell.count <- cell.count + h.count;
           cell.sum <- cell.sum +. h.sum;
+          if h.max > cell.vmax then cell.vmax <- h.max;
           if List.length h.buckets = Array.length cell.bucket_counts then
             List.iteri
               (fun i (_, c) -> cell.bucket_counts.(i) <- cell.bucket_counts.(i) + c)
               h.buckets
         end)
-      t.histograms
+      t.histograms;
+    List.iter
+      (fun ((name, labels), (s : timer_stat)) ->
+        if s.count <> 0 then begin
+          let table = timer_table reg name in
+          let labels = canon labels in
+          let cell =
+            match Hashtbl.find_opt table labels with
+            | Some c -> c
+            | None ->
+                let c = { t_count = 0; total_ns = 0L; self_ns = 0L; max_ns = 0L } in
+                Hashtbl.add table labels c;
+                c
+          in
+          cell.t_count <- cell.t_count + s.count;
+          cell.total_ns <- Int64.add cell.total_ns s.total_ns;
+          cell.self_ns <- Int64.add cell.self_ns s.self_ns;
+          if Int64.compare s.max_ns cell.max_ns > 0 then cell.max_ns <- s.max_ns
+        end)
+      t.timers
 
   let counters t = List.map (fun ((name, labels), v) -> (name, labels, v)) t.counters
+  let gauges t = List.map (fun ((name, labels), v) -> (name, labels, v)) t.gauges
 
   let histograms t =
     List.map (fun ((name, labels), h) -> (name, labels, h)) t.histograms
 
+  let timers t = List.map (fun ((name, labels), s) -> (name, labels, s)) t.timers
+
   let counter_value ?(labels = []) t name =
     Option.value (List.assoc_opt (name, canon labels) t.counters) ~default:0
+
+  let timer_stat ?(labels = []) t name =
+    List.assoc_opt (name, canon labels) t.timers
 
   let labels_json labels = Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) labels)
 
   let to_json t =
-    let counter_json ((name, labels), v) =
+    let int_series_json ((name, labels), v) =
       Json.Obj
         [ ("name", Json.String name); ("labels", labels_json labels); ("value", Json.Int v) ]
     in
-    let histogram_json ((name, labels), h) =
+    let histogram_json ((name, labels), (h : histogram_stat)) =
+      Json.Obj
+        ([
+           ("name", Json.String name);
+           ("labels", labels_json labels);
+           ("count", Json.Int h.count);
+           ("sum", Json.Float h.sum);
+         ]
+        @ (if h.count > 0 then [ ("max", Json.Float h.max) ] else [])
+        @ [
+            ( "buckets",
+              Json.List
+                (List.filter_map
+                   (fun (bound, c) ->
+                     (* zero-count interior buckets are elided for
+                        size, but the +Inf overflow bucket is always
+                        explicit so tail drift is diffable *)
+                     if c = 0 && bound <> Float.infinity then None
+                     else
+                       Some
+                         (Json.Obj
+                            [
+                              ( "le",
+                                if bound = Float.infinity then Json.String "+Inf"
+                                else Json.Float bound );
+                              ("count", Json.Int c);
+                            ]))
+                   h.buckets) );
+          ])
+    in
+    let timer_json ((name, labels), (s : timer_stat)) =
       Json.Obj
         [
           ("name", Json.String name);
           ("labels", labels_json labels);
-          ("count", Json.Int h.count);
-          ("sum", Json.Float h.sum);
-          ( "buckets",
-            Json.List
-              (List.filter_map
-                 (fun (bound, c) ->
-                   if c = 0 then None
-                   else
-                     Some
-                       (Json.Obj
-                          [
-                            ( "le",
-                              if bound = Float.infinity then Json.String "+Inf"
-                              else Json.Float bound );
-                            ("count", Json.Int c);
-                          ]))
-                 h.buckets) );
+          ("count", Json.Int s.count);
+          ("total_ns", Json.Int (Int64.to_int s.total_ns));
+          ("self_ns", Json.Int (Int64.to_int s.self_ns));
+          ("max_ns", Json.Int (Int64.to_int s.max_ns));
         ]
     in
     Json.Obj
       [
-        ("counters", Json.List (List.map counter_json t.counters));
+        ("counters", Json.List (List.map int_series_json t.counters));
+        ("gauges", Json.List (List.map int_series_json t.gauges));
         ("histograms", Json.List (List.map histogram_json t.histograms));
+        ("timers", Json.List (List.map timer_json t.timers));
       ]
 
   let pp_labels ppf = function
@@ -300,12 +539,27 @@ module Snapshot = struct
           Fmt.(list ~sep:(any ",") (fun ppf (k, v) -> Fmt.pf ppf "%s=%s" k v))
           labels
 
+  (* Deterministic text dump: counts, sums, and maxima of the
+     deterministic series only. Timer durations are wall-clock noise
+     and deliberately print as call counts — `dprle profile` and the
+     JSON exports carry the nanoseconds. *)
   let pp ppf t =
     List.iter
       (fun ((name, labels), v) -> Fmt.pf ppf "%s%a = %d@." name pp_labels labels v)
       t.counters;
     List.iter
-      (fun ((name, labels), h) ->
-        Fmt.pf ppf "%s%a: count=%d sum=%g@." name pp_labels labels h.count h.sum)
-      t.histograms
+      (fun ((name, labels), v) ->
+        Fmt.pf ppf "%s%a = %d (gauge)@." name pp_labels labels v)
+      t.gauges;
+    List.iter
+      (fun ((name, labels), (h : histogram_stat)) ->
+        if h.count > 0 then
+          Fmt.pf ppf "%s%a: count=%d sum=%g max=%g@." name pp_labels labels h.count
+            h.sum h.max
+        else Fmt.pf ppf "%s%a: count=0@." name pp_labels labels)
+      t.histograms;
+    List.iter
+      (fun ((name, labels), (s : timer_stat)) ->
+        Fmt.pf ppf "%s%a: count=%d@." name pp_labels labels s.count)
+      t.timers
 end

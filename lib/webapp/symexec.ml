@@ -2,6 +2,9 @@ module Nfa = Automata.Nfa
 module Store = Automata.Store
 module System = Dprle.System
 
+let t_analyze = Telemetry.Metrics.Timer.make "symexec.analyze"
+let t_solve = Telemetry.Metrics.Timer.make "symexec.solve"
+
 (* Symbolic strings: concatenations of literals and input reads, each
    read carrying a chain of pending string transforms (outermost
    first): the value of [In (x, [f; g])] is [f(g(x))]. Every
@@ -219,6 +222,7 @@ let analyze ?(max_paths = 256) ?(max_unroll = 16) ~attack program =
   Telemetry.Span.with_span ~name:"symexec.analyze"
     ~attrs:[ ("max_paths", `Int max_paths); ("max_unroll", `Int max_unroll) ]
   @@ fun () ->
+  Telemetry.Metrics.Timer.time t_analyze @@ fun () ->
   (* one interned attack language for every sink on every path — and,
      in directory mode, for every file sharing the attack pattern *)
   let attack = Store.canon attack in
@@ -410,6 +414,7 @@ let solve ?(config = Dprle.Solver.Config.default) query =
         ("constraints", `Int query.constraint_count);
       ]
   @@ fun () ->
+  Telemetry.Metrics.Timer.time t_solve @@ fun () ->
   let safe =
     {
       assignment = None;

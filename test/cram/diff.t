@@ -1,0 +1,96 @@
+bench --diff compares two bench snapshot documents. Deterministic
+content — counters, experiment set, histogram shapes, timer call
+counts — is hard-gated; wall-clock seconds are ratio-gated past a
+noise floor and can be demoted to warnings.
+
+Two fixtures: OLD is a small but representative snapshot, NEW injects
+a 2x wall-clock regression and a counter regression into fig12, plus
+a drifted histogram bucket in fig1.
+
+  $ cat > old.json <<'JSON'
+  > {"schema":"dprle-bench/2","unix_time":1754000000.0,"experiments":[
+  >   {"name":"fig1/motivating","seconds":0.004,"states_visited":629,"products_built":2,"concats_built":43,"solves":1,
+  >    "metrics":{"counters":[{"name":"solver.solves","value":1}],"gauges":[],
+  >               "histograms":[{"name":"automata.bfs.frontier","count":104,"sum":191.0,"max":6.0,"buckets":[{"le":8.0,"count":104},{"le":"+Inf","count":104}]}],
+  >               "timers":[{"name":"automata.ops.concat","count":43,"total_ns":380000,"self_ns":380000,"max_ns":23000}]}},
+  >   {"name":"fig12/solving","seconds":0.200,"states_visited":150000,"products_built":120,"concats_built":800,"solves":16,
+  >    "metrics":{"counters":[{"name":"solver.solves","value":16}],"gauges":[],"histograms":[],"timers":[]}},
+  >   {"name":"parallel/engine","seconds":1.5,"states_visited":99,"products_built":1,"concats_built":1,"solves":48,
+  >    "metrics":{"counters":[],"gauges":[],"histograms":[],"timers":[]}}
+  > ]}
+  > JSON
+
+Identical documents diff clean and exit 0 (the nondeterministic
+parallel/engine experiment is skipped by default):
+
+  $ dprle-bench --diff old.json old.json
+  skipped (nondeterministic): parallel/engine
+  bench diff clean: 2 experiments compared
+
+Inject regressions: fig12 wall 0.200 -> 0.450 (past the 1.5x
+threshold), solves 16 -> 19 (top-level field and nested metrics
+counter), and a fig1 histogram bucket drift.
+
+  $ sed -e 's/"seconds":0.200/"seconds":0.450/' \
+  >     -e 's/"solves":16/"solves":19/g' \
+  >     -e 's/"value":16/"value":19/' \
+  >     -e 's/{"le":8.0,"count":104}/{"le":8.0,"count":90}/' \
+  >     old.json > new.json
+
+  $ dprle-bench --diff old.json new.json
+  FAIL fig1/motivating: histogram automata.bfs.frontier{} buckets: bucket occupancy drifted
+  FAIL fig12/solving: seconds: 0.2000s -> 0.4500s (2.25x)
+  FAIL fig12/solving: solves: 16 -> 19
+  FAIL fig12/solving: counter solver.solves{}: 16 -> 19
+  skipped (nondeterministic): parallel/engine
+  bench diff: 2 experiments compared, 4 hard, 0 warn
+  regressed: fig1/motivating, fig12/solving
+  [1]
+
+--wall-warn-only demotes the wall finding but the counter and shape
+regressions still hard-fail:
+
+  $ dprle-bench --diff old.json new.json --wall-warn-only
+  FAIL fig1/motivating: histogram automata.bfs.frontier{} buckets: bucket occupancy drifted
+  warn fig12/solving: seconds: 0.2000s -> 0.4500s (2.25x)
+  FAIL fig12/solving: solves: 16 -> 19
+  FAIL fig12/solving: counter solver.solves{}: 16 -> 19
+  skipped (nondeterministic): parallel/engine
+  bench diff: 2 experiments compared, 3 hard, 1 warn
+  regressed: fig1/motivating, fig12/solving
+  [1]
+
+A wall-only regression under --wall-warn-only exits 0:
+
+  $ sed -e 's/"seconds":0.200/"seconds":0.450/' old.json > wall.json
+  $ dprle-bench --diff old.json wall.json --wall-warn-only
+  warn fig12/solving: seconds: 0.2000s -> 0.4500s (2.25x)
+  skipped (nondeterministic): parallel/engine
+  bench diff: 2 experiments compared, 0 hard, 1 warn
+
+A raised threshold tolerates the same wall delta entirely:
+
+  $ dprle-bench --diff old.json wall.json --threshold 3.0
+  skipped (nondeterministic): parallel/engine
+  bench diff clean: 2 experiments compared
+
+A disappearing experiment is a hard finding:
+
+  $ sed -e 's/"name":"fig1\/motivating"/"name":"fig1\/renamed"/' old.json > renamed.json
+  $ dprle-bench --diff old.json renamed.json
+  FAIL fig1/renamed: (experiment): experiment appeared
+  FAIL fig1/motivating: (experiment): experiment disappeared
+  skipped (nondeterministic): parallel/engine
+  bench diff: 1 experiments compared, 2 hard, 0 warn
+  regressed: fig1/motivating, fig1/renamed
+  [1]
+
+Usage and parse errors exit 2:
+
+  $ dprle-bench --diff old.json
+  usage: bench --diff OLD.json NEW.json [--threshold X] [--wall-warn-only] [--skip NAME]...
+  [2]
+
+  $ echo 'not json' > bad.json
+  $ dprle-bench --diff old.json bad.json 2>/dev/null
+  [2]

@@ -1,0 +1,89 @@
+--metrics dumps the final registry snapshot to stderr as
+deterministic sorted text: counters and gauges with values,
+histograms with count/sum/max, timers with call counts only (no
+nanoseconds — wall clock would make this output flaky).
+
+  $ cat > fig1.dprle <<'SYS'
+  > let filter = /[\d]+$/;
+  > let prefix = "nid_";
+  > let unsafe = /'/;
+  > v1 <= filter;
+  > prefix . v1 <= unsafe;
+  > SYS
+
+  $ dprle solve fig1.dprle --metrics >/dev/null 2>metrics.txt
+  $ cat metrics.txt
+  automata.concats_built = 43
+  automata.products_built = 2
+  automata.states_visited = 629
+  solver.solves = 1
+  store.intern.hit = 26
+  store.intern.miss = 17
+  store.opcache.hit{op=counterexample} = 1
+  store.opcache.hit{op=is_singleton} = 1
+  store.opcache.miss{op=concat_lang} = 1
+  store.opcache.miss{op=counterexample} = 4
+  store.opcache.miss{op=inter_lang} = 1
+  store.opcache.miss{op=is_singleton} = 1
+  store.opcache.miss{op=residual.max_middle} = 2
+  automata.bfs.frontier: count=104 sum=191 max=6
+  automata.concat.states{dir=in}: count=43 sum=583 max=48
+  automata.concat.states{dir=out}: count=43 sum=583 max=48
+  automata.product.states{dir=in}: count=2 sum=64 max=48
+  automata.product.states{dir=out}: count=2 sum=46 max=33
+  automata.subset.visited: count=4 sum=21 max=8
+  solver.group_combinations: count=1 sum=2 max=2
+  store.machine.states: count=17 sum=264 max=48
+  automata.dfa.determinize: count=18
+  automata.dfa.minimize: count=4
+  automata.lang.counterexample: count=4
+  automata.ops.concat: count=43
+  automata.ops.intersect: count=2
+  solver.phase{phase=build-machines}: count=1
+  solver.phase{phase=combine}: count=1
+  solver.phase{phase=gci}: count=1
+  solver.phase{phase=maximize}: count=1
+  solver.phase{phase=preprocess}: count=1
+  solver.phase{phase=reduce}: count=1
+  solver.phase{phase=solve}: count=1
+  store.ledger.key{op=concat_lang}: count=1
+  store.ledger.key{op=counterexample}: count=5
+  store.ledger.key{op=inter_lang}: count=1
+  store.ledger.key{op=intern}: count=43
+  store.ledger.key{op=is_singleton}: count=2
+  store.ledger.key{op=residual.max_middle}: count=2
+  store.ledger.miss{op=concat_lang}: count=1
+  store.ledger.miss{op=counterexample}: count=4
+  store.ledger.miss{op=inter_lang}: count=1
+  store.ledger.miss{op=intern}: count=17
+  store.ledger.miss{op=is_singleton}: count=1
+  store.ledger.miss{op=residual.max_middle}: count=2
+
+The dump is identical run over run (the determinism the cram suite
+itself depends on):
+
+  $ dprle solve fig1.dprle --metrics >/dev/null 2>metrics2.txt
+  $ cmp metrics.txt metrics2.txt
+
+--no-cache changes the counters (no store) but not the verdict, and
+--metrics composes with it:
+
+  $ dprle check fig1.dprle --no-cache --metrics 2>nocache.txt
+  sat
+  $ grep -c "store.opcache" nocache.txt
+  0
+  [1]
+  $ grep "solver.solves" nocache.txt
+  solver.solves = 1
+
+webcheck takes the same flag:
+
+  $ cat > vuln.mphp <<'PHP'
+  > $x = input("x");
+  > query("SELECT * FROM t WHERE a = '" . $x . "'");
+  > PHP
+
+  $ webcheck vuln.mphp --metrics >/dev/null 2>wc.txt
+  $ grep "symexec" wc.txt
+  symexec.analyze: count=1
+  symexec.solve: count=1

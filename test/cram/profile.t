@@ -1,0 +1,56 @@
+dprle profile runs a workload under cost accounting and prints three
+sections: top ops by self time, the per-tier breakdown, and the
+store's cache-effectiveness ledger. The numbers are wall clock, so
+the test greps structure rather than values.
+
+  $ dprle profile --corpus eve --top 100 > prof.txt
+  $ grep -c "^== " prof.txt
+  3
+  $ grep "^== " prof.txt
+  == top ops by self time ==
+  == self time by tier ==
+  == cache-effectiveness ledger ==
+
+Every instrumented tier shows up against the corpus workload (the
+fixpoint analysis, symbolic execution, and the automata kernels under
+the solves):
+
+  $ grep -o "^analysis\.fixpoint\.iteration\|^symexec\.analyze\|^automata\.dfa\.minimize\|^automata\.ops\.intersect" prof.txt | sort -u
+  analysis.fixpoint.iteration
+  automata.dfa.minimize
+  automata.ops.intersect
+  symexec.analyze
+
+The ledger's header and the intern row are present; intern's key-hash
+cost is paid on every call while a hit only saves a handle lookup, so
+its net savings are negative — the per-op ledger exists to expose
+exactly this kind of cache that does not pay for itself:
+
+  $ grep -E "^op +hits +misses" prof.txt
+  op                     hits   misses    key(ms) avg_miss(ns)     miss(ms) net_saved(ms)
+  $ grep -E "^intern .* -[0-9]" prof.txt | wc -l
+  1
+
+Unknown corpus names fail with the available set:
+
+  $ dprle profile --corpus nosuch
+  error: unknown corpus "nosuch" (have: eve, utopia, warp)
+  [2]
+
+A .dprle file works as a direct workload:
+
+  $ cat > fig1.dprle <<'SYS'
+  > let filter = /[\d]+$/;
+  > let prefix = "nid_";
+  > let unsafe = /'/;
+  > v1 <= filter;
+  > prefix . v1 <= unsafe;
+  > SYS
+
+  $ dprle profile fig1.dprle --top 100 | grep -q "solver.phase{phase=solve}"
+
+A missing path is a usage error:
+
+  $ dprle profile ./does-not-exist
+  error: ./does-not-exist: no such file or directory
+  [2]

@@ -166,6 +166,49 @@ let engine_tests =
         in
         check_int "all four increments visible after the joins" (before + 4)
           (Telemetry.Metrics.Counter.value c));
+    test "DLS isolation: timer and ledger deltas absorbed exactly once"
+      (fun () ->
+        (* Each job interns a word unique to it twice — one miss, one
+           hit — inside one timed region, so the expected deltas are
+           exact regardless of which worker ran which job. The diff
+           must be identical for an inline run (jobs=1, main-domain
+           DLS) and a parallel run (jobs=4, per-worker DLS registries
+           merged by the engine): each worker's timers and ledger
+           counters absorbed exactly once, none lost, none doubled. *)
+        let t_iso = Telemetry.Metrics.Timer.make "test.engine.iso" in
+        let module Snapshot = Telemetry.Metrics.Snapshot in
+        let timer_count diff ?labels name =
+          match Snapshot.timer_stat diff ?labels name with
+          | Some (s : Snapshot.timer_stat) -> s.count
+          | None -> 0
+        in
+        let arm jobs =
+          Automata.Store.clear ();
+          let before = Snapshot.of_default () in
+          let work = List.init 8 (fun i -> Fmt.str "engiso-%d-%d" jobs i) in
+          let _, _ =
+            Engine.map ~jobs
+              ~f:(fun _ word ->
+                Telemetry.Metrics.Timer.time t_iso (fun () ->
+                    ignore (Automata.Store.intern (Nfa.of_word word));
+                    ignore (Automata.Store.intern (Nfa.of_word word))))
+              work
+          in
+          let diff = Snapshot.diff ~after:(Snapshot.of_default ()) ~before in
+          ( timer_count diff "test.engine.iso",
+            Snapshot.counter_value diff "store.intern.miss",
+            Snapshot.counter_value diff "store.intern.hit",
+            timer_count diff ~labels:[ ("op", "intern") ] "store.ledger.key" )
+        in
+        let serial = arm 1 in
+        let parallel = arm 4 in
+        check_bool "identical deltas for jobs=1 and jobs=4" true
+          (serial = parallel);
+        let timers, misses, hits, keyed = serial in
+        check_int "one timed region per job" 8 timers;
+        check_int "one intern miss per job" 8 misses;
+        check_int "one intern hit per job" 8 hits;
+        check_int "two key computations per job" 16 keyed);
   ]
 
 (* ------------------------------------------------------------------ *)

@@ -186,9 +186,140 @@ let metrics_tests =
         let c = Metrics.Counter.make ~registry:r "test.json" in
         Metrics.Counter.incr c ~labels:[ ("k", "v") ] 1;
         match Metrics.Snapshot.to_json (Metrics.Snapshot.take r) with
-        | Json.Obj [ ("counters", Json.List [ _ ]); ("histograms", Json.List []) ] ->
+        | Json.Obj
+            [
+              ("counters", Json.List [ _ ]);
+              ("gauges", Json.List []);
+              ("histograms", Json.List []);
+              ("timers", Json.List []);
+            ] ->
             ()
         | _ -> Alcotest.fail "unexpected snapshot JSON shape");
+    test "histogram json keeps +Inf explicit and reports max" (fun () ->
+        let r = Metrics.create_registry () in
+        let h =
+          Metrics.Histogram.make ~registry:r ~buckets:[| 1.; 10. |] "test.tail"
+        in
+        Metrics.Histogram.observe h 0.5;
+        (* nothing lands past the last bound, yet the overflow bucket
+           must still be visible so bench --diff can watch the tail *)
+        let json = Metrics.Snapshot.to_json (Metrics.Snapshot.take r) in
+        let s = Json.to_string json in
+        check_bool "+Inf bucket present" true
+          (let needle = {|"le":"+Inf"|} in
+           let rec find i =
+             i + String.length needle <= String.length s
+             && (String.sub s i (String.length needle) = needle || find (i + 1))
+           in
+           find 0);
+        let snap = Metrics.Snapshot.take r in
+        match Metrics.Snapshot.histograms snap with
+        | [ (_, _, stat) ] -> check_bool "max recorded" true (stat.max = 0.5)
+        | _ -> Alcotest.fail "expected one histogram series");
+  ]
+
+let timer_tests =
+  [
+    test "timer records count, total, and nested self time" (fun () ->
+        with_fake_clock @@ fun () ->
+        let r = Metrics.create_registry () in
+        let outer = Metrics.Timer.make ~registry:r "test.outer" in
+        let inner = Metrics.Timer.make ~registry:r "test.inner" in
+        Metrics.Timer.time outer (fun () ->
+            Metrics.Timer.time inner (fun () -> ()));
+        let snap = Metrics.Snapshot.take r in
+        let stat name =
+          match Metrics.Snapshot.timer_stat snap name with
+          | Some s -> s
+          | None -> Alcotest.fail ("missing timer " ^ name)
+        in
+        let o = stat "test.outer" and i = stat "test.inner" in
+        check_int "outer count" 1 o.Metrics.Snapshot.count;
+        check_int "inner count" 1 i.Metrics.Snapshot.count;
+        (* fake clock steps 1 ms per reading: inner spans 1 reading gap
+           (1 ms), outer spans 3 (3 ms), so outer self = 3 - 1 = 2 ms *)
+        check_bool "inner total" true (i.total_ns = 1_000_000L);
+        check_bool "outer total" true (o.total_ns = 3_000_000L);
+        check_bool "outer self excludes inner" true (o.self_ns = 2_000_000L);
+        check_bool "inner is a leaf" true (i.self_ns = i.total_ns);
+        check_bool "outer max" true (o.max_ns = o.total_ns));
+    test "observe_ns books as a leaf under the open frame" (fun () ->
+        with_fake_clock @@ fun () ->
+        let r = Metrics.create_registry () in
+        let outer = Metrics.Timer.make ~registry:r "test.outer2" in
+        let ledger = Metrics.Timer.make ~registry:r "test.ledger" in
+        Metrics.Timer.time outer (fun () ->
+            Metrics.Timer.observe_ns ledger 500_000L);
+        let snap = Metrics.Snapshot.take r in
+        let o = Option.get (Metrics.Snapshot.timer_stat snap "test.outer2") in
+        let l = Option.get (Metrics.Snapshot.timer_stat snap "test.ledger") in
+        check_bool "ledger self = total" true (l.self_ns = l.total_ns);
+        check_bool "ledger charged to outer" true
+          (o.self_ns = Int64.sub o.total_ns 500_000L));
+    test "an exception still closes the timer" (fun () ->
+        with_fake_clock @@ fun () ->
+        let r = Metrics.create_registry () in
+        let t = Metrics.Timer.make ~registry:r "test.doomed" in
+        (try Metrics.Timer.time t (fun () -> failwith "boom")
+         with Failure _ -> ());
+        check_int "recorded anyway" 1 (Metrics.Timer.count t);
+        (* the frame stack must be empty again: a fresh timer books
+           fully as self time *)
+        Metrics.Timer.time t (fun () -> ());
+        check_int "stack recovered" 2 (Metrics.Timer.count t));
+    test "disabling timing skips recording entirely" (fun () ->
+        let r = Metrics.create_registry () in
+        let t = Metrics.Timer.make ~registry:r "test.off" in
+        Metrics.set_timing_enabled false;
+        Fun.protect
+          ~finally:(fun () -> Metrics.set_timing_enabled true)
+          (fun () ->
+            let v = Metrics.Timer.time t (fun () -> 42) in
+            check_int "passthrough result" 42 v;
+            Metrics.Timer.observe_ns t 1_000L;
+            check_int "nothing recorded" 0 (Metrics.Timer.count t)));
+    test "timer snapshots diff and absorb like counters" (fun () ->
+        with_fake_clock @@ fun () ->
+        let r = Metrics.create_registry () in
+        let t = Metrics.Timer.make ~registry:r "test.add" in
+        Metrics.Timer.time t (fun () -> ());
+        let before = Metrics.Snapshot.take r in
+        Metrics.Timer.time t ~labels:[ ("op", "x") ] (fun () -> ());
+        Metrics.Timer.time t (fun () -> ());
+        let d = Metrics.Snapshot.diff ~after:(Metrics.Snapshot.take r) ~before in
+        let s = Option.get (Metrics.Snapshot.timer_stat d "test.add") in
+        check_int "diffed count" 1 s.Metrics.Snapshot.count;
+        let s' =
+          Option.get
+            (Metrics.Snapshot.timer_stat d ~labels:[ ("op", "x") ] "test.add")
+        in
+        check_int "new series passes through" 1 s'.Metrics.Snapshot.count;
+        (* absorbing the diff into a fresh registry doubles nothing *)
+        let r2 = Metrics.create_registry () in
+        Metrics.Snapshot.absorb ~registry:r2 d;
+        Metrics.Snapshot.absorb ~registry:r2 d;
+        let s2 =
+          Option.get
+            (Metrics.Snapshot.timer_stat (Metrics.Snapshot.take r2) "test.add")
+        in
+        check_int "absorb adds counts" 2 s2.Metrics.Snapshot.count;
+        check_bool "absorb adds totals" true
+          (s2.total_ns = Int64.mul 2L s.total_ns));
+    test "gauges set, add, and absorb by max" (fun () ->
+        let r = Metrics.create_registry () in
+        let g = Metrics.Gauge.make ~registry:r "test.depth" in
+        Metrics.Gauge.set g 5;
+        Metrics.Gauge.add g (-2);
+        check_int "set+add" 3 (Metrics.Gauge.value g);
+        let snap = Metrics.Snapshot.take r in
+        let r2 = Metrics.create_registry () in
+        let g2 = Metrics.Gauge.make ~registry:r2 "test.depth" in
+        Metrics.Gauge.set g2 7;
+        Metrics.Snapshot.absorb ~registry:r2 snap;
+        check_int "absorb keeps max" 7 (Metrics.Gauge.value g2);
+        Metrics.Gauge.set g2 1;
+        Metrics.Snapshot.absorb ~registry:r2 snap;
+        check_int "absorb raises to incoming" 3 (Metrics.Gauge.value g2));
   ]
 
 (* The regression the registry shim exists for: a nested
@@ -240,5 +371,6 @@ let suite =
   [
     ("telemetry:span", span_tests);
     ("telemetry:metrics", metrics_tests);
+    ("telemetry:timer", timer_tests);
     ("telemetry:stats", stats_tests);
   ]
