@@ -75,6 +75,20 @@ let with_trace ~trace ~trace_tree f =
 let budget_of ~budget_ms ~budget_states =
   Automata.Budget.make ?wall_ms:budget_ms ?max_states:budget_states ()
 
+(* Claim-order weight for the engine's size-sorted scheduling: file
+   byte size is a cheap, deterministic proxy for solve cost. *)
+let file_weight path =
+  try Int64.to_int (In_channel.with_open_bin path In_channel.length)
+  with Sys_error _ -> 0
+
+(* A failed job's backtrace (recorded only when tracing turned
+   [Printexc.record_backtrace] on) goes to stderr so the deterministic
+   stdout stays byte-identical across --jobs values. *)
+let print_failure_backtrace file (f : Engine.failure) =
+  Option.iter
+    (fun bt -> Fmt.epr "%s: failure backtrace:@,%s@." file bt)
+    f.backtrace
+
 (* ------------------------------------------------------------------ *)
 (* Observability plumbing shared by the subcommands: [--events FILE]
    opens the JSONL sink around the whole command (closed and flushed
@@ -388,6 +402,7 @@ let batch_cmd dir jobs budget_ms budget_states max_solutions combination_limit
     end
     else
       with_trace ~trace ~trace_tree @@ fun () ->
+      if trace <> None || trace_tree then Printexc.record_backtrace true;
       let config =
         Dprle.Solver.Config.make ~max_solutions ~combination_limit ()
       in
@@ -407,7 +422,9 @@ let batch_cmd dir jobs budget_ms budget_states max_solutions combination_limit
       let results, stats =
         Engine.map ?jobs
           ~budget:(budget_of ~budget_ms ~budget_states)
-          ~name:"batch" ~f:solve_file files
+          ~name:"batch"
+          ~weight:(fun file -> file_weight (Filename.concat dir file))
+          ~f:solve_file files
       in
       trace_lanes := stats.Engine.worker_spans;
       let sat = ref 0
@@ -433,9 +450,11 @@ let batch_cmd dir jobs budget_ms budget_states max_solutions combination_limit
           | Engine.Budget_exceeded ->
               incr budget_hits;
               Fmt.pr "%s: budget exceeded: state budget exhausted@." file
-          | Engine.Failed msg ->
+          | Engine.Failed failure ->
               incr failures;
-              Fmt.pr "%s: internal failure: %s@." file msg)
+              Fmt.pr "%s: internal failure: %s@." file failure.Engine.message;
+              if trace <> None || trace_tree then
+                print_failure_backtrace file failure)
         files results;
       List.iter2
         (fun file (r : _ Engine.job_result) ->

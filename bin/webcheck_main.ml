@@ -78,8 +78,8 @@ let with_observability ~metrics ~events f =
           (Telemetry.Metrics.Snapshot.of_default ()))
     f
 
-let check_one ~ppf ~err path attack all structural max_paths static_prune config
-    =
+let check_one ~ppf ~err path attack all structural max_paths static_prune
+    prepass_paths config =
   match read_program path with
   | Error msg ->
       Fmt.pf err "error: %s@." msg;
@@ -88,27 +88,60 @@ let check_one ~ppf ~err path attack all structural max_paths static_prune config
       let static =
         if not static_prune then None
         else
-          match
-            Automata.Budget.run config.Dprle.Solver.Config.budget (fun () ->
-                Analysis.Fixpoint.analyze ~attack program)
-          with
-          | Ok r -> Some r
-          | Error stop ->
-              Fmt.pf ppf "static analysis: budget exceeded (%a); not pruning@."
-                Automata.Budget.pp_stop stop;
-              None
+          (* the fixpoint only prunes; when the cheap pre-pass sees
+             that exhaustive symbolic execution is already exact and
+             small, paying for both layers is the recorded regression *)
+          let decision = Analysis.Prepass.decide ~path_budget:prepass_paths program in
+          if not decision.Analysis.Prepass.run_fixpoint then begin
+            (* debug-only: stdout must stay byte-identical with
+               --no-static-prune whenever nothing was pruned *)
+            Logs.debug (fun m ->
+                m "%s: static analysis skipped (%s)" path
+                  decision.Analysis.Prepass.reason);
+            None
+          end
+          else
+            match
+              Automata.Budget.run config.Dprle.Solver.Config.budget (fun () ->
+                  Analysis.Fixpoint.analyze_cached ~attack program)
+            with
+            | Ok r -> Some r
+            | Error stop ->
+                Fmt.pf ppf "static analysis: budget exceeded (%a); not pruning@."
+                  Automata.Budget.pp_stop stop;
+                None
       in
       let safe_ids =
         match static with
         | Some r -> Analysis.Fixpoint.safe_sink_ids r
         | None -> []
       in
-      let { Webapp.Symexec.candidates; paths_truncated } =
-        Webapp.Symexec.analyze ~max_paths ~attack program
+      let total_sinks = List.length (Webapp.Ast.sinks program) in
+      (* Every sink statically safe ⇒ nothing is left for the
+         path-sensitive layer to decide: path enumeration would only
+         produce candidates the prune filter discards below. Skipping
+         it is what makes the prune pay for itself on safe pages. *)
+      let all_sinks_pruned =
+        static <> None && total_sinks > 0
+        && List.length safe_ids = total_sinks
       in
-      Fmt.pf ppf "%s: %d basic blocks, %d sink-reaching path candidates@." path
-        (Webapp.Ast.basic_blocks program)
-        (List.length candidates);
+      let { Webapp.Symexec.candidates; paths_truncated } =
+        if all_sinks_pruned then
+          { Webapp.Symexec.candidates = []; paths_truncated = false }
+        else Webapp.Symexec.analyze ~max_paths ~attack program
+      in
+      if all_sinks_pruned then
+        Fmt.pf ppf
+          "%s: %d basic blocks, all %d sink(s) proved safe statically \
+           (symbolic execution skipped)@."
+          path
+          (Webapp.Ast.basic_blocks program)
+          total_sinks
+      else
+        Fmt.pf ppf "%s: %d basic blocks, %d sink-reaching path candidates@."
+          path
+          (Webapp.Ast.basic_blocks program)
+          (List.length candidates);
       Option.iter
         (fun (r : Analysis.Fixpoint.result) ->
           Logs.debug (fun m ->
@@ -125,7 +158,6 @@ let check_one ~ppf ~err path attack all structural max_paths static_prune config
             not (List.mem q.Webapp.Symexec.sink_id safe_ids))
           candidates
       in
-      let total_sinks = List.length (Webapp.Ast.sinks program) in
       let unpruned_sinks = total_sinks - List.length safe_ids in
       let vulnerable = ref 0 in
       let over_budget = ref 0 in
@@ -229,7 +261,8 @@ let check_one ~ppf ~err path attack all structural max_paths static_prune config
    into a buffer; the main domain prints the buffers in file-name
    order, so the output is byte-identical for any --jobs value.
    Timing goes to stderr. *)
-let check_dir dir attack structural max_paths static_prune config jobs =
+let check_dir dir attack structural max_paths static_prune prepass_paths config
+    jobs ~trace_requested =
   let files =
     Sys.readdir dir |> Array.to_list
     |> List.filter (fun f -> Filename.check_suffix f ".mphp")
@@ -245,12 +278,23 @@ let check_dir dir attack structural max_paths static_prune config jobs =
       let ppf = Format.formatter_of_buffer buf in
       let code =
         check_one ~ppf ~err:ppf (Filename.concat dir file) attack false
-          structural max_paths static_prune config
+          structural max_paths static_prune prepass_paths config
       in
       Format.pp_print_flush ppf ();
       (Buffer.contents buf, code)
     in
-    let results, stats = Engine.map ?jobs ~name:"webcheck" ~f:scan files in
+    (* file byte size as claim-order weight: big pages start first so a
+       skewed mix can't strand the tail on one worker *)
+    let weight file =
+      try
+        Int64.to_int
+          (In_channel.with_open_bin (Filename.concat dir file)
+             In_channel.length)
+      with Sys_error _ -> 0
+    in
+    let results, stats =
+      Engine.map ?jobs ~name:"webcheck" ~weight ~f:scan files
+    in
     trace_lanes := stats.Engine.worker_spans;
     let vulnerable = ref [] in
     let failures = ref 0 in
@@ -264,7 +308,13 @@ let check_dir dir attack structural max_paths static_prune config jobs =
             incr failures;
             Fmt.pr "%s: %a@.@." file
               (Engine.pp_outcome (fun ppf _ -> Fmt.string ppf ""))
-              other)
+              other;
+            (* backtrace (recorded only under tracing) to stderr: the
+               deterministic stdout stays byte-identical across --jobs *)
+            (match other with
+            | Engine.Failed { backtrace = Some bt; _ } when trace_requested ->
+                Fmt.epr "%s: failure backtrace:@,%s@." file bt
+            | _ -> ()))
       files results;
     List.iter2
       (fun file (r : _ Engine.job_result) ->
@@ -340,8 +390,9 @@ let with_trace ~trace ~trace_tree f =
     Telemetry.Span.collect_emit ~name:"webcheck" ~emit f
   end
 
-let check_cmd path attack all structural max_paths static_prune jobs budget_ms
-    budget_states trace trace_tree no_cache metrics events verbose =
+let check_cmd path attack all structural max_paths static_prune prepass_paths
+    jobs budget_ms budget_states trace trace_tree no_cache metrics events
+    verbose =
   setup_logs verbose;
   if no_cache then Automata.Store.set_enabled false;
   let config =
@@ -351,11 +402,14 @@ let check_cmd path attack all structural max_paths static_prune jobs budget_ms
   in
   with_observability ~metrics ~events @@ fun () ->
   with_trace ~trace ~trace_tree @@ fun () ->
+  let trace_requested = trace <> None || trace_tree in
+  if trace_requested then Printexc.record_backtrace true;
   if Sys.is_directory path then
-    check_dir path attack structural max_paths static_prune config jobs
+    check_dir path attack structural max_paths static_prune prepass_paths
+      config jobs ~trace_requested
   else
     check_one ~ppf:Fmt.stdout ~err:Fmt.stderr path attack all structural
-      max_paths static_prune config
+      max_paths static_prune prepass_paths config
 
 open Cmdliner
 
@@ -404,6 +458,15 @@ let () =
                   "Ablation: solve every path candidate without the static \
                    pass. Verdicts are identical; only the work differs." );
           ])
+  in
+  let prepass_paths_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "prepass-paths" ] ~docv:"N"
+          ~doc:
+            "Skip the static analysis on loop-free programs with at most $(docv) \
+             estimated paths (symbolic execution alone is exact and cheaper \
+             there). 0 always runs the static analysis.")
   in
   let trace_arg =
     Arg.(
@@ -473,9 +536,9 @@ let () =
   let term =
     Term.(
       const check_cmd $ path_arg $ attack_arg $ all_arg $ structural_arg
-      $ max_paths_arg $ static_prune_arg $ jobs_arg $ budget_ms_arg
-      $ budget_states_arg $ trace_arg $ trace_tree_arg $ no_cache_arg
-      $ metrics_arg $ events_arg $ verbose_arg)
+      $ max_paths_arg $ static_prune_arg $ prepass_paths_arg $ jobs_arg
+      $ budget_ms_arg $ budget_states_arg $ trace_arg $ trace_tree_arg
+      $ no_cache_arg $ metrics_arg $ events_arg $ verbose_arg)
   in
   let exits =
     [

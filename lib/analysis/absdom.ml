@@ -11,10 +11,10 @@ type t = { vars : value SMap.t; inputs : value SMap.t }
 
 let top = { vars = SMap.empty; inputs = SMap.empty }
 
-(* Handles are domain-local: recompute on demand rather than caching
-   in a module-level lazy that could leak across Engine.map workers.
-   Interning a one-state machine is a hash lookup. *)
-let top_value () = Store.intern Nfa.sigma_star
+(* Σ* served from the store's per-domain cache: a pointer read after
+   the first ask, and safe across Engine.map workers (each domain
+   caches its own handle). *)
+let top_value () = Store.top ()
 
 let lookup map k = match SMap.find_opt k map with Some h -> h | None -> top_value ()
 
@@ -25,7 +25,7 @@ let lookup_input st n = lookup st.inputs n
 let image fst h = Store.intern (Automata.Fst.image fst (Store.nfa h))
 
 let rec eval st : Ast.expr -> value = function
-  | Ast.Str s -> Store.intern (Nfa.of_word s)
+  | Ast.Str s -> Store.of_word s
   | Ast.Var v -> lookup_var st v
   | Ast.Input n -> lookup_input st n
   | Ast.Concat (a, b) -> Store.concat_lang (eval st a) (eval st b)
@@ -42,9 +42,12 @@ let assign st v e = { st with vars = SMap.add v (eval st e) st.vars }
    are collapsed to their minimal DFA before being stored back. *)
 let compact_above = 64
 
+let t_compact = Telemetry.Metrics.Timer.make "analysis.absdom.compact"
+let t_closure = Telemetry.Metrics.Timer.make "analysis.absdom.closure"
+
 let compact h =
   if Nfa.num_states (Store.nfa h) <= compact_above then h
-  else Store.intern (Automata.Dfa.to_nfa (Store.min_dfa h))
+  else Telemetry.Metrics.Timer.time t_compact (fun () -> Store.compacted h)
 
 (* Above this bound, refinement keeps the unrefined binding instead of
    paying for a determinization of the product: narrowing is an
@@ -80,6 +83,7 @@ let equal a b = leq a b && leq b a
    accepted word spends only chars of A(L)) whose ascending chains are
    bounded by the ≤256-char alphabet. *)
 let alphabet_closure h =
+  Telemetry.Metrics.Timer.time t_closure @@ fun () ->
   let a =
     Nfa.fold_char_transitions (Store.minimized h) ~init:Charset.empty
       ~f:(fun acc _ cs _ -> Charset.union acc cs)
@@ -122,22 +126,33 @@ let widen ~max_states ~force prev next =
 let complement_of h =
   Store.canon (Automata.Dfa.to_nfa (Automata.Dfa.complement (Store.dfa h)))
 
-(* The language a condition's operand must lie in when the condition
-   evaluates to [value] — the same translations the symbolic executor
-   uses for path obligations. *)
-let rec refine st value : Ast.cond -> t option = function
-  | Ast.Not c -> refine st (not value) c
-  | Ast.Preg_match (pattern, e) ->
+(* Branch-language cache: the fixpoint refines the same syntactic
+   condition once per edge visit, and each build pays a regex compile,
+   a word complement (determinize + complement), or a bounded repeat —
+   by far the dominant per-iteration cost on loop-heavy pages. The
+   table is per-domain (handles must not cross workers), keyed
+   structurally on (condition, polarity), and reset with the store so
+   an ablation or bench [clear] can't serve stale handles. Bypassed
+   when the store is disabled, keeping [--no-cache] a faithful
+   ablation. *)
+let cond_lang_table : (Ast.cond * bool, value) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
+
+let () =
+  Store.on_clear (fun () -> Hashtbl.reset (Domain.DLS.get cond_lang_table))
+
+let build_cond_lang value : Ast.cond -> value = function
+  | Ast.Not _ -> assert false (* unwrapped by [refine] *)
+  | Ast.Preg_match (pattern, _) ->
       let lang =
         if value then Regex.Compile.pattern_to_nfa pattern
         else Regex.Compile.pattern_reject_nfa pattern
       in
-      refine_expr st e (Store.intern lang)
-  | Ast.Str_eq (e, s) ->
-      let word = Store.intern (Nfa.of_word s) in
-      let lang = if value then word else Store.intern (complement_of word) in
-      refine_expr st e lang
-  | Ast.Strlen (e, cmp, n) ->
+      Store.intern lang
+  | Ast.Str_eq (_, s) ->
+      let word = Store.of_word s in
+      if value then word else Store.intern (complement_of word)
+  | Ast.Strlen (_, cmp, n) ->
       let any = Nfa.of_charset Charset.full in
       let accept =
         Store.intern
@@ -146,8 +161,26 @@ let rec refine st value : Ast.cond -> t option = function
           | Ast.Len_le -> Automata.Ops.repeat any ~min_count:0 ~max_count:(Some n)
           | Ast.Len_ge -> Automata.Ops.repeat any ~min_count:n ~max_count:None)
       in
-      let lang = if value then accept else Store.intern (complement_of accept) in
-      refine_expr st e lang
+      if value then accept else Store.intern (complement_of accept)
+
+let cond_lang value c =
+  if not (Store.enabled ()) then build_cond_lang value c
+  else
+    let table = Domain.DLS.get cond_lang_table in
+    match Hashtbl.find_opt table (c, value) with
+    | Some h -> h
+    | None ->
+        let h = build_cond_lang value c in
+        Hashtbl.replace table (c, value) h;
+        h
+
+(* The language a condition's operand must lie in when the condition
+   evaluates to [value] — the same translations the symbolic executor
+   uses for path obligations. *)
+let rec refine st value : Ast.cond -> t option = function
+  | Ast.Not c -> refine st (not value) c
+  | (Ast.Preg_match (_, e) | Ast.Str_eq (e, _) | Ast.Strlen (e, _, _)) as c ->
+      refine_expr st e (cond_lang value c)
 
 (* Intersect the operand's abstraction with the branch language. A
    syntactic variable or input read narrows the binding itself; any

@@ -52,3 +52,18 @@ val analyze :
   attack:Automata.Nfa.t ->
   Webapp.Ast.program ->
   result
+
+(** [analyze_cached] is {!analyze} behind a per-domain result cache
+    keyed on the full argument tuple. The analysis is pure, so a hit
+    returns the previous result verbatim — the steady-state win when
+    the same page is analyzed per request (webcheck serving, bench
+    passes). The cache is reset whenever the store is cleared
+    (verdicts hold store handles) and never crosses domains.
+
+    Counters: [analysis.fixpoint.cache.hit] / [.cache.miss]. *)
+val analyze_cached :
+  ?widen_states:int ->
+  ?widen_delay:int ->
+  attack:Automata.Nfa.t ->
+  Webapp.Ast.program ->
+  result

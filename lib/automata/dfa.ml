@@ -232,24 +232,64 @@ let minimize_untimed d0 =
     | Some q' -> q'
     | None -> assert false (* machine is complete *)
   in
+  (* Dense successor table, filled once: refinement runs up to the
+     machine's diameter many rounds, and resolving each (state, rep)
+     step through the edge lists inside the loop made every round
+     O(n·r·edges) — on dense 256-char machines that term dwarfed the
+     refinement itself. *)
+  let r = List.length reps in
+  let tbl = Array.make (max 1 (d.n * r)) 0 in
+  List.iteri
+    (fun i c ->
+      for q = 0 to d.n - 1 do
+        tbl.((q * r) + i) <- total_step q c
+      done)
+    reps;
   let cls = Array.make d.n 0 in
   Array.iteri (fun q is_f -> cls.(q) <- (if is_f then 1 else 0)) d.finals;
+  (* Signatures are hashed over the FULL successor row and verified
+     against [tbl] directly. The obvious [Hashtbl] over
+     [(class, succ array)] keys loses badly here: the polymorphic hash
+     samples only a prefix of the array, and on the chain-shaped DFAs
+     word languages produce, most states agree on that prefix for many
+     rounds — every probe then walks a long bucket doing O(r)
+     structural compares, turning each round quadratic. *)
+  let same_signature p q =
+    cls.(p) = cls.(q)
+    &&
+    let ok = ref true in
+    let i = ref 0 in
+    while !ok && !i < r do
+      if cls.(tbl.((p * r) + !i)) <> cls.(tbl.((q * r) + !i)) then ok := false;
+      incr i
+    done;
+    !ok
+  in
   let changed = ref true in
   let num_classes = ref 2 in
   while !changed do
     changed := false;
-    let signatures = Hashtbl.create d.n in
+    let buckets : (int, (int * int) list) Hashtbl.t = Hashtbl.create d.n in
     let next = Array.make d.n 0 in
     let fresh = ref 0 in
     for q = 0 to d.n - 1 do
-      let signature = (cls.(q), List.map (fun c -> cls.(total_step q c)) reps) in
+      let h = ref cls.(q) in
+      for i = 0 to r - 1 do
+        h := (!h * 31) + cls.(tbl.((q * r) + i))
+      done;
+      let key = !h land max_int in
+      let candidates =
+        Option.value (Hashtbl.find_opt buckets key) ~default:[]
+      in
       let id =
-        match Hashtbl.find_opt signatures signature with
-        | Some id -> id
+        match
+          List.find_opt (fun (p, _) -> same_signature p q) candidates
+        with
+        | Some (_, id) -> id
         | None ->
             let id = !fresh in
             incr fresh;
-            Hashtbl.add signatures signature id;
+            Hashtbl.replace buckets key ((q, id) :: candidates);
             id
       in
       next.(q) <- id

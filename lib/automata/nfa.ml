@@ -453,6 +453,18 @@ let sample_words m ~max_len ~max_count =
    with Exit -> ());
   List.rev !results
 
+(* True when every state is both reachable and co-reachable, i.e.
+   [trim] would only renumber. Two flag traversals over int arrays —
+   much cheaper than the Set/Map/Builder rebuild [trim] does, which is
+   what hot callers (the store's canonical key) use this to avoid. *)
+let is_trim m =
+  let reach = reachable_flags m m.start and coreach = coreachable_flags m m.final in
+  let ok = ref true in
+  for q = 0 to m.n - 1 do
+    if not (Flags.mem reach q && Flags.mem coreach q) then ok := false
+  done;
+  !ok
+
 let trim m =
   let reach = reachable_flags m m.start and coreach = coreachable_flags m m.final in
   let live = ref StateSet.empty in

@@ -27,13 +27,110 @@ let ledger_miss = Metrics.Timer.make "store.ledger.miss"
 let enabled_flag = Atomic.make true
 let enabled () = Atomic.get enabled_flag
 
+(* ------------------------------------------------------------------ *)
+(* Cost gate *)
+
+(* The ledger (below) prices every cache; this is the policy end that
+   acts on the price. Two mechanisms, per the memo-discipline lesson
+   that caching only pays above a work threshold:
+
+   - size gate: machines below [min_states] skip canonical keying
+     (interning a 2-state machine costs more to serialize than to
+     rebuild), and op pairs below it skip the memo tables; machines
+     above [max_states] skip it from the other side — the key is a
+     full serialization of the trimmed machine, so on a 500-state
+     sanitizer preimage it costs ~30 us while the memo hit it enables
+     saves ~15 us of recompute. Too big to key is priced like too
+     small to matter; pointer identity (the physeq MRU) still shares
+     repeated interns of the same physical machine;
+   - auto-disable: per domain and per op class, a running net-saved
+     estimate (hits x avg miss cost - total key cost, the ledger
+     formula) is evaluated every 64 events once [min_samples] events
+     were seen; an op that stays below [-trip_saved_ns] has its cache
+     switched off for the rest of the domain's life (sticky, surfaced
+     by the [store.gate.tripped] counter).
+
+   The trip thresholds are deliberately high-hysteresis: bench diffs
+   and cram tests hard-gate counter values, so a decision that flips
+   with scheduler noise would make deterministic workloads flaky. A
+   cache must be unambiguously parasitic (net below -5 ms) before the
+   gate acts; [set_auto_gate false] is the ablation override. *)
+module Gate = struct
+  let auto = Atomic.make true
+  let min_states = Atomic.make 4
+  let max_states = Atomic.make 256
+  let min_samples = Atomic.make 512
+  let trip_saved_ns = Atomic.make 5_000_000
+  let tripped_c = Metrics.Counter.make "store.gate.tripped"
+  let skip_c = Metrics.Counter.make "store.gate.skip"
+
+  type acc = {
+    mutable hits : int;
+    mutable misses : int;
+    mutable key_ns : int64;
+    mutable miss_ns : int64;
+    mutable disabled : bool;
+  }
+
+  let make_acc () =
+    { hits = 0; misses = 0; key_ns = 0L; miss_ns = 0L; disabled = false }
+
+  let reset_acc a =
+    a.hits <- 0;
+    a.misses <- 0;
+    a.key_ns <- 0L;
+    a.miss_ns <- 0L;
+    a.disabled <- false
+
+  let skip op = Metrics.Counter.incr ~labels:[ ("op", op) ] skip_c 1
+
+  (* [can_trip:false] for intern: its ledger row prices a hit at the
+     allocation it avoids (~100 ns), but the real value of handle
+     identity is the per-handle memo state downstream (min-DFA,
+     emptiness) that only shared handles accumulate — disabling
+     interning from its own row is a false economy that measurably
+     blows up minimization (3x on the eve fixpoint). The memo ops
+     have a sound valuation (a hit avoids exactly the measured miss
+     compute), so they may trip. *)
+  let note op a ~can_trip ~hit ~key_ns ~miss_ns =
+    if hit then a.hits <- a.hits + 1 else a.misses <- a.misses + 1;
+    a.key_ns <- Int64.add a.key_ns key_ns;
+    a.miss_ns <- Int64.add a.miss_ns miss_ns;
+    let samples = a.hits + a.misses in
+    if
+      can_trip && Atomic.get auto && (not a.disabled)
+      && samples land 63 = 0
+      && samples >= Atomic.get min_samples
+    then begin
+      let avg_miss =
+        if a.misses = 0 then 0.
+        else Int64.to_float a.miss_ns /. float_of_int a.misses
+      in
+      let net = (float_of_int a.hits *. avg_miss) -. Int64.to_float a.key_ns in
+      if net < -.float_of_int (Atomic.get trip_saved_ns) then begin
+        a.disabled <- true;
+        Metrics.Counter.incr ~labels:[ ("op", op) ] tripped_c 1
+      end
+    end
+end
+
 type handle = {
   id : int;
   nfa : Nfa.t;
+  (* [keyed] = this handle's id is stable for its language in this
+     domain (it came out of the intern/word table), so it is usable as
+     a memo key. A gated or disabled-store handle is not: its id never
+     repeats, and memoizing on it would only fill tables with garbage. *)
+  mutable keyed : bool;
   mutable dfa_memo : Dfa.t option;
   mutable min_dfa_memo : Dfa.t option;
   mutable minimized_memo : Nfa.t option;
   mutable empty_memo : bool option;
+  mutable compact_memo : handle option;
+      (* the interned handle of this machine's minimal DFA — a slot of
+         its own because the canonical key of the minimized machine is
+         itself the expensive part, and [min_dfa_memo] alone would
+         leave every caller re-paying it *)
 }
 
 let nfa h = h.nfa
@@ -56,7 +153,9 @@ let id h = h.id
    final state of an empty-language machine is reachable; any
    leftovers are appended in old-id order so the key is total. *)
 let canonical_key m0 =
-  let m, _ = Nfa.trim m0 in
+  (* op results arrive already trim; checking costs two array sweeps
+     while [trim] rebuilds the machine through a Builder *)
+  let m = if Nfa.is_trim m0 then m0 else fst (Nfa.trim m0) in
   let n = Nfa.num_states m in
   let order = Array.make (max n 1) (-1) in
   let next = ref 0 in
@@ -91,9 +190,17 @@ let canonical_key m0 =
   for q = 0 to n - 1 do
     inv.(order.(q)) <- q
   done;
-  let buf = Buffer.create 256 in
-  Buffer.add_string buf
-    (Printf.sprintf "%d#%d#%d" n order.(Nfa.start m) order.(Nfa.final m));
+  (* The emit path runs per edge per state and the keys are interned
+     thousands of times per workload, so every byte is written
+     directly — a [Printf.sprintf] here costs more than the rest of
+     the traversal combined on dense 256-char machines. *)
+  let buf = Buffer.create 1024 in
+  let add_int i = Buffer.add_string buf (string_of_int i) in
+  add_int n;
+  Buffer.add_char buf '#';
+  add_int order.(Nfa.start m);
+  Buffer.add_char buf '#';
+  add_int order.(Nfa.final m);
   for i = 0 to n - 1 do
     let q = inv.(i) in
     Buffer.add_char buf '|';
@@ -107,13 +214,21 @@ let canonical_key m0 =
     List.iter
       (fun (cs, d) ->
         List.iter
-          (fun (lo, hi) -> Buffer.add_string buf (Printf.sprintf "%d-%d," lo hi))
+          (fun (lo, hi) ->
+            add_int lo;
+            Buffer.add_char buf '-';
+            add_int hi;
+            Buffer.add_char buf ',')
           (Charset.ranges cs);
-        Buffer.add_string buf (Printf.sprintf ">%d;" d))
+        Buffer.add_char buf '>';
+        add_int d;
+        Buffer.add_char buf ';')
       chars;
     Buffer.add_char buf '!';
     List.iter
-      (fun d -> Buffer.add_string buf (Printf.sprintf "%d," d))
+      (fun d ->
+        add_int d;
+        Buffer.add_char buf ',')
       (List.sort compare
          (List.map (fun d -> order.(d)) (Nfa.eps_transitions_from m q)))
   done;
@@ -141,42 +256,154 @@ let fresh_handle m =
   {
     id;
     nfa = m;
+    keyed = false;
     dfa_memo = None;
     min_dfa_memo = None;
     minimized_memo = None;
     empty_memo = None;
+    compact_memo = None;
   }
 
-(* Interning pays the canonical key on {e every} call — that
-   serialization is the "key-hash tax" the cache-effectiveness ledger
-   prices, because a hit saves almost nothing here (a handle
-   allocation) while the key cost scales with machine size. *)
+let intern_gate_key : Gate.acc Domain.DLS.key =
+  Domain.DLS.new_key Gate.make_acc
+
+(* Physical-identity fast path: callers that hold one machine value
+   across many solves (a corpus-wide attack language, a compiled
+   constant) re-intern the same physical [Nfa.t] once per file.
+   Machines are immutable, so pointer equality proves language
+   equality; a tiny MRU list answers those repeats without paying the
+   canonical key again. *)
+let physeq_limit = 8
+
+let physeq_key : (Nfa.t * handle) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let physeq_find m =
+  let rec go = function
+    | [] -> None
+    | (m', h) :: _ when m' == m -> Some h
+    | _ :: rest -> go rest
+  in
+  go !(Domain.DLS.get physeq_key)
+
+let physeq_add m h =
+  let r = Domain.DLS.get physeq_key in
+  let rest = List.filter (fun (m', _) -> m' != m) !r in
+  r := (m, h) :: List.filteri (fun i _ -> i < physeq_limit - 1) rest
+
+(* Interning pays the canonical key — that serialization is the
+   "key-hash tax" the cache-effectiveness ledger prices, because the
+   key cost scales with machine size while a hit saves the rebuild the
+   caller already did plus the memo state attached to the shared
+   handle. The cost gate keeps the tax off machines too small to ever
+   repay it ([Gate.min_states]) and off a domain whose ledger shows
+   keying losing outright (auto-disable). *)
 let intern m =
   if not (enabled ()) then fresh_handle m
   else
-    let table = intern_table () in
-    let key =
-      Metrics.Timer.time ledger_key
-        ~labels:[ ("op", "intern") ]
-        (fun () -> canonical_key m)
-    in
-    match Hashtbl.find_opt table key with
+    match physeq_find m with
     | Some h ->
         Metrics.Counter.incr intern_hit 1;
         h
     | None ->
-        Metrics.Counter.incr intern_miss 1;
-        Metrics.Histogram.observe machine_states
-          (float_of_int (Nfa.num_states m));
-        let h =
-          Metrics.Timer.time ledger_miss
-            ~labels:[ ("op", "intern") ]
-            (fun () -> fresh_handle m)
-        in
-        Hashtbl.replace table key h;
-        h
+        let a = Domain.DLS.get intern_gate_key in
+        let n = Nfa.num_states m in
+        if a.Gate.disabled || n < Atomic.get Gate.min_states then begin
+          Gate.skip "intern";
+          fresh_handle m
+        end
+        else if n > Atomic.get Gate.max_states then begin
+          (* above the ceiling the canonical serialization costs more
+             than any downstream memo hit repays; share by pointer
+             identity only, so a caller holding one big machine across
+             solves still gets one handle *)
+          Gate.skip "intern";
+          let h = fresh_handle m in
+          physeq_add m h;
+          h
+        end
+        else begin
+          let table = intern_table () in
+          let t0 = Telemetry.Clock.now_ns () in
+          let key =
+            Metrics.Timer.time ledger_key
+              ~labels:[ ("op", "intern") ]
+              (fun () -> canonical_key m)
+          in
+          let key_ns = Int64.sub (Telemetry.Clock.now_ns ()) t0 in
+          match Hashtbl.find_opt table key with
+          | Some h ->
+              Metrics.Counter.incr intern_hit 1;
+              Gate.note "intern" a ~can_trip:false ~hit:true ~key_ns ~miss_ns:0L;
+              physeq_add m h;
+              h
+          | None ->
+              Metrics.Counter.incr intern_miss 1;
+              Metrics.Histogram.observe machine_states
+                (float_of_int (Nfa.num_states m));
+              let t1 = Telemetry.Clock.now_ns () in
+              let h =
+                Metrics.Timer.time ledger_miss
+                  ~labels:[ ("op", "intern") ]
+                  (fun () -> fresh_handle m)
+              in
+              let miss_ns = Int64.sub (Telemetry.Clock.now_ns ()) t1 in
+              h.keyed <- true;
+              Hashtbl.replace table key h;
+              Gate.note "intern" a ~can_trip:false ~hit:false ~key_ns ~miss_ns;
+              physeq_add m h;
+              h
+        end
 
 let canon m = if not (enabled ()) then m else (intern m).nfa
+
+(* ------------------------------------------------------------------ *)
+(* Constant fast paths *)
+
+(* The dominant intern traffic in the analysis layers is re-interning
+   machines rebuilt from the same constant — word literals evaluated
+   once per fixpoint iteration, the implicit-top Σ* looked up on every
+   absent binding. Both have a far cheaper stable key than the
+   canonical serialization: the string itself, or nothing at all. The
+   handles they return are [keyed] (their ids are stable per domain),
+   so downstream op memos work at full strength without the tax. *)
+
+let word_table_key : (string, handle) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 256)
+
+let of_word w =
+  if not (enabled ()) then fresh_handle (Nfa.of_word w)
+  else
+    let table = Domain.DLS.get word_table_key in
+    match Hashtbl.find_opt table w with
+    | Some h ->
+        Metrics.Counter.incr intern_hit 1;
+        h
+    | None ->
+        (* one canonical-key toll (unless size-gated) so an equal
+           machine arriving via another construction path still shares
+           the handle; every later ask for this word is a string hash *)
+        let h = intern (Nfa.of_word w) in
+        h.keyed <- true;
+        Hashtbl.replace table w h;
+        h
+
+let top_handle_key : handle option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let top () =
+  if not (enabled ()) then fresh_handle Nfa.sigma_star
+  else
+    let r = Domain.DLS.get top_handle_key in
+    match !r with
+    | Some h ->
+        Metrics.Counter.incr intern_hit 1;
+        h
+    | None ->
+        let h = intern Nfa.sigma_star in
+        h.keyed <- true;
+        r := Some h;
+        h
 
 (* ------------------------------------------------------------------ *)
 (* Per-handle memo slots *)
@@ -221,13 +448,31 @@ let is_empty h =
         h.empty_memo <- Some b;
         b
 
+let compacted h =
+  if not (enabled ()) then fresh_handle (Dfa.to_nfa (min_dfa h))
+  else
+    match h.compact_memo with
+    | Some c -> c
+    | None ->
+        let c = intern (Dfa.to_nfa (min_dfa h)) in
+        h.compact_memo <- Some c;
+        (* compaction is idempotent: re-minimizing a machine that is
+           already a minimal DFA yields an isomorphic machine, hence
+           the same canonical key and the same handle *)
+        c.compact_memo <- Some c;
+        c
+
 (* ------------------------------------------------------------------ *)
 (* Generic bounded LRU memoization *)
 
 module Memo = struct
   type 'v entry = { value : 'v; mutable stamp : int }
 
-  type 'v state = { table : (int list, 'v entry) Hashtbl.t; mutable tick : int }
+  type 'v state = {
+    table : (int list, 'v entry) Hashtbl.t;
+    mutable tick : int;
+    gate : Gate.acc;
+  }
 
   (* A memo names a per-domain table: [create] allocates a DLS key and
      each domain materializes its own state on first use, for the same
@@ -248,13 +493,17 @@ module Memo = struct
   let capacity = ref 4096
 
   let create ~op =
-    let key = Domain.DLS.new_key (fun () -> { table = Hashtbl.create 64; tick = 0 }) in
+    let key =
+      Domain.DLS.new_key (fun () ->
+          { table = Hashtbl.create 64; tick = 0; gate = Gate.make_acc () })
+    in
     let t = { op; key } in
     clearers :=
       (fun () ->
         let s = Domain.DLS.get key in
         Hashtbl.reset s.table;
-        s.tick <- 0)
+        s.tick <- 0;
+        Gate.reset_acc s.gate)
       :: !clearers;
     t
 
@@ -283,23 +532,35 @@ module Memo = struct
     if not (enabled ()) then f ()
     else begin
       let s = Domain.DLS.get t.key in
-      s.tick <- s.tick + 1;
-      let labels = [ ("op", t.op) ] in
-      let found =
-        Metrics.Timer.time ledger_key ~labels (fun () ->
-            Hashtbl.find_opt s.table key)
-      in
-      match found with
-      | Some e ->
-          e.stamp <- s.tick;
-          Metrics.Counter.incr ~labels opcache_hit 1;
-          e.value
-      | None ->
-          Metrics.Counter.incr ~labels opcache_miss 1;
-          let v = Metrics.Timer.time ledger_miss ~labels f in
-          if Hashtbl.length s.table >= !capacity then evict_half t.op s;
-          Hashtbl.replace s.table key { value = v; stamp = s.tick };
-          v
+      if s.gate.Gate.disabled then begin
+        Gate.skip t.op;
+        f ()
+      end
+      else begin
+        s.tick <- s.tick + 1;
+        let labels = [ ("op", t.op) ] in
+        let t0 = Telemetry.Clock.now_ns () in
+        let found =
+          Metrics.Timer.time ledger_key ~labels (fun () ->
+              Hashtbl.find_opt s.table key)
+        in
+        let key_ns = Int64.sub (Telemetry.Clock.now_ns ()) t0 in
+        match found with
+        | Some e ->
+            e.stamp <- s.tick;
+            Metrics.Counter.incr ~labels opcache_hit 1;
+            Gate.note t.op s.gate ~can_trip:true ~hit:true ~key_ns ~miss_ns:0L;
+            e.value
+        | None ->
+            Metrics.Counter.incr ~labels opcache_miss 1;
+            let t1 = Telemetry.Clock.now_ns () in
+            let v = Metrics.Timer.time ledger_miss ~labels f in
+            let miss_ns = Int64.sub (Telemetry.Clock.now_ns ()) t1 in
+            if Hashtbl.length s.table >= !capacity then evict_half t.op s;
+            Hashtbl.replace s.table key { value = v; stamp = s.tick };
+            Gate.note t.op s.gate ~can_trip:true ~hit:false ~key_ns ~miss_ns;
+            v
+      end
     end
 end
 
@@ -311,21 +572,67 @@ let concat_memo : handle Memo.t = Memo.create ~op:"concat_lang"
 let union_memo : handle Memo.t = Memo.create ~op:"union_lang"
 let cex_memo : string option Memo.t = Memo.create ~op:"counterexample"
 
+(* A pair is worth memoizing only when both ids are stable (a gated
+   handle's id never repeats — caching on it fills the table with
+   entries no lookup can ever hit) and the operands carry enough
+   states for a recompute to cost more than the table traffic. *)
+let memoizable h1 h2 =
+  h1.keyed && h2.keyed
+  && Nfa.num_states h1.nfa + Nfa.num_states h2.nfa
+     >= Atomic.get Gate.min_states
+
+let cached_binop memo op f h1 h2 =
+  if (not (enabled ())) || memoizable h1 h2 then
+    Memo.find_or_compute memo ~key:[ h1.id; h2.id ] f
+  else begin
+    Gate.skip op;
+    f ()
+  end
+
+(* Algebraic identities, checked by handle identity before any table
+   is consulted: the same physical handle is trivially the same
+   language, and the per-domain Σ* handle absorbs/neutralizes lattice
+   ops. The abstract-interpretation layer hits these constantly — a
+   join point unions each unchanged binding with itself, and a fresh
+   variable's first refinement intersects with implicit top — and
+   every shortcut here skips a whole product construction. Sound with
+   the store disabled too ([==] on handles never cross-identifies);
+   [is_top] only ever matches the cached enabled-path handle. *)
+let is_top h =
+  match !(Domain.DLS.get top_handle_key) with
+  | Some t -> t == h
+  | None -> false
+
 let inter_lang h1 h2 =
-  Memo.find_or_compute inter_memo ~key:[ h1.id; h2.id ] (fun () ->
-      intern (Ops.inter_lang h1.nfa h2.nfa))
+  if h1 == h2 then h1
+  else if is_top h1 then h2
+  else if is_top h2 then h1
+  else
+    cached_binop inter_memo "inter_lang"
+      (fun () -> intern (Ops.inter_lang h1.nfa h2.nfa))
+      h1 h2
 
 let concat_lang h1 h2 =
-  Memo.find_or_compute concat_memo ~key:[ h1.id; h2.id ] (fun () ->
-      intern (Ops.concat_lang h1.nfa h2.nfa))
+  cached_binop concat_memo "concat_lang"
+    (fun () -> intern (Ops.concat_lang h1.nfa h2.nfa))
+    h1 h2
 
 let union_lang h1 h2 =
-  Memo.find_or_compute union_memo ~key:[ h1.id; h2.id ] (fun () ->
-      intern (Ops.union_lang h1.nfa h2.nfa))
+  if h1 == h2 then h1
+  else if is_top h1 then h1
+  else if is_top h2 then h2
+  else
+    cached_binop union_memo "union_lang"
+      (fun () -> intern (Ops.union_lang h1.nfa h2.nfa))
+      h1 h2
 
 let counterexample h1 h2 =
-  Memo.find_or_compute cex_memo ~key:[ h1.id; h2.id ] (fun () ->
-      Lang.counterexample h1.nfa h2.nfa)
+  if h1 == h2 then None
+  else if is_top h2 then None (* L ⊆ Σ* *)
+  else
+    cached_binop cex_memo "counterexample"
+      (fun () -> Lang.counterexample h1.nfa h2.nfa)
+      h1 h2
 
 let subset h1 h2 = counterexample h1 h2 = None
 let equal h1 h2 = subset h1 h2 && subset h2 h1
@@ -435,7 +742,13 @@ end
 
 let clear () =
   Hashtbl.reset (intern_table ());
+  Hashtbl.reset (Domain.DLS.get word_table_key);
+  Domain.DLS.get top_handle_key := None;
+  Domain.DLS.get physeq_key := [];
+  Gate.reset_acc (Domain.DLS.get intern_gate_key);
   List.iter (fun f -> f ()) !Memo.clearers
+
+let on_clear f = Memo.clearers := f :: !Memo.clearers
 
 let set_enabled b =
   let was = Atomic.get enabled_flag in
@@ -443,3 +756,17 @@ let set_enabled b =
   if was && not b then clear ()
 
 let set_capacity n = Memo.capacity := max 16 n
+let set_memo_min_states n = Atomic.set Gate.min_states (max 0 n)
+let memo_min_states () = Atomic.get Gate.min_states
+let set_memo_max_states n = Atomic.set Gate.max_states (max 1 n)
+let memo_max_states () = Atomic.get Gate.max_states
+let set_auto_gate b = Atomic.set Gate.auto b
+let auto_gate () = Atomic.get Gate.auto
+
+let set_gate_thresholds ?min_samples ?trip_saved_ns () =
+  Option.iter
+    (fun n -> Atomic.set Gate.min_samples (max 64 n))
+    min_samples;
+  Option.iter
+    (fun n -> Atomic.set Gate.trip_saved_ns (max 0 n))
+    trip_saved_ns

@@ -43,8 +43,35 @@ type handle
 
 (** Intern a machine, returning its shared handle. When the store is
     disabled this is a fresh passthrough handle wrapping [m] itself
-    (no key is computed). *)
+    (no key is computed).
+
+    Interning is {e cost-gated}: machines below the size threshold
+    ({!set_memo_min_states}) skip the canonical key and come back as
+    fresh unshared handles (serializing a 2-state machine costs more
+    than rebuilding it); machines above the ceiling
+    ({!set_memo_max_states}) skip it from the other side — the key is
+    a full serialization whose cost scales with the machine while the
+    memo hits it enables do not, so a 500-state preimage pays more to
+    key than any hit saves. Repeated interns of the same physical
+    machine still share a handle via a small pointer-equality MRU
+    (sound because {!Nfa.t} is immutable). Finally, a domain whose
+    running ledger shows keying losing outright stops paying it
+    altogether ({!set_auto_gate}). All decisions are observable via
+    the [store.gate.skip{op=...}] and [store.gate.tripped{op=...}]
+    counters. *)
 val intern : Nfa.t -> handle
+
+(** [of_word w] = the interned handle of [Nfa.of_word w], served from
+    a per-domain word table keyed by [w] itself — no machine rebuild,
+    no canonical key after the first ask. The fast path for constant
+    hot loops (abstract interpretation re-evaluating the same literal
+    every iteration). Counts as an intern hit. *)
+val of_word : string -> handle
+
+(** The interned handle of [Nfa.sigma_star] (Σ*, the implicit top of
+    the analysis domain), cached per domain. Counts as an intern
+    hit. *)
+val top : unit -> handle
 
 (** The handle's representative machine: the first machine interned
     under its canonical key (language-equal to every machine since
@@ -73,10 +100,25 @@ val minimized : handle -> Nfa.t
 (** Language emptiness, computed once. *)
 val is_empty : handle -> bool
 
+(** The interned handle of the machine's minimal DFA, computed (and
+    canonically keyed) once per handle. The analysis layer's value
+    compaction calls this once per refine/join — without the slot it
+    would re-pay the canonical key of the minimized machine on every
+    visit even when {!min_dfa} hits. *)
+val compacted : handle -> handle
+
 (** {1 Cached binary operations}
 
     Results are themselves interned, so algebraically convergent
-    expressions share handles across different operation paths. *)
+    expressions share handles across different operation paths.
+
+    Lookups are cost-gated: a pair is memoized only when both operand
+    handles are stable (interned, not size-gated fresh handles — a
+    never-repeating id fills the table with unreachable entries) and
+    their combined size is at least {!set_memo_min_states}; below
+    that, recomputing is cheaper than the table traffic. An op class
+    whose running ledger stays parasitic is auto-disabled per domain
+    ({!set_auto_gate}). *)
 
 val inter_lang : handle -> handle -> handle
 
@@ -156,10 +198,61 @@ val set_enabled : bool -> unit
 
 (** Drop the calling domain's intern table and every op-cache
     (outstanding handles stay valid; their memo slots are
-    unaffected). Benchmarks call this between arms. *)
+    unaffected), and reset the cost gate's accumulators. Benchmarks
+    call this between arms. *)
 val clear : unit -> unit
+
+(** Register an external cache-reset hook to run on every {!clear} —
+    for higher-layer caches of handles (e.g. the analysis layer's
+    condition-language table) that must not outlive the store state
+    they were built from. Call at module-init time, before any worker
+    domain exists. *)
+val on_clear : (unit -> unit) -> unit
 
 (** Per-table entry cap for the LRU op-caches (default 4096; at least
     16). When a table fills, the least-recently-used half is evicted
     in one batch. *)
 val set_capacity : int -> unit
+
+(** {1 Cost gate}
+
+    Policy end of the ledger: memoize only where it pays. *)
+
+(** Size threshold (states; default 4, 0 disables the size gate):
+    machines below it are not interned, and op pairs whose combined
+    operand size is below it are not memoized. Process-wide; set
+    before spawning workers. *)
+val set_memo_min_states : int -> unit
+
+val memo_min_states : unit -> int
+
+(** Size ceiling (states; default 256, clamps at 1): machines above
+    it are not canonically keyed — they come back as fresh handles
+    shared only by pointer identity. The canonical key serializes the
+    whole trimmed machine, so its cost grows with the machine while a
+    memo hit's value does not; past the ceiling the key is the most
+    expensive thing the store does. Process-wide; set before spawning
+    workers. *)
+val set_memo_max_states : int -> unit
+
+val memo_max_states : unit -> int
+
+(** Ledger-driven auto-disable (default on): per domain and per op
+    class, once enough events were seen ([min_samples], default 512)
+    and the running net-saved estimate stays below [-trip_saved_ns]
+    (default 5 ms), that cache is switched off for the rest of the
+    domain's life — sticky, counted by [store.gate.tripped{op=...}].
+    The thresholds are high-hysteresis on purpose: bench diffs
+    hard-gate counters, so only an unambiguously parasitic cache may
+    trip on a deterministic workload. [set_auto_gate false] is the
+    ablation override for bench arms that need timing-independent
+    counter streams. *)
+val set_auto_gate : bool -> unit
+
+val auto_gate : unit -> bool
+
+(** Tighten or relax the auto-disable hysteresis ([min_samples]
+    clamps at 64, [trip_saved_ns] at 0). Tests use this to trip the
+    gate on synthetic workloads without waiting for 5 ms of waste. *)
+val set_gate_thresholds :
+  ?min_samples:int -> ?trip_saved_ns:int -> unit -> unit

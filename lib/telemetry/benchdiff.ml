@@ -33,9 +33,47 @@ type report = {
   skipped : string list;
 }
 
-let default_skip = [ "bechamel/microbench"; "parallel/engine" ]
+let default_skip = [ "bechamel/microbench"; "parallel/*" ]
 let hard_count r = List.length (List.filter (fun f -> f.severity = Hard) r.findings)
 let warn_count r = List.length (List.filter (fun f -> f.severity = Warn) r.findings)
+
+(* Skip/include entries are glob patterns: [*] matches any substring
+   (including [/]), every other character is literal. Matching is the
+   classic greedy scan — anchor the first and last literal chunks,
+   find the middle chunks left to right. *)
+let glob_matches pat name =
+  match String.split_on_char '*' pat with
+  | [ lit ] -> lit = name
+  | chunks ->
+      let n = String.length name in
+      let find_from pos chunk =
+        let cl = String.length chunk in
+        let rec go i =
+          if i + cl > n then None
+          else if String.sub name i cl = chunk then Some (i + cl)
+          else go (i + 1)
+        in
+        go pos
+      in
+      let rec scan pos ~last = function
+        | [] -> pos = n
+        | [ chunk ] when last ->
+            let cl = String.length chunk in
+            cl <= n - pos && String.sub name (n - cl) cl = chunk
+        | chunk :: rest -> (
+            match find_from pos chunk with
+            | None -> false
+            | Some pos' -> scan pos' ~last rest)
+      in
+      (match chunks with
+      | first :: rest ->
+          let fl = String.length first in
+          fl <= n
+          && String.sub name 0 fl = first
+          && scan fl ~last:true rest
+      | [] -> false)
+
+let matches_any pats name = List.exists (fun p -> glob_matches p name) pats
 
 let starts_with ~prefix s =
   String.length s >= String.length prefix
@@ -244,9 +282,12 @@ let experiments doc =
            items)
   | _ -> Error "no experiments array"
 
-let run ?(threshold = 1.5) ?(wall_warn_only = false) ?(skip = []) ~old_doc ~new_doc
-    () =
-  let skip = skip @ default_skip in
+let run ?(threshold = 1.5) ?(wall_warn_only = false) ?(skip = [])
+    ?(include_ = []) ~old_doc ~new_doc () =
+  let skip_pats = skip @ default_skip in
+  (* an --include glob opts an experiment back in even when a skip
+     pattern (default or explicit) covers it *)
+  let skip name = matches_any skip_pats name && not (matches_any include_ name) in
   let ( let* ) = Result.bind in
   let findings = ref [] in
   let schema doc =
@@ -263,11 +304,11 @@ let run ?(threshold = 1.5) ?(wall_warn_only = false) ?(skip = []) ~old_doc ~new_
       :: !findings;
   let* old_exps = experiments old_doc in
   let* new_exps = experiments new_doc in
-  let skipped e = List.mem (fst e) skip in
+  let skipped e = skip (fst e) in
   let compared = ref 0 in
   List.iter
     (fun (name, new_e) ->
-      if not (List.mem name skip) then
+      if not (skip name) then
         match List.assoc_opt name old_exps with
         | None ->
             findings :=
@@ -285,7 +326,7 @@ let run ?(threshold = 1.5) ?(wall_warn_only = false) ?(skip = []) ~old_doc ~new_
     new_exps;
   List.iter
     (fun (name, _) ->
-      if (not (List.mem name skip)) && not (List.mem_assoc name new_exps) then
+      if (not (skip name)) && not (List.mem_assoc name new_exps) then
         findings :=
           {
             experiment = name;

@@ -9,7 +9,9 @@
     be demoted to warnings (CI runs wall-warn-only). Timer
     nanoseconds, timestamps, and derived floats are never gated.
     Experiments with inherently nondeterministic counters (bechamel,
-    the parallel engine arm) are skipped by default. *)
+    the [parallel/*] arms — absorbed worker counters depend on which
+    domain won each job) are skipped by default; [include_] globs opt
+    them back in, e.g. on a runner with known core count. *)
 
 type severity = Hard | Warn
 
@@ -26,17 +28,21 @@ type report = {
   skipped : string list;
 }
 
+(** Skip globs applied on every run: [*] matches any substring, all
+    other characters are literal. *)
 val default_skip : string list
 
 (** [run ~old_doc ~new_doc ()] compares two parsed bench documents.
     [threshold] (default 1.5) is the wall-time regression ratio;
-    [wall_warn_only] demotes wall findings to warnings; [skip] names
-    additional experiments to ignore. [Error _] when either document
-    lacks an [experiments] array. *)
+    [wall_warn_only] demotes wall findings to warnings; [skip] adds
+    experiment globs to ignore on top of {!default_skip}; [include_]
+    globs override every skip (explicit opt-in wins). [Error _] when
+    either document lacks an [experiments] array. *)
 val run :
   ?threshold:float ->
   ?wall_warn_only:bool ->
   ?skip:string list ->
+  ?include_:string list ->
   old_doc:Json.t ->
   new_doc:Json.t ->
   unit ->

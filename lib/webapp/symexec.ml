@@ -124,39 +124,42 @@ let rec concrete_cond env : Ast.cond -> bool option = function
           | Ast.Len_ge -> len >= n)
         (concrete_string (eval_sym env e))
 
-(* Translate a condition (taken with polarity [value]) into an
-   obligation on its symbolic operand. *)
-let rec obligation_of_cond env value : Ast.cond -> obligation = function
-  | Ast.Not c -> obligation_of_cond env (not value) c
-  | Ast.Preg_match (pattern, e) ->
+(* Guard-language cache: the DFS re-derives the same syntactic
+   guard's language on every path through it, and each derivation
+   pays a regex compile, or a determinize + complement, plus a
+   canonical key — on filler-heavy pages this was the single largest
+   intern-key source in the whole pipeline. Keyed structurally on
+   (condition, polarity); per-domain (machines may flow into
+   handles), reset with the store so ablation runs stay faithful. *)
+let guard_lang_table :
+    (Ast.cond * bool, Nfa.t * string) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
+
+let () =
+  Store.on_clear (fun () -> Hashtbl.reset (Domain.DLS.get guard_lang_table))
+
+let build_guard_lang value : Ast.cond -> Nfa.t * string = function
+  | Ast.Not _ -> assert false (* unwrapped by [obligation_of_cond] *)
+  | Ast.Preg_match (pattern, _) ->
       let lang =
         if value then Regex.Compile.pattern_to_nfa pattern
         else Regex.Compile.pattern_reject_nfa pattern
       in
-      {
-        sym = normalize (eval_sym env e);
-        lang;
-        descr =
-          Fmt.str "%spreg_match(%a)" (if value then "" else "!") Regex.Ast.pp_pattern
-            pattern;
-      }
-  | Ast.Str_eq (e, s) ->
-      (* interned: the same guard recurs on every path through it, and
-         the reject branch's complement comes from the handle's
-         memoized determinization *)
-      let word = Store.intern (Nfa.of_word s) in
+      ( lang,
+        Fmt.str "%spreg_match(%a)" (if value then "" else "!")
+          Regex.Ast.pp_pattern pattern )
+  | Ast.Str_eq (_, s) ->
+      (* interned: the reject branch's complement comes from the
+         handle's memoized determinization *)
+      let word = Store.of_word s in
       let lang =
         if value then Store.nfa word
         else
           Store.canon
             (Automata.Dfa.to_nfa (Automata.Dfa.complement (Store.dfa word)))
       in
-      {
-        sym = normalize (eval_sym env e);
-        lang;
-        descr = Fmt.str "%s== %S" (if value then "" else "!") s;
-      }
-  | Ast.Strlen (e, cmp, n) ->
+      (lang, Fmt.str "%s== %S" (if value then "" else "!") s)
+  | Ast.Strlen (_, cmp, n) ->
       (* §3.1.2: a length check is the regular language .{n} / .{0,n}
          / .{n,} *)
       let any = Nfa.of_charset Charset.full in
@@ -173,11 +176,26 @@ let rec obligation_of_cond env value : Ast.cond -> obligation = function
           Store.canon
             (Automata.Dfa.to_nfa (Automata.Dfa.complement (Store.dfa accept)))
       in
-      {
-        sym = normalize (eval_sym env e);
-        lang;
-        descr = Fmt.str "%sstrlen %d" (if value then "" else "!") n;
-      }
+      (lang, Fmt.str "%sstrlen %d" (if value then "" else "!") n)
+
+let guard_lang value c =
+  if not (Store.enabled ()) then build_guard_lang value c
+  else
+    let table = Domain.DLS.get guard_lang_table in
+    match Hashtbl.find_opt table (c, value) with
+    | Some entry -> entry
+    | None ->
+        let entry = build_guard_lang value c in
+        Hashtbl.replace table (c, value) entry;
+        entry
+
+(* Translate a condition (taken with polarity [value]) into an
+   obligation on its symbolic operand. *)
+let rec obligation_of_cond env value : Ast.cond -> obligation = function
+  | Ast.Not c -> obligation_of_cond env (not value) c
+  | (Ast.Preg_match (_, e) | Ast.Str_eq (e, _) | Ast.Strlen (e, _, _)) as c ->
+      let lang, descr = guard_lang value c in
+      { sym = normalize (eval_sym env e); lang; descr }
 
 (* Build a System.t from the accumulated obligations. Literals become
    named constants (deduplicated by content); the obligation languages

@@ -74,6 +74,19 @@ A raised threshold tolerates the same wall delta entirely:
   skipped (nondeterministic): parallel/engine
   bench diff clean: 2 experiments compared
 
+--include globs opt skipped experiments back in (for runners where
+the parallel arms are known-deterministic, e.g. pinned core counts):
+
+  $ dprle-bench --diff old.json old.json --include 'parallel/*'
+  bench diff clean: 3 experiments compared
+
+  $ sed -e 's/"solves":48/"solves":50/' old.json > par.json
+  $ dprle-bench --diff old.json par.json --include 'parallel/*'
+  FAIL parallel/engine: solves: 48 -> 50
+  bench diff: 3 experiments compared, 1 hard, 0 warn
+  regressed: parallel/engine
+  [1]
+
 A disappearing experiment is a hard finding:
 
   $ sed -e 's/"name":"fig1\/motivating"/"name":"fig1\/renamed"/' old.json > renamed.json
@@ -88,7 +101,7 @@ A disappearing experiment is a hard finding:
 Usage and parse errors exit 2:
 
   $ dprle-bench --diff old.json
-  usage: bench --diff OLD.json NEW.json [--threshold X] [--wall-warn-only] [--skip NAME]...
+  usage: bench --diff OLD.json NEW.json [--threshold X] [--wall-warn-only] [--skip GLOB]... [--include GLOB]...
   [2]
 
   $ echo 'not json' > bad.json

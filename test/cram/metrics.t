@@ -17,26 +17,27 @@ nanoseconds — wall clock would make this output flaky).
   automata.products_built = 2
   automata.states_visited = 629
   solver.solves = 1
-  store.intern.hit = 26
-  store.intern.miss = 17
+  store.gate.skip{op=concat_lang} = 1
+  store.gate.skip{op=intern} = 7
+  store.intern.hit = 20
+  store.intern.miss = 16
   store.opcache.hit{op=counterexample} = 1
   store.opcache.hit{op=is_singleton} = 1
-  store.opcache.miss{op=concat_lang} = 1
-  store.opcache.miss{op=counterexample} = 4
+  store.opcache.miss{op=counterexample} = 2
   store.opcache.miss{op=inter_lang} = 1
   store.opcache.miss{op=is_singleton} = 1
   store.opcache.miss{op=residual.max_middle} = 2
-  automata.bfs.frontier: count=104 sum=191 max=6
+  automata.bfs.frontier: count=76 sum=183 max=6
   automata.concat.states{dir=in}: count=43 sum=583 max=48
   automata.concat.states{dir=out}: count=43 sum=583 max=48
   automata.product.states{dir=in}: count=2 sum=64 max=48
   automata.product.states{dir=out}: count=2 sum=46 max=33
-  automata.subset.visited: count=4 sum=21 max=8
+  automata.subset.visited: count=2 sum=12 max=8
   solver.group_combinations: count=1 sum=2 max=2
-  store.machine.states: count=17 sum=264 max=48
+  store.machine.states: count=16 sum=262 max=48
   automata.dfa.determinize: count=18
   automata.dfa.minimize: count=4
-  automata.lang.counterexample: count=4
+  automata.lang.counterexample: count=2
   automata.ops.concat: count=43
   automata.ops.intersect: count=2
   solver.phase{phase=build-machines}: count=1
@@ -46,16 +47,14 @@ nanoseconds — wall clock would make this output flaky).
   solver.phase{phase=preprocess}: count=1
   solver.phase{phase=reduce}: count=1
   solver.phase{phase=solve}: count=1
-  store.ledger.key{op=concat_lang}: count=1
-  store.ledger.key{op=counterexample}: count=5
+  store.ledger.key{op=counterexample}: count=3
   store.ledger.key{op=inter_lang}: count=1
-  store.ledger.key{op=intern}: count=43
+  store.ledger.key{op=intern}: count=24
   store.ledger.key{op=is_singleton}: count=2
   store.ledger.key{op=residual.max_middle}: count=2
-  store.ledger.miss{op=concat_lang}: count=1
-  store.ledger.miss{op=counterexample}: count=4
+  store.ledger.miss{op=counterexample}: count=2
   store.ledger.miss{op=inter_lang}: count=1
-  store.ledger.miss{op=intern}: count=17
+  store.ledger.miss{op=intern}: count=16
   store.ledger.miss{op=is_singleton}: count=1
   store.ledger.miss{op=residual.max_middle}: count=2
 

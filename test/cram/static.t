@@ -18,7 +18,7 @@ With the static layer (the default), the widened abstraction of $ids
 contains no quote, so the sink is proved safe with no solving at all:
 
   $ webcheck loop.mphp
-  loop.mphp: 4 basic blocks, 17 sink-reaching path candidates
+  loop.mphp: 4 basic blocks, all 1 sink(s) proved safe statically (symbolic execution skipped)
   sink 0: proved safe statically
   no exploitable path found
   [1]
@@ -49,10 +49,10 @@ sink safe, so nothing is pruned):
   $ cmp with.txt without.txt && echo identical
   identical
 
-A conditional sanitizer is where the branch-sensitive refinement
-matters: the quote-stripping branch makes the sink safe, and the
-analysis proves it even though a path-insensitive view of $x would
-still contain a quote:
+On a small loop-free program the fixpoint has nothing to add:
+exhaustive symbolic execution is exact there, so a cheap pre-pass
+skips the static layer rather than paying for both (the verdict is
+the same; the work is not):
 
   $ cat > sanitized.mphp <<'PHP'
   > $x = input("x");
@@ -63,6 +63,16 @@ still contain a quote:
 
   $ webcheck sanitized.mphp
   sanitized.mphp: 3 basic blocks, 1 sink-reaching path candidates
+  no exploitable path found
+  [1]
+
+--prepass-paths 0 disables the pre-pass; the fixpoint then runs and
+proves the sink safe branch-sensitively — the quote-stripping branch
+makes it safe even though a path-insensitive view of $x would still
+contain a quote:
+
+  $ webcheck sanitized.mphp --prepass-paths 0
+  sanitized.mphp: 3 basic blocks, all 1 sink(s) proved safe statically (symbolic execution skipped)
   sink 0: proved safe statically
   no exploitable path found
   [1]

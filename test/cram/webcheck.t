@@ -26,7 +26,6 @@ The fixed program is safe (exit code 1):
 
   $ webcheck fixed.mphp
   fixed.mphp: 3 basic blocks, 1 sink-reaching path candidates
-  sink 0: proved safe statically
   no exploitable path found
   [1]
 

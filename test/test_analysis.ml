@@ -109,6 +109,49 @@ let fixpoint_tests =
                  query("SELECT * FROM t WHERE id=" . $x);|})
         in
         check_bool "safe" true (Fixpoint.safe_sink_ids r = [ 0 ]));
+    test "analyze_cached reuses results and resets with the store" (fun () ->
+        Store.clear ();
+        let program = parse fixed_source in
+        let count name snap =
+          Telemetry.Metrics.Snapshot.counter_value snap name
+        in
+        let before = Telemetry.Metrics.Snapshot.of_default () in
+        let r1 =
+          Fixpoint.analyze_cached ~attack:Attack.contains_quote program
+        in
+        let r2 =
+          Fixpoint.analyze_cached ~attack:Attack.contains_quote program
+        in
+        let diff =
+          Telemetry.Metrics.Snapshot.diff
+            ~after:(Telemetry.Metrics.Snapshot.of_default ())
+            ~before
+        in
+        check_bool "same result object" true (r1 == r2);
+        check_int "one miss" 1 (count "analysis.fixpoint.cache.miss" diff);
+        check_int "one hit" 1 (count "analysis.fixpoint.cache.hit" diff);
+        (* a different widening budget is a different key *)
+        let r3 =
+          Fixpoint.analyze_cached ~widen_delay:1
+            ~attack:Attack.contains_quote program
+        in
+        check_bool "parameters key the cache" true (r1 != r3);
+        (* clearing the store voids the cache: handles would be stale *)
+        Store.clear ();
+        let before = Telemetry.Metrics.Snapshot.of_default () in
+        let r4 =
+          Fixpoint.analyze_cached ~attack:Attack.contains_quote program
+        in
+        let diff =
+          Telemetry.Metrics.Snapshot.diff
+            ~after:(Telemetry.Metrics.Snapshot.of_default ())
+            ~before
+        in
+        check_bool "recomputed after clear" true (r1 != r4);
+        check_int "miss after clear" 1
+          (count "analysis.fixpoint.cache.miss" diff);
+        check_bool "verdicts agree" true
+          (Fixpoint.safe_sink_ids r1 = Fixpoint.safe_sink_ids r4));
   ]
 
 (* ------------------------------------------------------------------ *)

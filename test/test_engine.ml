@@ -100,8 +100,8 @@ let engine_tests =
           go 0
         in
         match List.map (fun r -> r.Engine.outcome) results with
-        | [ Engine.Done 0; Engine.Failed msg; Engine.Done 2 ] ->
-            check_bool "message kept" true (contains_boom msg)
+        | [ Engine.Done 0; Engine.Failed f; Engine.Done 2 ] ->
+            check_bool "message kept" true (contains_boom f.Engine.message)
         | _ -> Alcotest.fail "expected Done/Failed/Done");
     test "one over-budget job degrades without sinking the batch" (fun () ->
         let results, _ =
@@ -209,6 +209,70 @@ let engine_tests =
         check_int "one intern miss per job" 8 misses;
         check_int "one intern hit per job" 8 hits;
         check_int "two key computations per job" 16 keyed);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Persistent pool                                                    *)
+
+let pool_tests =
+  [
+    test "a reused pool keeps worker stores warm across batches" (fun () ->
+        (* one worker, so scheduling can't blur the ledger: batch 1
+           pays the word's single intern miss; batch 2 on the same
+           pool must be all hits — the worker domain (and its DLS
+           store) survived between batches *)
+        let module Snapshot = Telemetry.Metrics.Snapshot in
+        Automata.Store.clear ();
+        Engine.Pool.with_pool ~size:1 @@ fun pool ->
+        let work = List.init 8 (fun i -> i) in
+        let job _ _ = ignore (Automata.Store.intern (Nfa.of_word "pool-warm")) in
+        let _ = Engine.Pool.map pool ~f:job work in
+        let before = Snapshot.of_default () in
+        let _ = Engine.Pool.map pool ~f:job work in
+        let diff = Snapshot.diff ~after:(Snapshot.of_default ()) ~before in
+        check_int "no misses in the second batch" 0
+          (Snapshot.counter_value diff "store.intern.miss");
+        check_int "every job hit the warm store" 8
+          (Snapshot.counter_value diff "store.intern.hit"));
+    test "pool shutdown is idempotent and map then refuses" (fun () ->
+        let pool = Engine.Pool.create ~size:2 () in
+        check_bool "alive" true (Engine.Pool.alive pool);
+        let results, _ = Engine.Pool.map pool ~f:(fun _ n -> n + 1) [ 1; 2; 3 ] in
+        check_int "batch ran" 3 (List.length results);
+        Engine.Pool.shutdown pool;
+        check_bool "dead" false (Engine.Pool.alive pool);
+        Engine.Pool.shutdown pool;
+        (* second shutdown is a no-op *)
+        check_bool "still dead" false (Engine.Pool.alive pool);
+        match Engine.Pool.map pool ~f:(fun _ n -> n) [ 1 ] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "map on a shut-down pool must raise");
+    test "determinism on the pool path: size=1 and size=4 render identically"
+      (fun () ->
+        let work =
+          List.concat
+            (List.init 3 (fun _ -> [ fig1_source; fixed_source; bad_source ]))
+        in
+        let run size =
+          Engine.Pool.with_pool ~size @@ fun pool ->
+          (* two batches per pool: reuse must not leak state into the
+             rendered reports either *)
+          let _ =
+            Engine.Pool.map pool ~f:(fun _ src -> solve_and_render src) work
+          in
+          let results, stats =
+            Engine.Pool.map pool ~f:(fun _ src -> solve_and_render src) work
+          in
+          check_int "pool size" (min size (List.length work))
+            stats.Engine.workers;
+          List.map render results
+        in
+        Alcotest.(check (list string)) "reports" (run 1) (run 4));
+    test "pool map on an empty batch is a no-op" (fun () ->
+        Engine.Pool.with_pool ~size:2 @@ fun pool ->
+        let results, stats = Engine.Pool.map pool ~f:(fun _ n -> n) [] in
+        check_int "no results" 0 (List.length results);
+        check_int "no jobs" 0 stats.Engine.jobs);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -373,6 +437,7 @@ let api_tests =
 let suite =
   [
     ("engine:map", engine_tests);
+    ("engine:pool", pool_tests);
     ("engine:budget", budget_tests);
     ("engine:api", api_tests);
   ]

@@ -16,6 +16,10 @@ let with_store_reset f =
     ~finally:(fun () ->
       Store.set_enabled true;
       Store.set_capacity 4096;
+      Store.set_memo_min_states 4;
+      Store.set_memo_max_states 256;
+      Store.set_auto_gate true;
+      Store.set_gate_thresholds ~min_samples:512 ~trip_saved_ns:5_000_000 ();
       Store.clear ())
     f
 
@@ -91,12 +95,20 @@ let memo_tests =
     test "interning ignores state numbering and dead states" (fun () ->
         with_store_reset @@ fun () ->
         (* same machine built twice: once plainly, once with junk
-           states and a different allocation order *)
+           states and a different allocation order — big enough to be
+           above the size gate, so both take the keyed path *)
+        let chain b s f =
+          let m1 = Nfa.Builder.add_state b in
+          let m2 = Nfa.Builder.add_state b in
+          Nfa.Builder.add_trans b s (Charset.singleton 'x') m1;
+          Nfa.Builder.add_trans b m1 (Charset.singleton 'y') m2;
+          Nfa.Builder.add_trans b m2 (Charset.singleton 'z') f
+        in
         let plain =
           let b = Nfa.Builder.create () in
           let s = Nfa.Builder.add_state b in
           let f = Nfa.Builder.add_state b in
-          Nfa.Builder.add_trans b s (Charset.singleton 'x') f;
+          chain b s f;
           Nfa.Builder.finish b ~start:s ~final:f
         in
         let noisy =
@@ -104,8 +116,8 @@ let memo_tests =
           let junk = Nfa.Builder.add_states b 3 in
           let f = Nfa.Builder.add_state b in
           let s = Nfa.Builder.add_state b in
-          Nfa.Builder.add_trans b s (Charset.singleton 'x') f;
-          Nfa.Builder.add_trans b junk (Charset.singleton 'z') (junk + 1);
+          chain b s f;
+          Nfa.Builder.add_trans b junk (Charset.singleton 'q') (junk + 1);
           Nfa.Builder.finish b ~start:s ~final:f
         in
         check_int "same id" (Store.id (Store.intern plain))
@@ -152,6 +164,163 @@ let memo_tests =
         ignore (get ());
         ignore (get ());
         check_int "recomputed every call" 2 !runs);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Cost gate *)
+
+let timer_count snap name labels =
+  match Metrics.Snapshot.timer_stat ~labels snap name with
+  | Some s -> s.Metrics.Snapshot.count
+  | None -> 0
+
+let gate_tests =
+  [
+    test "size gate: tiny machines are not keyed" (fun () ->
+        with_store_reset @@ fun () ->
+        let mk () = Nfa.of_word "a" in
+        let before = Metrics.Snapshot.of_default () in
+        let h1 = Store.intern (mk ()) and h2 = Store.intern (mk ()) in
+        let diff =
+          Metrics.Snapshot.diff ~after:(Metrics.Snapshot.of_default ()) ~before
+        in
+        check_bool "fresh unshared handles" true (Store.id h1 <> Store.id h2);
+        check_bool "skips counted" true
+          (Metrics.Snapshot.counter_value
+             ~labels:[ ("op", "intern") ]
+             diff "store.gate.skip"
+          >= 2);
+        check_int "no canonical key paid" 0
+          (timer_count diff "store.ledger.key" [ ("op", "intern") ]);
+        (* threshold 0 turns the size gate off: same machine now shares *)
+        Store.set_memo_min_states 0;
+        let h3 = Store.intern (mk ()) and h4 = Store.intern (mk ()) in
+        check_int "shared once ungated" (Store.id h3) (Store.id h4));
+    test "size gate: huge machines are not keyed either" (fun () ->
+        with_store_reset @@ fun () ->
+        (* Above the ceiling the canonical key costs more than any
+           memo hit can return; the machine gets a fresh handle with
+           no key paid, but the physeq MRU still shares repeats of
+           the SAME physical machine. *)
+        Store.set_memo_max_states 8;
+        let m = Nfa.of_word "abcdefghijklmnop" (* > 8 states *) in
+        let before = Metrics.Snapshot.of_default () in
+        let h1 = Store.intern m in
+        let h2 = Store.intern m in
+        let h3 = Store.intern (Nfa.of_word "abcdefghijklmnop") in
+        let diff =
+          Metrics.Snapshot.diff ~after:(Metrics.Snapshot.of_default ()) ~before
+        in
+        check_int "no canonical key paid" 0
+          (timer_count diff "store.ledger.key" [ ("op", "intern") ]);
+        check_int "physically equal repeat shares" (Store.id h1) (Store.id h2);
+        check_bool "structurally equal copy does not" true
+          (Store.id h1 <> Store.id h3);
+        check_bool "skip counted" true
+          (Metrics.Snapshot.counter_value
+             ~labels:[ ("op", "intern") ]
+             diff "store.gate.skip"
+          >= 1);
+        (* raising the ceiling back re-enables keyed sharing *)
+        Store.set_memo_max_states 256;
+        let h4 = Store.intern (Nfa.of_word "abcdefghijklmnop") in
+        let h5 = Store.intern (Nfa.of_word "abcdefghijklmnop") in
+        check_int "shared once under the ceiling" (Store.id h4) (Store.id h5));
+    test "of_word and top serve repeats without re-keying" (fun () ->
+        with_store_reset @@ fun () ->
+        let h1 = Store.of_word "engine_word" in
+        let before = Metrics.Snapshot.of_default () in
+        let h2 = Store.of_word "engine_word" in
+        let t1 = Store.top () and t2 = Store.top () in
+        let diff =
+          Metrics.Snapshot.diff ~after:(Metrics.Snapshot.of_default ()) ~before
+        in
+        check_int "same word handle" (Store.id h1) (Store.id h2);
+        check_int "same top handle" (Store.id t1) (Store.id t2);
+        (* the word repeat is a string-hash hit, and Σ* (one state) is
+           below the size gate: no canonical key on either path *)
+        check_int "no keys paid" 0
+          (timer_count diff "store.ledger.key" [ ("op", "intern") ]));
+    test "compacted is memoized and idempotent" (fun () ->
+        with_store_reset @@ fun () ->
+        let h = Store.intern (Dprle.System.const_of_regex "ab(c|d)*e") in
+        let c1 = Store.compacted h in
+        let before = Metrics.Snapshot.of_default () in
+        let c2 = Store.compacted h in
+        let c3 = Store.compacted c1 in
+        let diff =
+          Metrics.Snapshot.diff ~after:(Metrics.Snapshot.of_default ()) ~before
+        in
+        check_int "slot hit" (Store.id c1) (Store.id c2);
+        check_int "fixed point" (Store.id c1) (Store.id c3);
+        check_int "no re-keying on repeats" 0
+          (timer_count diff "store.ledger.key" [ ("op", "intern") ]));
+    test "physically equal machines intern without a second key" (fun () ->
+        with_store_reset @@ fun () ->
+        let m = Dprle.System.const_of_regex "xy(z|w)*" in
+        let h1 = Store.intern m in
+        let before = Metrics.Snapshot.of_default () in
+        let h2 = Store.intern m in
+        let diff =
+          Metrics.Snapshot.diff ~after:(Metrics.Snapshot.of_default ()) ~before
+        in
+        check_int "same handle" (Store.id h1) (Store.id h2);
+        check_int "pointer hit pays no key" 0
+          (timer_count diff "store.ledger.key" [ ("op", "intern") ]);
+        check_int "counted as an intern hit" 1
+          (Metrics.Snapshot.counter_value diff "store.intern.hit"));
+    test "auto gate trips a parasitic op memo" (fun () ->
+        with_store_reset @@ fun () ->
+        (* all-miss traffic (never-repeating keys) has zero savings, so
+           with the hysteresis floored the gate must trip and stop
+           paying for lookups *)
+        Store.set_gate_thresholds ~min_samples:64 ~trip_saved_ns:0 ();
+        let memo : int Store.Memo.t = Store.Memo.create ~op:"test.parasite" in
+        let runs = ref 0 in
+        let get k =
+          Store.Memo.find_or_compute memo ~key:[ k ] (fun () ->
+              incr runs;
+              k)
+        in
+        let before = Metrics.Snapshot.of_default () in
+        for k = 1 to 128 do
+          ignore (get k)
+        done;
+        let diff =
+          Metrics.Snapshot.diff ~after:(Metrics.Snapshot.of_default ()) ~before
+        in
+        check_bool "gate tripped" true
+          (Metrics.Snapshot.counter_value
+             ~labels:[ ("op", "test.parasite") ]
+             diff "store.gate.tripped"
+          > 0);
+        (* disabled: repeats of a cached key recompute from now on *)
+        let r = !runs in
+        ignore (get 1);
+        check_int "memo no longer consulted" (r + 1) !runs;
+        (* clear resets the accumulators and re-arms the gate *)
+        Store.clear ();
+        let r = !runs in
+        ignore (get 1);
+        ignore (get 1);
+        check_int "re-armed after clear" (r + 1) !runs);
+    test "auto gate off: parasitic memo keeps memoizing" (fun () ->
+        with_store_reset @@ fun () ->
+        Store.set_gate_thresholds ~min_samples:64 ~trip_saved_ns:0 ();
+        Store.set_auto_gate false;
+        let memo : int Store.Memo.t = Store.Memo.create ~op:"test.ablation" in
+        let runs = ref 0 in
+        let get k =
+          Store.Memo.find_or_compute memo ~key:[ k ] (fun () ->
+              incr runs;
+              k)
+        in
+        for k = 1 to 128 do
+          ignore (get k)
+        done;
+        let r = !runs in
+        ignore (get 1);
+        check_int "still cached" r !runs);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -237,5 +406,6 @@ let suite =
   [
     ("store:props", prop_tests);
     ("store:memo", memo_tests);
+    ("store:gate", gate_tests);
     ("store:endtoend", endtoend_tests);
   ]
