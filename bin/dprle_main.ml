@@ -132,10 +132,11 @@ let obs_fields diff =
   ]
 
 let solve_cmd path first max_solutions combination_limit budget_ms budget_states
-    witnesses_only dot smtlib stats trace trace_tree no_cache metrics events
-    verbose =
+    witnesses_only dot smtlib stats trace trace_tree no_cache no_symbolic
+    metrics events verbose =
   setup_logs verbose;
   if no_cache then Automata.Store.set_enabled false;
+  if no_symbolic then Automata.Query.set_symbolic_enabled false;
   with_observability ~metrics ~events @@ fun () ->
   match read_system path with
   | Error msg ->
@@ -203,9 +204,11 @@ let solve_cmd path first max_solutions combination_limit budget_ms budget_states
                 solutions;
               0))
 
-let check_cmd path budget_ms budget_states no_cache metrics events verbose =
+let check_cmd path budget_ms budget_states no_cache no_symbolic metrics
+    events verbose =
   setup_logs verbose;
   if no_cache then Automata.Store.set_enabled false;
+  if no_symbolic then Automata.Query.set_symbolic_enabled false;
   with_observability ~metrics ~events @@ fun () ->
   match read_system path with
   | Error msg ->
@@ -231,8 +234,9 @@ let check_cmd path budget_ms budget_states no_cache metrics events verbose =
 (* Static lint: every check in [Dprle.Static], not just the empty-rhs
    warning [Solver.run] emits on its own. No solving happens — the
    heaviest work is one depgraph build plus memoized inclusions. *)
-let lint_cmd path verbose =
+let lint_cmd path no_symbolic verbose =
   setup_logs verbose;
+  if no_symbolic then Automata.Query.set_symbolic_enabled false;
   match read_system path with
   | Error msg ->
       Fmt.epr "error: %s@." msg;
@@ -355,9 +359,11 @@ let profile_files path () =
           ignore (Dprle.Solver.run Dprle.Solver.Config.default system))
     files
 
-let profile_cmd target corpus top metrics events no_cache verbose =
+let profile_cmd target corpus top metrics events no_cache no_symbolic
+    verbose =
   setup_logs verbose;
   if no_cache then Automata.Store.set_enabled false;
+  if no_symbolic then Automata.Query.set_symbolic_enabled false;
   with_observability ~metrics ~events @@ fun () ->
   let workload =
     match (corpus, target) with
@@ -382,9 +388,10 @@ let profile_cmd target corpus top metrics events no_cache verbose =
    matter how many workers ran, so the output is byte-identical for
    any --jobs value; timing goes to stderr. *)
 let batch_cmd dir jobs budget_ms budget_states max_solutions combination_limit
-    trace trace_tree no_cache metrics events verbose =
+    trace trace_tree no_cache no_symbolic metrics events verbose =
   setup_logs verbose;
   if no_cache then Automata.Store.set_enabled false;
+  if no_symbolic then Automata.Query.set_symbolic_enabled false;
   with_observability ~metrics ~events @@ fun () ->
   if not (Sys.is_directory dir) then begin
     Fmt.epr "error: %s: not a directory@." dir;
@@ -542,6 +549,15 @@ let no_cache_arg =
           "Disable the interned language store and all memoized automata \
            operations (cache ablation; identical output, more work).")
 
+let no_symbolic_arg =
+  Arg.(
+    value & flag
+    & info [ "no-symbolic" ]
+        ~doc:
+          "Disable the symbolic derivative tier of the query front-end: \
+           every language query is answered by the automata kernels \
+           (ablation; identical verdicts, different tier counters).")
+
 let metrics_arg =
   Arg.(
     value & flag
@@ -585,7 +601,7 @@ let solve_term =
     const solve_cmd $ path_arg $ first $ max_solutions_arg
     $ combination_limit_arg $ budget_ms_arg $ budget_states_arg
     $ witnesses_only $ dot $ smtlib $ stats $ trace_arg $ trace_tree_arg
-    $ no_cache_arg $ metrics_arg $ events_arg $ verbose_arg)
+    $ no_cache_arg $ no_symbolic_arg $ metrics_arg $ events_arg $ verbose_arg)
 
 let batch_term =
   let dir_arg =
@@ -604,7 +620,7 @@ let batch_term =
   Term.(
     const batch_cmd $ dir_arg $ jobs $ budget_ms_arg $ budget_states_arg
     $ max_solutions_arg $ combination_limit_arg $ trace_arg $ trace_tree_arg
-    $ no_cache_arg $ metrics_arg $ events_arg $ verbose_arg)
+    $ no_cache_arg $ no_symbolic_arg $ metrics_arg $ events_arg $ verbose_arg)
 
 let profile_term =
   let target =
@@ -631,7 +647,7 @@ let profile_term =
   in
   Term.(
     const profile_cmd $ target $ corpus $ top $ metrics_arg $ events_arg
-    $ no_cache_arg $ verbose_arg)
+    $ no_cache_arg $ no_symbolic_arg $ verbose_arg)
 
 let solve_exits =
   [
@@ -716,8 +732,10 @@ let () =
             Cmd.v check_cmd_info
               Term.(
                 const check_cmd $ path_arg $ budget_ms_arg $ budget_states_arg
-                $ no_cache_arg $ metrics_arg $ events_arg $ verbose_arg);
+                $ no_cache_arg $ no_symbolic_arg $ metrics_arg $ events_arg
+                $ verbose_arg);
             Cmd.v batch_cmd_info batch_term;
-            Cmd.v lint_cmd_info Term.(const lint_cmd $ path_arg $ verbose_arg);
+            Cmd.v lint_cmd_info
+              Term.(const lint_cmd $ path_arg $ no_symbolic_arg $ verbose_arg);
             Cmd.v profile_cmd_info profile_term;
           ]))

@@ -20,7 +20,7 @@ let () =
   (match Dprle.Solver.run Dprle.Solver.Config.default system with
   | Ok (Dprle.Solver.Sat [ a ]) ->
       (* v must survive after both prefixes: x∘v and xx∘v both ⊆ x{1,3} *)
-      Fmt.pr "v ↦ /%s/@.@." (Regex.Simplify.pretty (Dprle.Assignment.find a "v"))
+      Fmt.pr "v ↦ /%s/@.@." (Regex.Pretty.pretty (Dprle.Assignment.find a "v"))
   | _ -> Fmt.pr "unexpected@.");
 
   (* 2. Length restriction: model a strlen check in code. *)

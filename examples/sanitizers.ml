@@ -55,7 +55,7 @@ query("SELECT * FROM t WHERE a = '" . addslashes($x) . "'");|};
   let target = Dprle.System.const_of_regex "\\\\'" in
   let pre = Fst.preimage Fst.addslashes target in
   Fmt.pr "addslashes⁻¹(/\\\\'/) = /%s/ (the single quote)@."
-    (Regex.Simplify.pretty pre);
+    (Regex.Pretty.pretty pre);
   let bare_quote = Dprle.System.const_of_regex "[^'\\\\]*'.*" in
   Fmt.pr "addslashes⁻¹(bare-quote language) empty: %b@."
     (Automata.Lang.is_empty (Fst.preimage Fst.addslashes bare_quote))

@@ -1,0 +1,131 @@
+(* The tiered language-query front-end. Every inclusion / equality /
+   emptiness / disjointness question in the codebase comes through
+   here; this is the one place that decides whether the symbolic
+   derivative tier (registered by the regex layer over AST provenance)
+   or the automata kernels answer it. *)
+
+module Metrics = Telemetry.Metrics
+
+(* One of {symbolic, automata} is incremented per query; [fallback]
+   additionally counts queries where the symbolic tier was attempted
+   but bailed (fuel/size/witness demanded), so
+   automata = cold automata + fallback. *)
+let tier_symbolic = Metrics.Counter.make "store.tier.symbolic"
+let tier_automata = Metrics.Counter.make "store.tier.automata"
+let tier_fallback = Metrics.Counter.make "store.tier.fallback"
+let tier_time = Metrics.Timer.make "store.tier.time"
+
+type tier = Symbolic | Automata
+
+let pp_tier ppf = function
+  | Symbolic -> Fmt.string ppf "symbolic"
+  | Automata -> Fmt.string ppf "automata"
+
+type checkers = {
+  subset : Store.prov -> Store.prov -> bool option;
+  disjoint : Store.prov -> Store.prov -> bool option;
+  is_empty : Store.prov -> bool option;
+}
+
+(* Written once at regex-layer module init (single domain), read-only
+   afterwards. *)
+let checkers : checkers option ref = ref None
+let register ~subset ~disjoint ~is_empty =
+  checkers := Some { subset; disjoint; is_empty }
+
+(* The --no-symbolic ablation switch: verdicts must be byte-identical
+   either way (cram-gated), only the tier counters and timings move. *)
+let symbolic_flag = Atomic.make true
+let set_symbolic_enabled b = Atomic.set symbolic_flag b
+let symbolic_enabled () = Atomic.get symbolic_flag
+
+let note op tier ~attempted =
+  let labels = [ ("op", op) ] in
+  (match tier with
+  | Symbolic -> Metrics.Counter.incr ~labels tier_symbolic 1
+  | Automata -> Metrics.Counter.incr ~labels tier_automata 1);
+  if attempted && tier = Automata then
+    Metrics.Counter.incr ~labels tier_fallback 1
+
+(* Try the symbolic tier on a binary question. Returns the verdict and
+   whether the tier was actually attempted (both operands tagged and
+   the tier enabled) — the distinction feeds the fallback counter. *)
+let symbolic2 pick h1 h2 =
+  if not (symbolic_enabled ()) then (None, false)
+  else
+    match !checkers with
+    | None -> (None, false)
+    | Some c -> (
+        match (Store.provenance h1, Store.provenance h2) with
+        | Some p1, Some p2 ->
+            ( Metrics.Timer.time tier_time
+                ~labels:[ ("tier", "symbolic") ]
+                (fun () -> pick c p1 p2),
+              true )
+        | _ -> (None, false))
+
+let answer_automata op ~attempted f =
+  note op Automata ~attempted;
+  Metrics.Timer.time tier_time ~labels:[ ("tier", "automata") ] f
+
+let subset_tier h1 h2 =
+  match symbolic2 (fun c -> c.subset) h1 h2 with
+  | Some verdict, _ ->
+      note "subset" Symbolic ~attempted:true;
+      (verdict, Symbolic)
+  | None, attempted ->
+      (answer_automata "subset" ~attempted (fun () -> Store.subset h1 h2), Automata)
+
+let subset h1 h2 = fst (subset_tier h1 h2)
+
+let equal h1 h2 =
+  let forward = symbolic2 (fun c -> c.subset) h1 h2 in
+  let verdict =
+    match forward with
+    | Some false, _ -> Some false
+    | Some true, _ -> fst (symbolic2 (fun c -> c.subset) h2 h1)
+    | None, _ -> None
+  in
+  match verdict with
+  | Some b ->
+      note "equal" Symbolic ~attempted:true;
+      b
+  | None ->
+      answer_automata "equal" ~attempted:(snd forward) (fun () ->
+          Store.equal h1 h2)
+
+let is_empty h =
+  let symbolic =
+    if not (symbolic_enabled ()) then (None, false)
+    else
+      match (!checkers, Store.provenance h) with
+      | Some c, Some p -> (c.is_empty p, true)
+      | _ -> (None, false)
+  in
+  match symbolic with
+  | Some b, _ ->
+      note "is_empty" Symbolic ~attempted:true;
+      b
+  | None, attempted ->
+      answer_automata "is_empty" ~attempted (fun () -> Store.is_empty h)
+
+let disjoint h1 h2 =
+  match symbolic2 (fun c -> c.disjoint) h1 h2 with
+  | Some b, _ ->
+      note "disjoint" Symbolic ~attempted:true;
+      b
+  | None, attempted ->
+      answer_automata "disjoint" ~attempted (fun () ->
+          Store.is_empty (Store.inter_lang h1 h2))
+
+let counterexample h1 h2 =
+  (* The symbolic tier can certify inclusion (answer [None]) but never
+     produces the witness string itself; a [Some false] verdict still
+     falls through to the automata kernels for the word. *)
+  match symbolic2 (fun c -> c.subset) h1 h2 with
+  | Some true, _ ->
+      note "counterexample" Symbolic ~attempted:true;
+      None
+  | (Some false | None), attempted ->
+      answer_automata "counterexample" ~attempted (fun () ->
+          Store.counterexample h1 h2)

@@ -1,0 +1,66 @@
+(** The tiered language-query front-end.
+
+    Every inclusion / equality / emptiness / disjointness question in
+    the codebase goes through this module, so tiering policy lives in
+    exactly one place. When both operands carry AST provenance
+    ({!Store.provenance}) and the symbolic tier is enabled, the
+    derivative-based checkers registered by the regex layer are tried
+    first; the automata kernels answer otherwise, when the symbolic
+    tier bails, or when an actual witness string is demanded.
+
+    Which tier answered is recorded in the
+    [store.tier.{symbolic,automata,fallback}] counters (labelled by
+    [op]) and the [store.tier.time] timer, so [dprle profile], the
+    cache ledger and the bench arms can price the tier. Per query
+    exactly one of [symbolic]/[automata] increments; [fallback]
+    additionally counts automata answers where the symbolic tier was
+    attempted but bailed. *)
+
+(** Which tier produced an answer. *)
+type tier = Symbolic | Automata
+
+val pp_tier : tier Fmt.t
+
+(** [L(a) ⊆ L(b)]. *)
+val subset : Store.handle -> Store.handle -> bool
+
+(** {!subset} plus which tier answered — for callers that surface
+    provenance to the user (e.g. [dprle lint]). *)
+val subset_tier : Store.handle -> Store.handle -> bool * tier
+
+(** [L(a) = L(b)], by symbolic two-sided inclusion or the automata
+    kernel. *)
+val equal : Store.handle -> Store.handle -> bool
+
+(** [L(a) = ∅]. *)
+val is_empty : Store.handle -> bool
+
+(** [L(a) ∩ L(b) = ∅], without materializing the product when the
+    symbolic tier answers. *)
+val disjoint : Store.handle -> Store.handle -> bool
+
+(** A word of [L(a) \ L(b)], if any. The symbolic tier can certify
+    inclusion ([None]) but never fabricates the witness; non-inclusion
+    always pays the automata kernel for the actual word. *)
+val counterexample : Store.handle -> Store.handle -> string option
+
+(** {1 Symbolic tier registration}
+
+    Called once by the regex layer at module-init time. The checkers
+    answer [Some] only when certain; [None] defers to the automata
+    tier. *)
+
+val register :
+  subset:(Store.prov -> Store.prov -> bool option) ->
+  disjoint:(Store.prov -> Store.prov -> bool option) ->
+  is_empty:(Store.prov -> bool option) ->
+  unit
+
+(** {1 Ablation}
+
+    The [--no-symbolic] switch. Verdicts are identical either way
+    (cram-gated); only tier counters and timings move. *)
+
+val set_symbolic_enabled : bool -> unit
+
+val symbolic_enabled : unit -> bool

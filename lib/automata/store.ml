@@ -114,9 +114,18 @@ module Gate = struct
     end
 end
 
+(* AST provenance: an extensible tag a higher layer (the regex
+   compiler) attaches to a handle, recording which expression the
+   machine was built from so the tiered query front-end ({!Query}) can
+   answer inclusion questions symbolically without touching the
+   machine. Extensible because the store sits below the regex layer
+   and cannot mention [Ast.t]. *)
+type prov = ..
+
 type handle = {
   id : int;
   nfa : Nfa.t;
+  mutable prov : prov option;
   (* [keyed] = this handle's id is stable for its language in this
      domain (it came out of the intern/word table), so it is usable as
      a memo key. A gated or disabled-store handle is not: its id never
@@ -256,6 +265,7 @@ let fresh_handle m =
   {
     id;
     nfa = m;
+    prov = None;
     keyed = false;
     dfa_memo = None;
     min_dfa_memo = None;
@@ -290,6 +300,87 @@ let physeq_add m h =
   let r = Domain.DLS.get physeq_key in
   let rest = List.filter (fun (m', _) -> m' != m) !r in
   r := (m, h) :: List.filteri (fun i _ -> i < physeq_limit - 1) rest
+
+(* ------------------------------------------------------------------ *)
+(* AST provenance plumbing *)
+
+(* Cost-gated and disabled-store interns return fresh, unshared
+   handles, so provenance must survive handle identity: a side table
+   keyed by *physical* machine identity recovers the tag for any
+   handle wrapping the same immutable [Nfa.t]. Per-domain, bounded,
+   reset by [clear]. *)
+module ProvTbl = Hashtbl.Make (struct
+  type t = Nfa.t
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+let prov_table_key : prov ProvTbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ProvTbl.create 64)
+
+let prov_table_cap = 8192
+
+let record_machine_prov m p =
+  let t = Domain.DLS.get prov_table_key in
+  if ProvTbl.mem t m || ProvTbl.length t < prov_table_cap then
+    ProvTbl.replace t m p
+
+let set_provenance h p =
+  h.prov <- Some p;
+  record_machine_prov h.nfa p
+
+let provenance h =
+  match h.prov with
+  | Some _ as p -> p
+  | None -> (
+      match ProvTbl.find_opt (Domain.DLS.get prov_table_key) h.nfa with
+      | Some p ->
+          h.prov <- Some p;
+          Some p
+      | None -> None)
+
+(* Hooks the regex layer installs at module-init time (single-domain,
+   before any worker spawns; read-only afterwards): provenance for
+   word literals and Σ*, and composition of provenance across the
+   AST-expressible binary ops. *)
+let prov_of_word : (string -> prov) option ref = ref None
+let set_prov_of_word f = prov_of_word := Some f
+let prov_of_top : prov option ref = ref None
+let set_prov_of_top p = prov_of_top := Some p
+
+let prov_combiner :
+    (op:[ `Concat | `Union ] -> prov -> prov -> prov option) option ref =
+  ref None
+
+let set_prov_combiner f = prov_combiner := Some f
+
+(* Attach composed provenance to a binary-op result when both operands
+   carry one and the combiner accepts (it refuses oversized ASTs). A
+   memo hit may return a handle that is already tagged — leave it. *)
+let combined_prov ~op h1 h2 res =
+  (match !prov_combiner with
+  | Some f when provenance res = None -> (
+      match (provenance h1, provenance h2) with
+      | Some p1, Some p2 -> (
+          match f ~op p1 p2 with
+          | Some p -> set_provenance res p
+          | None -> ())
+      | _ -> ())
+  | _ -> ());
+  res
+
+let attach_word_prov w h =
+  (match !prov_of_word with
+  | Some f when provenance h = None -> set_provenance h (f w)
+  | _ -> ());
+  h
+
+let attach_top_prov h =
+  (match !prov_of_top with
+  | Some p when provenance h = None -> set_provenance h p
+  | _ -> ());
+  h
 
 (* Interning pays the canonical key — that serialization is the
    "key-hash tax" the cache-effectiveness ledger prices, because the
@@ -372,7 +463,7 @@ let word_table_key : (string, handle) Hashtbl.t Domain.DLS.key =
   Domain.DLS.new_key (fun () -> Hashtbl.create 256)
 
 let of_word w =
-  if not (enabled ()) then fresh_handle (Nfa.of_word w)
+  if not (enabled ()) then attach_word_prov w (fresh_handle (Nfa.of_word w))
   else
     let table = Domain.DLS.get word_table_key in
     match Hashtbl.find_opt table w with
@@ -386,13 +477,13 @@ let of_word w =
         let h = intern (Nfa.of_word w) in
         h.keyed <- true;
         Hashtbl.replace table w h;
-        h
+        attach_word_prov w h
 
 let top_handle_key : handle option ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref None)
 
 let top () =
-  if not (enabled ()) then fresh_handle Nfa.sigma_star
+  if not (enabled ()) then attach_top_prov (fresh_handle Nfa.sigma_star)
   else
     let r = Domain.DLS.get top_handle_key in
     match !r with
@@ -403,7 +494,7 @@ let top () =
         let h = intern Nfa.sigma_star in
         h.keyed <- true;
         r := Some h;
-        h
+        attach_top_prov h
 
 (* ------------------------------------------------------------------ *)
 (* Per-handle memo slots *)
@@ -429,12 +520,19 @@ let min_dfa h =
         d
 
 let minimized h =
-  if not (enabled ()) then Lang.compact h.nfa
+  let record m =
+    (* compaction preserves the language, so the minimized machine
+       inherits the handle's provenance via the side table — a later
+       intern of it yields a symbolically answerable handle *)
+    (match provenance h with Some p -> record_machine_prov m p | None -> ());
+    m
+  in
+  if not (enabled ()) then record (Lang.compact h.nfa)
   else
     match h.minimized_memo with
     | Some m -> m
     | None ->
-        let m = Lang.compact h.nfa in
+        let m = record (Lang.compact h.nfa) in
         h.minimized_memo <- Some m;
         m
 
@@ -449,12 +547,18 @@ let is_empty h =
         b
 
 let compacted h =
-  if not (enabled ()) then fresh_handle (Dfa.to_nfa (min_dfa h))
+  let inherit_prov c =
+    (match provenance h with
+    | Some p when provenance c = None -> set_provenance c p
+    | _ -> ());
+    c
+  in
+  if not (enabled ()) then inherit_prov (fresh_handle (Dfa.to_nfa (min_dfa h)))
   else
     match h.compact_memo with
     | Some c -> c
     | None ->
-        let c = intern (Dfa.to_nfa (min_dfa h)) in
+        let c = inherit_prov (intern (Dfa.to_nfa (min_dfa h))) in
         h.compact_memo <- Some c;
         (* compaction is idempotent: re-minimizing a machine that is
            already a minimal DFA yields an isomorphic machine, hence
@@ -613,18 +717,20 @@ let inter_lang h1 h2 =
       h1 h2
 
 let concat_lang h1 h2 =
-  cached_binop concat_memo "concat_lang"
-    (fun () -> intern (Ops.concat_lang h1.nfa h2.nfa))
-    h1 h2
+  combined_prov ~op:`Concat h1 h2
+    (cached_binop concat_memo "concat_lang"
+       (fun () -> intern (Ops.concat_lang h1.nfa h2.nfa))
+       h1 h2)
 
 let union_lang h1 h2 =
   if h1 == h2 then h1
   else if is_top h1 then h1
   else if is_top h2 then h2
   else
-    cached_binop union_memo "union_lang"
-      (fun () -> intern (Ops.union_lang h1.nfa h2.nfa))
-      h1 h2
+    combined_prov ~op:`Union h1 h2
+      (cached_binop union_memo "union_lang"
+         (fun () -> intern (Ops.union_lang h1.nfa h2.nfa))
+         h1 h2)
 
 let counterexample h1 h2 =
   if h1 == h2 then None
@@ -743,6 +849,7 @@ end
 let clear () =
   Hashtbl.reset (intern_table ());
   Hashtbl.reset (Domain.DLS.get word_table_key);
+  ProvTbl.reset (Domain.DLS.get prov_table_key);
   Domain.DLS.get top_handle_key := None;
   Domain.DLS.get physeq_key := [];
   Gate.reset_acc (Domain.DLS.get intern_gate_key);

@@ -107,6 +107,44 @@ val is_empty : handle -> bool
     visit even when {!min_dfa} hits. *)
 val compacted : handle -> handle
 
+(** {1 AST provenance}
+
+    An extensible tag a higher layer attaches to a handle recording
+    which expression the machine was built from — the regex compiler
+    registers [Regex.Symbolic.Regex_ast] so the tiered query
+    front-end ({!Query}) can answer inclusion/emptiness symbolically.
+    Provenance is also recorded against the *physical* machine in a
+    per-domain side table, so cost-gated fresh handles wrapping the
+    same immutable [Nfa.t] recover the tag; both the field and the
+    side table die with {!clear} (and with the domain), exactly like
+    the handles themselves. *)
+
+type prov = ..
+
+(** Tag a handle (and its underlying machine) with its origin. *)
+val set_provenance : handle -> prov -> unit
+
+(** The tag, if this handle or its physical machine carries one. *)
+val provenance : handle -> prov option
+
+(** {2 Provenance hooks}
+
+    Installed once by the regex layer at module-init time (before any
+    worker domain spawns); the store itself never constructs a
+    [prov]. *)
+
+(** Provenance for {!of_word} handles. *)
+val set_prov_of_word : (string -> prov) -> unit
+
+(** Provenance for the implicit-top Σ* handle. *)
+val set_prov_of_top : prov -> unit
+
+(** Compose provenance across {!concat_lang}/{!union_lang}; return
+    [None] to refuse (e.g. when the combined AST would be too big to
+    ever answer symbolically). *)
+val set_prov_combiner :
+  (op:[ `Concat | `Union ] -> prov -> prov -> prov option) -> unit
+
 (** {1 Cached binary operations}
 
     Results are themselves interned, so algebraically convergent

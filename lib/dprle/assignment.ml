@@ -24,7 +24,7 @@ let subsumes a b =
       match SMap.find_opt v a with
       | None -> false
       | Some lang_a ->
-          Automata.Store.subset
+          Automata.Query.subset
             (Automata.Store.intern lang_b)
             (Automata.Store.intern lang_a))
     b
@@ -61,7 +61,7 @@ let samples t v ~n = Nfa.sample_words (find t v) ~max_len:24 ~max_count:n
 let pp ppf t =
   Fmt.pf ppf "@[<v>";
   List.iter
-    (fun (v, lang) -> Fmt.pf ppf "%s ↦ /%s/@ " v (Regex.Simplify.pretty lang))
+    (fun (v, lang) -> Fmt.pf ppf "%s ↦ /%s/@ " v (Regex.Pretty.pretty lang))
     (SMap.bindings t);
   Fmt.pf ppf "@]"
 

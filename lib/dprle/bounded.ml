@@ -48,7 +48,9 @@ let constraint_holds system bound { System.lhs; rhs } =
     | System.Concat (a, b) -> Automata.Ops.concat_lang (lang_of a) (lang_of b)
     | System.Union (a, b) -> Automata.Ops.union_lang (lang_of a) (lang_of b)
   in
-  Automata.Lang.subset (lang_of lhs) (System.const_lang system rhs)
+  Automata.Query.subset
+    (Automata.Store.intern (lang_of lhs))
+    (System.const_handle system rhs)
 
 let check system words =
   let vars = System.variables system in

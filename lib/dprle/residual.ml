@@ -2,6 +2,7 @@ module Nfa = Automata.Nfa
 module Dfa = Automata.Dfa
 module Ops = Automata.Ops
 module Store = Automata.Store
+module Query = Automata.Query
 
 module IS = Set.Make (Int)
 
@@ -193,7 +194,7 @@ let satisfies system a =
   in
   List.for_all
     (fun { System.lhs; rhs } ->
-      Store.subset (expr_handle lhs) (System.const_handle system rhs))
+      Query.subset (expr_handle lhs) (System.const_handle system rhs))
     (System.constraints system)
 
 let maximize system a =
@@ -204,7 +205,7 @@ let maximize system a =
         (fun (a, grew) v ->
           let current = Assignment.find a v in
           let bigger = maximize_var system a v in
-          if Store.subset (Store.intern bigger) (Store.intern current) then
+          if Query.subset (Store.intern bigger) (Store.intern current) then
             (a, grew)
           else begin
             let candidate =

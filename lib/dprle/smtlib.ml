@@ -54,7 +54,9 @@ let symbol v =
 
 let singleton_word lang =
   match Automata.Nfa.shortest_word lang with
-  | Some w when Automata.Lang.equal lang (Automata.Nfa.of_word w) -> Some w
+  | Some w when
+      Automata.Query.equal (Automata.Store.intern lang) (Automata.Store.of_word w)
+    -> Some w
   | _ -> None
 
 let of_system system =

@@ -1,4 +1,5 @@
 module Store = Automata.Store
+module Query = Automata.Query
 
 type severity = Warning | Info
 
@@ -39,7 +40,7 @@ let alternative_handle system leaves =
 let empty_rhs system =
   List.filter_map
     (fun { System.lhs = _; rhs } ->
-      if Store.is_empty (System.const_handle system rhs) then
+      if Query.is_empty (System.const_handle system rhs) then
         Some
           {
             severity = Warning;
@@ -53,9 +54,10 @@ let empty_rhs system =
       else None)
     (System.constraints system)
 
-(* Constant-only alternatives decide by one memoized inclusion: if it
-   fails, the whole system is unsatisfiable before any machine is
-   built. *)
+(* Constant-only alternatives decide by one language query — answered
+   by the symbolic derivative tier when the constants carry their
+   regex ASTs, automata otherwise; the finding records which. If it
+   fails, the whole system is unsatisfiable before any solve. *)
 let contradictions system =
   List.concat_map
     (fun { System.lhs; rhs } ->
@@ -66,19 +68,21 @@ let contradictions system =
           | Some leaves -> (
               match alternative_handle system leaves with
               | None -> None
-              | Some h ->
-                  if Store.subset h (System.const_handle system rhs) then None
-                  else
-                    Some
-                      {
-                        severity = Warning;
-                        check = "const-contradiction";
-                        message =
-                          Fmt.str
-                            "constant-only constraint %a ⊆ %s does not hold: \
-                             the system is unsatisfiable"
-                            System.pp_expr alt rhs;
-                      }))
+              | Some h -> (
+                  match Query.subset_tier h (System.const_handle system rhs) with
+                  | true, _ -> None
+                  | false, tier ->
+                      Some
+                        {
+                          severity = Warning;
+                          check = "const-contradiction";
+                          message =
+                            Fmt.str
+                              "constant-only constraint %a ⊆ %s does not \
+                               hold: the system is unsatisfiable \
+                               (tier=%a)"
+                              System.pp_expr alt rhs Query.pp_tier tier;
+                        })))
         (System.expand_unions lhs))
     (System.constraints system)
 

@@ -177,7 +177,9 @@ let parse_const_value st =
       | Error e -> fail_at st.lx (Fmt.str "bad pattern: %a" Regex.Parser.pp_error e))
   | Tstring s ->
       bump st;
-      Automata.Nfa.of_word s
+      (* via the store's word path so the constant carries AST
+         provenance and answers symbolically *)
+      Automata.Store.nfa (Automata.Store.of_word s)
   | _ -> fail_at st.lx "expected /pattern/ or \"string\""
 
 let parse st =

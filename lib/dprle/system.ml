@@ -78,7 +78,9 @@ let const_of_regex s = Regex.Compile.to_nfa (Regex.Parser.parse_exn s)
 let const_of_pattern s =
   Regex.Compile.pattern_to_nfa (Regex.Parser.parse_pattern_exn s)
 
-let const_of_word = Automata.Nfa.of_word
+(* Via the store's word fast path so the machine carries AST
+   provenance and word-literal constants answer symbolically. *)
+let const_of_word w = Automata.Store.nfa (Automata.Store.of_word w)
 
 let constants t = List.map (fun name -> (name, SMap.find name t.consts)) t.order
 

@@ -72,6 +72,7 @@ let repeat r lo hi =
   | _, 0, None -> star r
   | _, 1, None -> plus r
   | _, 0, Some 1 -> opt r
+  | Empty, 0, _ -> Epsilon
   | Empty, _, _ -> Empty
   | Epsilon, _, _ -> Epsilon
   | _ -> Repeat (r, lo, hi)

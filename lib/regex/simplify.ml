@@ -127,6 +127,8 @@ let rec once r =
   | Ast.Opt a -> Ast.opt (once a)
   | Ast.Repeat (a, lo, hi) -> Ast.repeat (once a) lo hi
 
+let norm = once
+
 let simplify r =
   let rec fixpoint r budget =
     let r' = once r in
@@ -135,37 +137,3 @@ let simplify r =
     else fixpoint r' (budget - 1)
   in
   fixpoint r 8
-
-(* Semantic pruning: drop an alternation branch whose language is
-   contained in a sibling's. Quadratic in the number of branches, one
-   determinization per comparison. *)
-let prune_alternatives r =
-  let rec go r =
-    match r with
-    | Ast.Alt _ ->
-        let branches = List.map go (flatten_alt r) in
-        let compiled = List.map (fun b -> (b, Compile.to_nfa b)) branches in
-        let keep =
-          List.filteri
-            (fun i (_, mi) ->
-              not
-                (List.exists
-                   (fun (j, (_, mj)) ->
-                     i <> j
-                     && Automata.Lang.subset mi mj
-                     && ((not (Automata.Lang.subset mj mi)) || j < i))
-                   (List.mapi (fun j x -> (j, x)) compiled)))
-            compiled
-        in
-        build_alt (List.map fst keep)
-    | Ast.Seq (a, b) -> Ast.seq (go a) (go b)
-    | Ast.Star a -> Ast.star (go a)
-    | Ast.Plus a -> Ast.plus (go a)
-    | Ast.Opt a -> Ast.opt (go a)
-    | Ast.Repeat (a, lo, hi) -> Ast.repeat (go a) lo hi
-    | leaf -> leaf
-  in
-  go r
-
-let pretty m =
-  Ast.to_string (simplify (prune_alternatives (simplify (State_elim.to_regex m))))

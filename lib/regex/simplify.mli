@@ -10,15 +10,18 @@
     ([a a* → a+], [a{1,2}a{0,3} → a{1,5}]), and common prefix/suffix
     factoring ([ab|ac → a(b|c)]).
 
-    [prune_alternatives] additionally uses the language oracle to
-    drop alternation branches subsumed by another branch
-    ([ab|a.* → a.*]); it determinizes, so reserve it for
-    user-facing output. *)
+    Semantic (oracle-backed) pruning of alternation branches lives in
+    {!Pretty}, which may compile machines; everything here is pure AST
+    rewriting. *)
 
 val simplify : Ast.t -> Ast.t
 
-val prune_alternatives : Ast.t -> Ast.t
-
-(** [pretty m] = state-eliminate, simplify, prune: the nicest
-    rendering of a machine's language we can produce. *)
-val pretty : Automata.Nfa.t -> string
+(** [norm r] is a single bottom-up canonicalization pass: flattening,
+    branch sorting/dedup, charset merging, quantifier fusion and
+    prefix/suffix factoring, all rebuilt through the smart
+    constructors. It is the normal form used by {!Derivative} to
+    quotient its coinductive visited set — every derivative term is
+    routed through [norm] so similar terms collapse to one
+    representative and the state space stays finite. Deterministic and
+    language-preserving; cheaper than the [simplify] fixpoint. *)
+val norm : Ast.t -> Ast.t

@@ -1,0 +1,43 @@
+module Store = Automata.Store
+module Query = Automata.Query
+
+type Store.prov += Regex_ast of Ast.t
+
+let ast h =
+  match Store.provenance h with
+  | Some (Regex_ast a) -> Some a
+  | _ -> None
+
+let attach h a = Store.set_provenance h (Regex_ast a)
+
+(* Combined ASTs above this size would bust the derivative checker's
+   own size bail anyway; refusing early keeps provenance chains from
+   growing without bound across long concat/union folds. *)
+let combine_cap = 192
+
+(* Registration happens at module init: [Compile] references [attach],
+   so linking the compiler links this module and installs the tier. *)
+let () =
+  Query.register
+    ~subset:(fun p1 p2 ->
+      match (p1, p2) with
+      | Regex_ast a, Regex_ast b -> Derivative.subset a b
+      | _ -> None)
+    ~disjoint:(fun p1 p2 ->
+      match (p1, p2) with
+      | Regex_ast a, Regex_ast b -> Derivative.disjoint a b
+      | _ -> None)
+    ~is_empty:(function
+      | Regex_ast a -> Some (Derivative.is_empty a)
+      | _ -> None);
+  Store.set_prov_of_word (fun w -> Regex_ast (Ast.str w));
+  Store.set_prov_of_top (Regex_ast (Ast.star Ast.any));
+  Store.set_prov_combiner (fun ~op p1 p2 ->
+      match (p1, p2) with
+      | Regex_ast a, Regex_ast b when Ast.size a + Ast.size b <= combine_cap ->
+          Some
+            (Regex_ast
+               (match op with
+               | `Concat -> Ast.seq a b
+               | `Union -> Ast.alt a b))
+      | _ -> None)

@@ -1,0 +1,17 @@
+(** The regex layer's side of the tiered query front-end.
+
+    Declares the [Regex_ast] provenance constructor and, at module
+    init, registers the {!Derivative} checkers with
+    {!Automata.Query} plus the {!Automata.Store} provenance hooks
+    (word literals, Σ*, concat/union composition). {!Compile}
+    references {!attach}, so any program that compiles a regex gets
+    the symbolic tier installed for free. *)
+
+type Automata.Store.prov += Regex_ast of Ast.t
+
+(** Tag a handle with the AST it was compiled from. The tag must
+    denote exactly the handle's language. *)
+val attach : Automata.Store.handle -> Ast.t -> unit
+
+(** The originating AST, if this handle carries one. *)
+val ast : Automata.Store.handle -> Ast.t option

@@ -34,8 +34,10 @@ before any solve:
   [1]
 
 A constant-only constraint that fails its inclusion makes the whole
-system unsatisfiable — one memoized inclusion decides it before any
-depgraph machinery runs:
+system unsatisfiable — one language query decides it before any
+depgraph machinery runs. The finding records which tier of the query
+front-end answered: word-literal constants carry their regex ASTs, so
+the symbolic derivative tier decides without building any product:
 
   $ cat > contradict.dprle <<'SYS'
   > let a = "x";
@@ -44,7 +46,14 @@ depgraph machinery runs:
   > SYS
 
   $ dprle lint contradict.dprle
-  warning: [const-contradiction] constant-only constraint a ⊆ b does not hold: the system is unsatisfiable
+  warning: [const-contradiction] constant-only constraint a ⊆ b does not hold: the system is unsatisfiable (tier=symbolic)
+  [1]
+
+Under --no-symbolic the same query runs on the automata kernels; the
+verdict (and exit code) must be identical, only the tier note moves:
+
+  $ dprle lint contradict.dprle --no-symbolic
+  warning: [const-contradiction] constant-only constraint a ⊆ b does not hold: the system is unsatisfiable (tier=automata)
   [1]
 
 Variables bounded only through concatenations ride entirely on the

@@ -19,7 +19,7 @@ nanoseconds — wall clock would make this output flaky).
   solver.solves = 1
   store.gate.skip{op=concat_lang} = 1
   store.gate.skip{op=intern} = 7
-  store.intern.hit = 20
+  store.intern.hit = 21
   store.intern.miss = 16
   store.opcache.hit{op=counterexample} = 1
   store.opcache.hit{op=is_singleton} = 1
@@ -27,7 +27,10 @@ nanoseconds — wall clock would make this output flaky).
   store.opcache.miss{op=inter_lang} = 1
   store.opcache.miss{op=is_singleton} = 1
   store.opcache.miss{op=residual.max_middle} = 2
-  automata.bfs.frontier: count=76 sum=183 max=6
+  store.tier.automata{op=is_empty} = 4
+  store.tier.automata{op=subset} = 4
+  store.tier.symbolic{op=subset} = 1
+  automata.bfs.frontier: count=72 sum=179 max=6
   automata.concat.states{dir=in}: count=43 sum=583 max=48
   automata.concat.states{dir=out}: count=43 sum=583 max=48
   automata.product.states{dir=in}: count=2 sum=64 max=48
@@ -49,7 +52,7 @@ nanoseconds — wall clock would make this output flaky).
   solver.phase{phase=solve}: count=1
   store.ledger.key{op=counterexample}: count=3
   store.ledger.key{op=inter_lang}: count=1
-  store.ledger.key{op=intern}: count=24
+  store.ledger.key{op=intern}: count=22
   store.ledger.key{op=is_singleton}: count=2
   store.ledger.key{op=residual.max_middle}: count=2
   store.ledger.miss{op=counterexample}: count=2
@@ -57,6 +60,8 @@ nanoseconds — wall clock would make this output flaky).
   store.ledger.miss{op=intern}: count=16
   store.ledger.miss{op=is_singleton}: count=1
   store.ledger.miss{op=residual.max_middle}: count=2
+  store.tier.time{tier=automata}: count=8
+  store.tier.time{tier=symbolic}: count=1
 
 The dump is identical run over run (the determinism the cram suite
 itself depends on):

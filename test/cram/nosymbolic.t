@@ -1,0 +1,52 @@
+The symbolic derivative tier of the query front-end is an
+optimization, never a semantics change: --no-symbolic routes every
+language query to the automata kernels, and the output must be
+byte-identical (only the store.tier.* counters move).
+
+Sat solve with witnesses:
+
+  $ cat > fig1.dprle <<'SYS'
+  > let filter = /[\d]+$/;
+  > let prefix = "nid_";
+  > let unsafe = /'/;
+  > v1 <= filter;
+  > prefix . v1 <= unsafe;
+  > SYS
+
+  $ dprle solve fig1.dprle --witnesses > default.out
+  $ dprle solve fig1.dprle --witnesses --no-symbolic > nosym.out
+  $ cmp default.out nosym.out
+  $ head -1 default.out
+  sat: 1 disjunctive solution(s)
+
+Unsat solve (both modes must agree on the exit code too):
+
+  $ cat > fixed.dprle <<'SYS'
+  > let filter = /^[\d]+$/;
+  > let prefix = "nid_";
+  > let unsafe = /'/;
+  > v1 <= filter;
+  > prefix . v1 <= unsafe;
+  > SYS
+
+  $ dprle solve fixed.dprle > default_unsat.out
+  [1]
+  $ dprle solve fixed.dprle --no-symbolic > nosym_unsat.out
+  [1]
+  $ cmp default_unsat.out nosym_unsat.out
+
+Both ablations stacked — automata kernels with no store either:
+
+  $ dprle check fig1.dprle --no-symbolic --no-cache
+  sat
+
+Whole-corpus scan through the symbolic executor (timings scrubbed,
+everything else — per-file verdicts, exploits, ordering — compared
+byte for byte):
+
+  $ corpusgen --app utopia . > /dev/null
+  $ webcheck utopia 2>/dev/null | sed 's/([0-9.]* s)/(_ s)/' > wc_default.out
+  $ webcheck utopia --no-symbolic 2>/dev/null | sed 's/([0-9.]* s)/(_ s)/' > wc_nosym.out
+  $ cmp wc_default.out wc_nosym.out
+  $ grep -c VULNERABLE wc_default.out
+  4

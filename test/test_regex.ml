@@ -221,13 +221,13 @@ let simplify_tests =
         check_string "head" "a[bc]" (simp "ab|ac");
         check_string "tail" "[bc]a" (simp "ba|ca"));
     test "prune subsumed alternative" (fun () ->
-        let pruned = Regex.Simplify.prune_alternatives (parse "ab|a.*") in
+        let pruned = Regex.Pretty.prune_alternatives (parse "ab|a.*") in
         check_bool "language kept" true
           (Lang.equal (Compile.to_nfa pruned) (Compile.to_nfa (parse "a.*")));
         check_bool "smaller" true (Ast.size pruned < Ast.size (parse "ab|a.*")));
     test "pretty on a machine" (fun () ->
         let m = Compile.to_nfa (parse "x(yy|yyyy)") in
-        let printed = Regex.Simplify.pretty m in
+        let printed = Regex.Pretty.pretty m in
         match Parser.parse printed with
         | Ok re -> check_bool "language" true (Lang.equal m (Compile.to_nfa re))
         | Error _ -> Alcotest.failf "unparseable output %S" printed);
@@ -241,11 +241,11 @@ let simplify_props =
         Ast.size (Regex.Simplify.simplify re) <= Ast.size re);
     qtest ~count:60 "prune_alternatives preserves language" ast_gen (fun re ->
         Lang.equal (Compile.to_nfa re)
-          (Compile.to_nfa (Regex.Simplify.prune_alternatives re)));
+          (Compile.to_nfa (Regex.Pretty.prune_alternatives re)));
     qtest ~count:60 "pretty output reparses to the same language"
       Helpers.nfa_gen
       (fun m ->
-        match Parser.parse (Regex.Simplify.pretty m) with
+        match Parser.parse (Regex.Pretty.pretty m) with
         | Ok re -> Lang.equal m (Compile.to_nfa re)
         | Error _ -> false);
   ]
