@@ -963,6 +963,195 @@ let observability_report ~fast () =
     :: !json_results
 
 (* ------------------------------------------------------------------ *)
+(* Serve harness: the resident daemon measured through the wire.
+   Three arms land in the JSON — cold (a fresh daemon per request,
+   paying pool spawn and first-touch store fills every time), warm
+   (one daemon, one connection, repeated identical solves against an
+   ever-warmer worker store), and concurrent (four client threads
+   hammering one daemon).  Every number here is wall clock plus queue
+   noise by construction, so the whole serve/* family sits in
+   [Benchdiff.default_skip]; the warm arm's [speedup_warm_vs_cold] is
+   the figure the roadmap tracks.                                     *)
+
+let serve_system =
+  "let filter = /[\\d]+$/;\n\
+   let prefix = \"nid_\";\n\
+   let unsafe = /'/;\n\
+   v1 <= filter;\n\
+   prefix . v1 <= unsafe;\n"
+
+let serve_request ~id kind =
+  { Api.Request.id; kind; budget_ms = None; budget_states = None }
+
+let serve_solve_request id =
+  serve_request ~id
+    (Api.Request.Solve (Api.Request.solve_defaults ~system:serve_system))
+
+let serve_socket_seq = ref 0
+
+let serve_fresh_listen () =
+  incr serve_socket_seq;
+  Serve.Server.Unix_socket
+    (Filename.concat
+       (Filename.get_temp_dir_name ())
+       (Printf.sprintf "dprle-bench-%d-%d.sock" (Unix.getpid ())
+          !serve_socket_seq))
+
+(* Daemon on a thread; always shut down and joined, even when [f]
+   raises. *)
+let serve_with_daemon f =
+  let listen = serve_fresh_listen () in
+  let t =
+    Thread.create
+      (fun () ->
+        ignore (Serve.Server.run (Serve.Server.default_config listen)))
+      ()
+  in
+  let finally () =
+    (match Serve.Client.connect listen with
+    | Ok c ->
+        ignore (Serve.Client.request c (serve_request ~id:"bye" Api.Request.Shutdown));
+        Serve.Client.close c
+    | Error _ -> ());
+    Thread.join t
+  in
+  Fun.protect ~finally (fun () -> f listen)
+
+let serve_connect listen =
+  match Serve.Client.connect listen with
+  | Ok c -> c
+  | Error e -> failwith ("serve bench: connect: " ^ e)
+
+let serve_solve c id =
+  match Serve.Client.request c (serve_solve_request id) with
+  | Ok ({ Api.Response.payload = Api.Response.Sat _; _ } as r) -> r
+  | Ok r ->
+      failwith
+        (Fmt.str "serve bench: unexpected %s response"
+           (Api.Response.payload_name r.Api.Response.payload))
+  | Error e -> failwith ("serve bench: " ^ e)
+
+let serve_report () =
+  hr "Serve harness — resident daemon vs fresh-daemon costs";
+  let mean = function
+    | [] -> 0
+    | xs -> List.fold_left ( + ) 0 xs / List.length xs
+  in
+  (* cold: a brand-new daemon (fresh pool, empty worker store) per
+     request; elapsed_us is the in-handler time, the wall clock also
+     pays bind + spawn + join *)
+  let cold_iters = 5 in
+  let cold_us = ref [] in
+  let (), cold_seconds =
+    time_once (fun () ->
+        for i = 1 to cold_iters do
+          serve_with_daemon (fun listen ->
+              let c = serve_connect listen in
+              let r = serve_solve c (Printf.sprintf "cold%d" i) in
+              cold_us :=
+                r.Api.Response.obs.Api.Response.elapsed_us :: !cold_us;
+              Serve.Client.close c)
+        done)
+  in
+  let cold_mean_us = mean !cold_us in
+  Fmt.pr
+    "cold: %d daemon starts, mean in-handler %d us (%.3f s wall incl. spawn)@."
+    cold_iters cold_mean_us cold_seconds;
+  json_results :=
+    Json.Obj
+      [
+        ("name", Json.String "serve/cold");
+        ("requests", Json.Int cold_iters);
+        ("seconds", Json.Float cold_seconds);
+        ("mean_request_us", Json.Int cold_mean_us);
+      ]
+    :: !json_results;
+  (* warm and concurrent share one resident daemon *)
+  serve_with_daemon (fun listen ->
+      let c = serve_connect listen in
+      let first = serve_solve c "first" in
+      let warm_iters = 32 in
+      let warms =
+        List.init warm_iters (fun i ->
+            serve_solve c (Printf.sprintf "warm%d" i))
+      in
+      Serve.Client.close c;
+      let warm_mean_us =
+        mean
+          (List.map
+             (fun (r : Api.Response.t) -> r.obs.Api.Response.elapsed_us)
+             warms)
+      in
+      let warm_hits =
+        List.fold_left
+          (fun acc (r : Api.Response.t) ->
+            acc + r.obs.Api.Response.intern_hits)
+          0 warms
+      in
+      let speedup =
+        float_of_int cold_mean_us /. float_of_int (max 1 warm_mean_us)
+      in
+      Fmt.pr
+        "warm: first %d us, then %d solves at mean %d us — %.1fx vs cold \
+         (%d intern hits)@."
+        first.Api.Response.obs.Api.Response.elapsed_us warm_iters warm_mean_us
+        speedup warm_hits;
+      json_results :=
+        Json.Obj
+          [
+            ("name", Json.String "serve/warm");
+            ("requests", Json.Int warm_iters);
+            ("cold_request_us", Json.Int cold_mean_us);
+            ("warm_request_us", Json.Int warm_mean_us);
+            ("speedup_warm_vs_cold", Json.Float speedup);
+            ("intern_hits", Json.Int warm_hits);
+          ]
+        :: !json_results;
+      (* concurrent: four client threads against the same warm daemon *)
+      let conns = 4 and per = 16 in
+      let total = conns * per in
+      let latencies_ns = Array.make total 0 in
+      let worker t =
+        let c = serve_connect listen in
+        for i = 0 to per - 1 do
+          let t0 = Telemetry.Clock.now_ns () in
+          ignore (serve_solve c (Printf.sprintf "t%d-%d" t i));
+          latencies_ns.((t * per) + i) <-
+            Int64.to_int (Int64.sub (Telemetry.Clock.now_ns ()) t0)
+        done;
+        Serve.Client.close c
+      in
+      let (), conc_seconds =
+        time_once (fun () ->
+            List.iter Thread.join
+              (List.init conns (fun t -> Thread.create worker t)))
+      in
+      Array.sort compare latencies_ns;
+      let pct p =
+        float_of_int latencies_ns.(min (total - 1) (total * p / 100)) /. 1e6
+      in
+      let throughput = float_of_int total /. conc_seconds in
+      Fmt.pr
+        "concurrent: %d conns x %d reqs in %.3f s — %.0f req/s, p50 %.2f ms, \
+         p99 %.2f ms@."
+        conns per conc_seconds throughput (pct 50) (pct 99);
+      json_results :=
+        Json.Obj
+          [
+            ("name", Json.String "serve/concurrent");
+            ("connections", Json.Int conns);
+            ("requests", Json.Int total);
+            ("seconds", Json.Float conc_seconds);
+            ("throughput_rps", Json.Float throughput);
+            ("p50_ms", Json.Float (pct 50));
+            ("p99_ms", Json.Float (pct 99));
+          ]
+        :: !json_results);
+  Fmt.pr "(one daemon held across the warm and concurrent arms: its pool@.";
+  Fmt.pr " workers keep domain-local stores warm across requests, which is@.";
+  Fmt.pr " the entire case for residency over spawn-per-request.)@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one kernel per experiment               *)
 
 let bechamel_tests =
@@ -1130,6 +1319,9 @@ let run_experiments () =
   experiment "cache_ablation" (cache_ablation_report ~fast);
   experiment "symbolic_tier/ablation" (symbolic_tier_report ~fast);
   experiment "observability" (observability_report ~fast);
+  (* wrapper entry "serve/harness"; the three arms record themselves
+     as serve/cold, serve/warm, serve/concurrent *)
+  experiment "serve/harness" serve_report;
   if json = None then run_bechamel ()
   else experiment "bechamel/microbench" run_bechamel;
   Option.iter write_json json;

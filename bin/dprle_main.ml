@@ -383,17 +383,59 @@ let profile_cmd target corpus top metrics events no_cache no_symbolic
       print_profile ~top diff;
       0
 
+(* --wire mode: the positional argument is a JSONL file of
+   dprle-wire/1 request frames ("-" = stdin); responses stream to
+   stdout through the same codec the daemon uses. Requests run
+   sequentially in-process, so consecutive frames share one warm
+   domain-local store — the single-shot twin of [dprle serve]. *)
+let run_wire source =
+  let input =
+    if source = "-" then Ok (In_channel.input_all stdin)
+    else if Sys.file_exists source && not (Sys.is_directory source) then
+      Ok (In_channel.with_open_text source In_channel.input_all)
+    else Error (Fmt.str "%s: no such file" source)
+  in
+  match input with
+  | Error msg ->
+      Fmt.epr "error: %s@." msg;
+      2
+  | Ok text ->
+      let ok = ref 0 and errors = ref 0 in
+      List.iter
+        (fun line ->
+          if String.trim line <> "" then begin
+            let resp =
+              match Api.decode_request line with
+              | Error rej ->
+                  incr errors;
+                  Api.error_response ~id:"" rej
+              | Ok req -> (
+                  let resp = Serve.Handler.handle req in
+                  (match resp.Api.Response.payload with
+                  | Api.Response.Error _ -> incr errors
+                  | _ -> incr ok);
+                  resp)
+            in
+            print_string (Api.encode_response resp);
+            print_newline ()
+          end)
+        (String.split_on_char '\n' text);
+      Fmt.epr "%d response(s), %d error(s)@." (!ok + !errors) !errors;
+      if !errors > 0 then 1 else 0
+
 (* Batch mode: every .dprle file in a directory, fanned out over the
    engine's worker pool. Per-file results print in file-name order no
    matter how many workers ran, so the output is byte-identical for
    any --jobs value; timing goes to stderr. *)
-let batch_cmd dir jobs budget_ms budget_states max_solutions combination_limit
-    trace trace_tree no_cache no_symbolic metrics events verbose =
+let batch_cmd dir wire jobs budget_ms budget_states max_solutions
+    combination_limit trace trace_tree no_cache no_symbolic metrics events
+    verbose =
   setup_logs verbose;
   if no_cache then Automata.Store.set_enabled false;
   if no_symbolic then Automata.Query.set_symbolic_enabled false;
   with_observability ~metrics ~events @@ fun () ->
-  if not (Sys.is_directory dir) then begin
+  if wire then run_wire dir
+  else if not (Sys.file_exists dir && Sys.is_directory dir) then begin
     Fmt.epr "error: %s: not a directory@." dir;
     2
   end
@@ -493,6 +535,40 @@ let batch_cmd dir jobs budget_ms budget_states max_solutions combination_limit
       else if !budget_hits > 0 then 4
       else 0
   end
+
+(* Resident daemon: bind the wire socket, serve until a shutdown
+   frame. Human-facing chatter goes to stderr; stdout stays empty (the
+   protocol lives on the socket). *)
+let serve_cmd listen jobs max_frame_bytes max_queue batch_max metrics events
+    verbose =
+  setup_logs verbose;
+  with_observability ~metrics ~events @@ fun () ->
+  match Serve.Server.listen_of_string listen with
+  | Error msg ->
+      Fmt.epr "error: %s@." msg;
+      2
+  | Ok l -> (
+      let cfg =
+        {
+          (Serve.Server.default_config l) with
+          Serve.Server.jobs;
+          max_frame_bytes;
+          max_queue;
+          batch_max;
+        }
+      in
+      let on_ready _ =
+        Fmt.epr "dprle: listening on %a@." Serve.Server.pp_listen l
+      in
+      match Serve.Server.run ~on_ready cfg with
+      | outcome ->
+          Fmt.epr "dprle: served %d request(s), %d rejected, %d malformed@."
+            outcome.Serve.Server.served outcome.Serve.Server.rejected
+            outcome.Serve.Server.malformed;
+          0
+      | exception Unix.Unix_error (e, fn, arg) ->
+          Fmt.epr "error: %s: %s(%s)@." (Unix.error_message e) fn arg;
+          2)
 
 open Cmdliner
 
@@ -606,8 +682,22 @@ let solve_term =
 let batch_term =
   let dir_arg =
     Arg.(
-      required & pos 0 (some dir) None
-      & info [] ~docv:"DIR" ~doc:"Directory of .dprle constraint files.")
+      required & pos 0 (some string) None
+      & info [] ~docv:"DIR"
+          ~doc:
+            "Directory of .dprle constraint files — or, with $(b,--wire), a \
+             JSONL file of dprle-wire/1 request frames ($(b,-) = stdin).")
+  in
+  let wire_arg =
+    Arg.(
+      value & flag
+      & info [ "wire" ]
+          ~doc:
+            "Wire mode: read dprle-wire/1 request frames (one JSON object \
+             per line) from $(i,DIR) and write one response frame per line \
+             to stdout — the same codec the $(b,serve) daemon speaks. \
+             Requests run sequentially in-process and carry their own \
+             budgets; $(b,--budget-ms)/$(b,--budget-states) are ignored.")
   in
   let jobs =
     Arg.(
@@ -618,9 +708,10 @@ let batch_term =
              count). Output is byte-identical for any value.")
   in
   Term.(
-    const batch_cmd $ dir_arg $ jobs $ budget_ms_arg $ budget_states_arg
-    $ max_solutions_arg $ combination_limit_arg $ trace_arg $ trace_tree_arg
-    $ no_cache_arg $ no_symbolic_arg $ metrics_arg $ events_arg $ verbose_arg)
+    const batch_cmd $ dir_arg $ wire_arg $ jobs $ budget_ms_arg
+    $ budget_states_arg $ max_solutions_arg $ combination_limit_arg
+    $ trace_arg $ trace_tree_arg $ no_cache_arg $ no_symbolic_arg
+    $ metrics_arg $ events_arg $ verbose_arg)
 
 let profile_term =
   let target =
@@ -712,7 +803,63 @@ let batch_cmd_info =
     ~doc:
       "Solve every .dprle file in a directory over a parallel worker pool. \
        Per-file results print in file-name order and are byte-identical for \
-       any $(b,--jobs) value; timing goes to stderr."
+       any $(b,--jobs) value; timing goes to stderr. With $(b,--wire), \
+       replay a JSONL file of dprle-wire/1 request frames instead."
+
+let serve_term =
+  let listen_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"ADDR"
+          ~doc:
+            "Listen address: $(b,unix:)$(i,PATH), $(b,tcp:)$(i,HOST:PORT), \
+             or a bare Unix-socket path.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains in the resident pool. The default 1 routes every \
+             request through the same domain-local store, maximizing warm \
+             intern/op-cache hits.")
+  in
+  let max_frame_arg =
+    Arg.(
+      value & opt int Api.default_max_frame_bytes
+      & info [ "max-frame-bytes" ] ~docv:"N"
+          ~doc:"Reject request frames larger than $(docv) bytes.")
+  in
+  let max_queue_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:"Hard cap on queued requests; beyond it everything is rejected.")
+  in
+  let batch_max_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "batch-max" ] ~docv:"N"
+          ~doc:"Queued requests dispatched per pool batch.")
+  in
+  Term.(
+    const serve_cmd $ listen_arg $ jobs_arg $ max_frame_arg $ max_queue_arg
+    $ batch_max_arg $ metrics_arg $ events_arg $ verbose_arg)
+
+let serve_cmd_info =
+  Cmd.info "serve"
+    ~exits:
+      ([
+         Cmd.Exit.info 0 ~doc:"on a clean shutdown (drained by a shutdown frame).";
+         Cmd.Exit.info 2 ~doc:"when the listen address is invalid or cannot be bound.";
+       ]
+      @ Cmd.Exit.defaults)
+    ~doc:
+      "Run the resident solver daemon: line-delimited dprle-wire/1 JSON \
+       frames over a Unix-domain or TCP socket, dispatched onto a \
+       persistent worker pool whose interned-language store stays warm \
+       across requests. HTTP scrapers (a connection starting with \
+       $(b,GET )) receive a Prometheus-format metrics snapshot."
 
 let main_info =
   Cmd.info "dprle" ~version:"1.0.0"
@@ -738,4 +885,5 @@ let () =
             Cmd.v lint_cmd_info
               Term.(const lint_cmd $ path_arg $ no_symbolic_arg $ verbose_arg);
             Cmd.v profile_cmd_info profile_term;
+            Cmd.v serve_cmd_info serve_term;
           ]))

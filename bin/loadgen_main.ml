@@ -1,0 +1,285 @@
+(* dprle-loadgen — wire-protocol client for the dprle serve daemon.
+
+   Three deterministic modes back the cram/CI smoke coverage (every
+   line they print is a fixed string or a boolean, never a timing):
+
+   - smoke:  solve / warm re-solve / lint / stats / shutdown
+   - warm:   one cold solve, N identical warm solves, warm-vs-cold
+             booleans from the per-response obs fields
+   - chaos:  malformed, wrong-version, unknown-kind, and oversized
+             frames, then a mid-request disconnect — each answered
+             with the expected structured error, daemon provably alive
+
+   The fourth, run, is the actual load generator: N client threads
+   replaying a solve/check/lint mix, reporting throughput and
+   latency percentiles (non-deterministic output, not cram'd). *)
+
+let fig1_system =
+  "let filter = /[\\d]+$/;\n\
+   let prefix = \"nid_\";\n\
+   let unsafe = /'/;\n\
+   v1 <= filter;\n\
+   prefix . v1 <= unsafe;\n"
+
+let digits_system = "let filter = /[\\d]+$/;\nv1 <= filter;\n"
+
+let req ?budget_ms ~id kind =
+  { Api.Request.id; kind; budget_ms; budget_states = None }
+
+let solve_kind system = Api.Request.Solve (Api.Request.solve_defaults ~system)
+
+let die fmt = Fmt.kstr (fun msg -> Fmt.epr "error: %s@." msg; exit 2) fmt
+
+let parse_listen s =
+  match Serve.Server.listen_of_string s with
+  | Ok l -> l
+  | Error msg -> die "%s" msg
+
+let must_connect listen =
+  match Serve.Client.connect listen with
+  | Ok c -> c
+  | Error e -> die "cannot connect to %a: %s" Serve.Server.pp_listen listen e
+
+let must_request c r =
+  match Serve.Client.request c r with
+  | Ok resp -> resp
+  | Error e -> die "request %s: %s" r.Api.Request.id e
+
+let tag (resp : Api.Response.t) = Api.Response.payload_name resp.payload
+
+(* ------------------------------------------------------------------ *)
+
+let smoke_cmd listen_s =
+  let listen = parse_listen listen_s in
+  let c = must_connect listen in
+  let r1 = must_request c (req ~id:"s1" (solve_kind fig1_system)) in
+  Fmt.pr "solve: %s@." (tag r1);
+  let r2 = must_request c (req ~id:"s2" (solve_kind fig1_system)) in
+  Fmt.pr "solve again: %s (intern hits > 0: %b)@." (tag r2)
+    (r2.obs.Api.Response.intern_hits > 0);
+  let r3 = must_request c (req ~id:"l1" (Api.Request.Lint fig1_system)) in
+  (match r3.payload with
+  | Api.Response.Lint_report { findings = [] } -> Fmt.pr "lint: no findings@."
+  | Api.Response.Lint_report { findings } ->
+      Fmt.pr "lint: %d finding(s)@." (List.length findings)
+  | _ -> Fmt.pr "lint: %s@." (tag r3));
+  let r4 = must_request c (req ~id:"st" Api.Request.Stats) in
+  (match r4.payload with
+  | Api.Response.Stats_report { requests; _ } ->
+      Fmt.pr "stats: ok (requests > 0: %b)@." (requests > 0)
+  | _ -> Fmt.pr "stats: %s@." (tag r4));
+  let r5 = must_request c (req ~id:"sd" Api.Request.Shutdown) in
+  (match r5.payload with
+  | Api.Response.Shutdown_ack { drained } ->
+      Fmt.pr "shutdown: acked (drained %d)@." drained
+  | _ -> Fmt.pr "shutdown: %s@." (tag r5));
+  Serve.Client.close c;
+  0
+
+(* ------------------------------------------------------------------ *)
+
+let warm_cmd listen_s repeats =
+  let listen = parse_listen listen_s in
+  let c = must_connect listen in
+  let solve id = must_request c (req ~id (solve_kind fig1_system)) in
+  let cold = solve "cold" in
+  Fmt.pr "cold: %s@." (tag cold);
+  let warms = List.init repeats (fun i -> solve (Fmt.str "warm%d" i)) in
+  let tags_agree = List.for_all (fun r -> tag r = tag cold) warms in
+  Fmt.pr "warm: %s x%d@." (if tags_agree then tag cold else "MIXED") repeats;
+  Fmt.pr "warm intern hits > 0: %b@."
+    (List.for_all (fun (r : Api.Response.t) -> r.obs.Api.Response.intern_hits > 0) warms);
+  (* the cold request pays first-time parsing, automata construction,
+     and memo misses; comparing against the *fastest* warm repeat
+     keeps scheduler noise out of the verdict *)
+  let min_warm =
+    List.fold_left
+      (fun acc (r : Api.Response.t) -> min acc r.obs.Api.Response.elapsed_us)
+      max_int warms
+  in
+  Fmt.pr "warm faster than cold: %b@."
+    (min_warm < cold.obs.Api.Response.elapsed_us);
+  Serve.Client.close c;
+  0
+
+(* ------------------------------------------------------------------ *)
+
+let expect_error c ~what frame =
+  (* An oversized frame can hit the daemon's cap mid-send: the server
+     answers and cuts the connection while we are still writing, so the
+     send may fail with EPIPE even though the structured error response
+     is already queued for us. A failed send is therefore tolerated;
+     the recv + decode below is the real assertion. *)
+  (match Serve.Client.send_raw c (frame ^ "\n") with
+  | Ok () | Error _ -> ());
+  match Serve.Client.recv_line c with
+  | None -> die "%s: no answer (connection closed)" what
+  | Some line -> (
+      match Api.decode_response ~max_bytes:(16 * 1024 * 1024) line with
+      | Ok { payload = Api.Response.Error { code; _ }; _ } ->
+          Fmt.pr "%s: answered (%s)@." what (Api.error_code_name code)
+      | Ok resp -> Fmt.pr "%s: unexpected %s@." what (tag resp)
+      | Error rej -> die "%s: undecodable answer: %a" what Api.pp_reject rej)
+
+let chaos_cmd listen_s oversize =
+  let listen = parse_listen listen_s in
+  let c = must_connect listen in
+  expect_error c ~what:"malformed frame" "this is not json";
+  expect_error c ~what:"bad version"
+    "{\"schema\":\"dprle-wire/99\",\"id\":\"x\",\"kind\":\"stats\"}";
+  expect_error c ~what:"unknown kind"
+    "{\"schema\":\"dprle-wire/1\",\"id\":\"x\",\"kind\":\"frobnicate\"}";
+  expect_error c ~what:"oversized frame" (String.make oversize 'a');
+  Serve.Client.close c;
+  (* mid-request disconnect: fire a real solve and vanish before the
+     answer; the daemon must complete the work and drop the response *)
+  let c2 = must_connect listen in
+  (match
+     Serve.Client.send_raw c2
+       (Api.encode_request (req ~id:"dropped" (solve_kind fig1_system)) ^ "\n")
+   with
+  | Ok () -> ()
+  | Error e -> die "mid-request disconnect: send failed: %s" e);
+  Serve.Client.close c2;
+  let c3 = must_connect listen in
+  let alive =
+    match Serve.Client.request c3 (req ~id:"alive" Api.Request.Stats) with
+    | Ok { payload = Api.Response.Stats_report _; _ } -> true
+    | Ok _ | Error _ -> false
+  in
+  Fmt.pr "mid-request disconnect: survived: %b@." alive;
+  let r = must_request c3 (req ~id:"final" (solve_kind fig1_system)) in
+  Fmt.pr "still serving: %s@." (tag r);
+  Serve.Client.close c3;
+  0
+
+(* ------------------------------------------------------------------ *)
+
+let run_cmd listen_s conns requests =
+  let listen = parse_listen listen_s in
+  let mix =
+    [|
+      solve_kind fig1_system;
+      Api.Request.Check digits_system;
+      Api.Request.Lint fig1_system;
+    |]
+  in
+  let total = conns * requests in
+  let latencies_ns = Array.make (max 1 total) 0 in
+  let errors = Atomic.make 0 in
+  let worker t =
+    let c = must_connect listen in
+    for i = 0 to requests - 1 do
+      let slot = (t * requests) + i in
+      let kind = mix.(slot mod Array.length mix) in
+      let t0 = Telemetry.Clock.now_ns () in
+      (match Serve.Client.request c (req ~id:(Fmt.str "c%d-%d" t i) kind) with
+      | Ok { payload = Api.Response.Error _; _ } | Error _ ->
+          Atomic.incr errors
+      | Ok _ -> ());
+      latencies_ns.(slot) <-
+        Int64.to_int (Int64.sub (Telemetry.Clock.now_ns ()) t0)
+    done;
+    Serve.Client.close c
+  in
+  let t0 = Telemetry.Clock.now_ns () in
+  let threads = List.init conns (fun t -> Thread.create worker t) in
+  List.iter Thread.join threads;
+  let wall_s =
+    Int64.to_float (Int64.sub (Telemetry.Clock.now_ns ()) t0) /. 1e9
+  in
+  Array.sort compare latencies_ns;
+  let pct p =
+    let idx =
+      min (total - 1) (int_of_float (float_of_int total *. p /. 100.))
+    in
+    float_of_int latencies_ns.(idx) /. 1e6
+  in
+  Fmt.pr "connections: %d, requests: %d, errors: %d@." conns total
+    (Atomic.get errors);
+  Fmt.pr "wall: %.3f s, throughput: %.1f req/s@." wall_s
+    (float_of_int total /. wall_s);
+  Fmt.pr "latency p50: %.3f ms, p99: %.3f ms@." (pct 50.) (pct 99.);
+  if Atomic.get errors > 0 then 1 else 0
+
+(* ------------------------------------------------------------------ *)
+
+open Cmdliner
+
+let listen_arg =
+  Arg.(
+    required & pos 0 (some string) None
+    & info [] ~docv:"ADDR"
+        ~doc:
+          "Daemon address: $(b,unix:)$(i,PATH), $(b,tcp:)$(i,HOST:PORT), or \
+           a bare Unix-socket path.")
+
+let smoke_info =
+  Cmd.info "smoke"
+    ~doc:
+      "Deterministic end-to-end exercise: solve, identical warm re-solve \
+       (asserting warm intern hits), lint, stats, shutdown."
+
+let warm_info =
+  Cmd.info "warm"
+    ~doc:
+      "Warm-store demo: one cold solve then $(b,--repeats) identical warm \
+       solves; prints warm-hit and warm-faster-than-cold booleans from the \
+       per-response observability fields."
+
+let chaos_info =
+  Cmd.info "chaos"
+    ~doc:
+      "Protocol-abuse exercise: malformed, wrong-version, unknown-kind, and \
+       oversized frames, then a mid-request disconnect; asserts the daemon \
+       answers each with a structured error and keeps serving."
+
+let run_info =
+  Cmd.info "run"
+    ~doc:
+      "Load generator: $(b,-c) concurrent connections each replaying \
+       $(b,-n) requests from a solve/check/lint mix; reports throughput \
+       and p50/p99 latency."
+
+let main_info =
+  Cmd.info "dprle-loadgen" ~version:"1.0.0"
+    ~doc:"Wire-protocol client and load generator for the dprle serve daemon."
+
+let () =
+  Sys.catch_break true;
+  (* A disconnect-mid-send must surface as Error from Client.send_raw,
+     not kill the process with SIGPIPE. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let repeats_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "repeats" ] ~docv:"N" ~doc:"Warm solves after the cold one.")
+  in
+  let oversize_arg =
+    Arg.(
+      value & opt int (2 * 1024 * 1024)
+      & info [ "oversize-bytes" ] ~docv:"N"
+          ~doc:
+            "Size of the oversized frame; must exceed the daemon's \
+             $(b,--max-frame-bytes).")
+  in
+  let conns_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "c"; "connections" ] ~docv:"N" ~doc:"Concurrent connections.")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 25
+      & info [ "n"; "requests" ] ~docv:"N" ~doc:"Requests per connection.")
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group main_info
+          [
+            Cmd.v smoke_info Term.(const smoke_cmd $ listen_arg);
+            Cmd.v warm_info Term.(const warm_cmd $ listen_arg $ repeats_arg);
+            Cmd.v chaos_info Term.(const chaos_cmd $ listen_arg $ oversize_arg);
+            Cmd.v run_info
+              Term.(const run_cmd $ listen_arg $ conns_arg $ requests_arg);
+          ]))

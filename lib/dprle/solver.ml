@@ -671,8 +671,7 @@ let solve_graph ~max_solutions ~combination_limit (g : Depgraph.t) =
 (* ------------------------------------------------------------------ *)
 (* Public entry points. [run]/[run_graph] are the primary API: config
    record in, [result] out, with budget exhaustion surfaced as a
-   structured error rather than an exception. The optional-arg
-   [solve]/[solve_system] below are compatibility shims. *)
+   structured error rather than an exception. *)
 
 let run_graph (cfg : Config.t) g =
   try
@@ -695,12 +694,6 @@ let run (cfg : Config.t) system =
              ~combination_limit:cfg.combination_limit
              (Depgraph.of_system system)))
   with Budget.Exceeded stop -> Error (Error.Budget_exceeded stop)
-
-let solve ?(max_solutions = 256) ?(combination_limit = 4096) g =
-  solve_graph ~max_solutions ~combination_limit g
-
-let solve_system ?max_solutions ?combination_limit system =
-  solve ?max_solutions ?combination_limit (Depgraph.of_system system)
 
 let first_solution g =
   match solve_graph ~max_solutions:1 ~combination_limit:4096 g with

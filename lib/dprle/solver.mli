@@ -103,20 +103,6 @@ val run : Config.t -> System.t -> (outcome, Error.t) result
 (** Like {!run} on an already-built graph. *)
 val run_graph : Config.t -> Depgraph.t -> (outcome, Error.t) result
 
-(** [solve graph] decides the system with the defaults of
-    {!Config.default} and no budget.
-
-    @deprecated Compatibility shim for pre-[Config] callers; use
-    {!run_graph}. *)
-val solve : ?max_solutions:int -> ?combination_limit:int -> Depgraph.t -> outcome
-
-(** Convenience: graph construction + solve.
-
-    @deprecated Compatibility shim for pre-[Config] callers; use
-    {!run}. *)
-val solve_system :
-  ?max_solutions:int -> ?combination_limit:int -> System.t -> outcome
-
 (** First satisfying assignment only (the mode the paper's §3.5 notes
     can avoid full enumeration). *)
 val first_solution : Depgraph.t -> Assignment.t option

@@ -1,0 +1,124 @@
+type t = { fd : Unix.file_descr; buf : Buffer.t }
+
+let sockaddr_of = function
+  | Server.Unix_socket path -> (Unix.ADDR_UNIX path, Unix.PF_UNIX)
+  | Server.Tcp (host, port) ->
+      let addr =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      (Unix.ADDR_INET (addr, port), Unix.PF_INET)
+
+let connect ?(retries = 100) listen =
+  let sockaddr, domain = sockaddr_of listen in
+  let rec go n =
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd sockaddr with
+    | () ->
+        (* a stuck server must fail tests, not hang them *)
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO 30.0;
+        Ok { fd; buf = Buffer.create 4096 }
+    | exception Unix.Unix_error ((ECONNREFUSED | ENOENT), _, _) when n > 0 ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Unix.sleepf 0.05;
+        go (n - 1)
+    | exception Unix.Unix_error (e, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Error (Unix.error_message e)
+  in
+  go retries
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let send_raw t s =
+  try
+    let rec go off len =
+      if len > 0 then begin
+        let n = Unix.write_substring t.fd s off len in
+        go (off + n) (len - n)
+      end
+    in
+    go 0 (String.length s);
+    Ok ()
+  with Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let recv_line t =
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    let s = Buffer.contents t.buf in
+    match String.index_opt s '\n' with
+    | Some i ->
+        let line = String.sub s 0 i in
+        Buffer.clear t.buf;
+        Buffer.add_substring t.buf s (i + 1) (String.length s - i - 1);
+        Some line
+    | None -> (
+        match Unix.read t.fd chunk 0 (Bytes.length chunk) with
+        | 0 -> None
+        | n ->
+            Buffer.add_subbytes t.buf chunk 0 n;
+            go ()
+        | exception
+            Unix.Unix_error
+              ((ECONNRESET | EPIPE | EAGAIN | EWOULDBLOCK), _, _) ->
+            None)
+  in
+  go ()
+
+(* Responses are not capped like server-side requests are: a witness
+   list can legitimately outgrow the request cap. *)
+let response_max_bytes = 16 * 1024 * 1024
+
+let request t req =
+  match send_raw t (Api.encode_request req ^ "\n") with
+  | Error e -> Error e
+  | Ok () -> (
+      match recv_line t with
+      | None -> Error "connection closed"
+      | Some line -> (
+          match Api.decode_response ~max_bytes:response_max_bytes line with
+          | Ok resp -> Ok resp
+          | Error rej -> Error (Fmt.str "%a" Api.pp_reject rej)))
+
+let scrape listen =
+  match connect listen with
+  | Error e -> Error e
+  | Ok t -> (
+      let read_all () =
+        let chunk = Bytes.create 4096 in
+        let buf = Buffer.create 4096 in
+        let rec go () =
+          match Unix.read t.fd chunk 0 (Bytes.length chunk) with
+          | 0 -> Buffer.contents buf
+          | n ->
+              Buffer.add_subbytes buf chunk 0 n;
+              go ()
+          | exception
+              Unix.Unix_error
+                ((ECONNRESET | EAGAIN | EWOULDBLOCK), _, _) ->
+              Buffer.contents buf
+        in
+        go ()
+      in
+      let result =
+        match send_raw t "GET /metrics HTTP/1.0\r\n\r\n" with
+        | Error e -> Error e
+        | Ok () -> (
+            let raw = read_all () in
+            (* body = everything after the header/body separator *)
+            let sep = "\r\n\r\n" in
+            let rec find i =
+              if i + String.length sep > String.length raw then None
+              else if String.sub raw i (String.length sep) = sep then Some i
+              else find (i + 1)
+            in
+            match find 0 with
+            | Some i ->
+                Ok
+                  (String.sub raw
+                     (i + String.length sep)
+                     (String.length raw - i - String.length sep))
+            | None -> Error "no HTTP header/body separator in scrape reply")
+      in
+      close t;
+      result)

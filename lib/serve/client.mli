@@ -1,0 +1,27 @@
+(** Blocking line-framed client for the daemon — the transport under
+    [dprle-loadgen] and the serve test-suites. One request in flight
+    per connection; a 30 s receive timeout guards tests against a hung
+    server. *)
+
+type t
+
+(** Connect, retrying connection-refused/not-yet-bound every 50 ms up
+    to [retries] (default 100, i.e. ~5 s) — enough for "start daemon,
+    connect" scripts with no sleep. *)
+val connect : ?retries:int -> Server.listen -> (t, string) result
+
+(** Send one request frame and block for its response frame. *)
+val request : t -> Api.Request.t -> (Api.Response.t, string) result
+
+(** Escape hatch for protocol-abuse tests: send raw bytes verbatim
+    (no framing added). *)
+val send_raw : t -> string -> (unit, string) result
+
+(** Next complete line, or [None] on EOF/timeout. *)
+val recv_line : t -> string option
+
+(** One-shot HTTP [GET /metrics] scrape: returns the response body
+    (Prometheus text format). *)
+val scrape : Server.listen -> (string, string) result
+
+val close : t -> unit

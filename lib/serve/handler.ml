@@ -1,0 +1,230 @@
+module Snapshot = Telemetry.Metrics.Snapshot
+
+let sum_counter snap name =
+  List.fold_left
+    (fun acc (n, _labels, v) -> if String.equal n name then acc + v else acc)
+    0 (Snapshot.counters snap)
+
+(* Counter series flattened to the registry's pp spelling
+   ("store.opcache.hit{op=inter_lang}"), sorted for determinism. *)
+let flat_counters snap =
+  Snapshot.counters snap
+  |> List.map (fun (name, labels, v) ->
+         let rendered =
+           match labels with
+           | [] -> name
+           | labels ->
+               name ^ "{"
+               ^ String.concat ","
+                   (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+               ^ "}"
+         in
+         (rendered, v))
+  |> List.sort compare
+
+let parse_reject pp e =
+  Api.Response.Error
+    { code = Api.Response.Parse_error; message = Fmt.str "%a" pp e }
+
+let solve (p : Api.Request.solve_params) =
+  match Dprle.Sysparse.parse p.system with
+  | Error e -> parse_reject Dprle.Sysparse.pp_error e
+  | Ok system -> (
+      let config =
+        Dprle.Solver.Config.make ~max_solutions:p.max_solutions
+          ~combination_limit:p.combination_limit ()
+      in
+      match Dprle.Solver.run config system with
+      | Error err ->
+          Api.Response.Error
+            {
+              code = Api.Response.Budget_exceeded;
+              message = Dprle.Solver.Error.to_string err;
+            }
+      | Ok (Dprle.Solver.Unsat reason) ->
+          Api.Response.Unsat { reason = Dprle.Solver.unsat_message reason }
+      | Ok (Dprle.Solver.Sat solutions) ->
+          let witnesses =
+            if p.witnesses then
+              List.filter_map Dprle.Assignment.witness solutions
+            else []
+          in
+          Api.Response.Sat { solutions = List.length solutions; witnesses })
+
+(* check = solve capped at one solution, witness extraction skipped —
+   the wire twin of [dprle check]. *)
+let check system_text =
+  solve
+    {
+      (Api.Request.solve_defaults ~system:system_text) with
+      Api.Request.max_solutions = 1;
+    }
+
+let lint system_text =
+  match Dprle.Sysparse.parse system_text with
+  | Error e -> parse_reject Dprle.Sysparse.pp_error e
+  | Ok system ->
+      let findings =
+        Dprle.Static.lint system
+        |> List.map (fun (f : Dprle.Static.finding) ->
+               {
+                 Api.Response.severity =
+                   Fmt.str "%a" Dprle.Static.pp_severity f.severity;
+                 check = f.check;
+                 message = f.message;
+               })
+      in
+      Api.Response.Lint_report { findings }
+
+(* Same constant as webcheck's --prepass-paths default. *)
+let prepass_paths = 8
+
+(* The webcheck CLI pipeline (prepass → fixpoint prune → symbolic
+   execution → per-candidate solve), re-emitted as structured sinks
+   instead of prose. One intentional divergence: the CLI degrades a
+   budget-exhausted static analysis to "no pruning" because its budget
+   is per-candidate, whereas here the ambient budget installed by
+   {!handle} covers the whole request — exhaustion anywhere becomes
+   one [Budget_exceeded] error response. *)
+let webcheck (p : Api.Request.webcheck_params) =
+  match Webapp.Lang_parser.parse p.program with
+  | Error e -> parse_reject Webapp.Lang_parser.pp_error e
+  | Ok program -> (
+      match Webapp.Attack.lookup p.attack with
+      | None ->
+          Api.Response.Error
+            {
+              code = Api.Response.Parse_error;
+              message =
+                Fmt.str "unknown attack language %S (known: %s)" p.attack
+                  (String.concat ", " Webapp.Attack.names);
+            }
+      | Some attack ->
+          let static =
+            if not p.static_prune then None
+            else
+              let decision =
+                Analysis.Prepass.decide ~path_budget:prepass_paths program
+              in
+              if not decision.Analysis.Prepass.run_fixpoint then None
+              else Some (Analysis.Fixpoint.analyze_cached ~attack program)
+          in
+          let safe_ids =
+            match static with
+            | Some r -> Analysis.Fixpoint.safe_sink_ids r
+            | None -> []
+          in
+          let total_sinks = List.length (Webapp.Ast.sinks program) in
+          let all_pruned =
+            static <> None && total_sinks > 0
+            && List.length safe_ids = total_sinks
+          in
+          let { Webapp.Symexec.candidates; paths_truncated } =
+            if all_pruned then
+              { Webapp.Symexec.candidates = []; paths_truncated = false }
+            else Webapp.Symexec.analyze ~max_paths:p.max_paths ~attack program
+          in
+          let candidates =
+            List.filter
+              (fun (q : Webapp.Symexec.query) ->
+                not (List.mem q.Webapp.Symexec.sink_id safe_ids))
+              candidates
+          in
+          let solved =
+            List.map
+              (fun (q : Webapp.Symexec.query) ->
+                let verdict = Webapp.Symexec.solve q in
+                let status, exploit =
+                  match
+                    ( verdict.Webapp.Symexec.budget,
+                      verdict.Webapp.Symexec.assignment )
+                  with
+                  | Webapp.Symexec.Budget_exceeded _, _ ->
+                      ("budget_exceeded", [])
+                  | _, Some assignment ->
+                      ("vulnerable", Webapp.Symexec.exploit_inputs q assignment)
+                  | _, None -> ("no_exploit", [])
+                in
+                {
+                  Api.Response.path_id = q.Webapp.Symexec.path_id;
+                  sink_index = q.Webapp.Symexec.sink_index;
+                  sink_id = q.Webapp.Symexec.sink_id;
+                  status;
+                  exploit;
+                })
+              candidates
+          in
+          let pruned =
+            List.map
+              (fun id ->
+                {
+                  Api.Response.path_id = -1;
+                  sink_index = -1;
+                  sink_id = id;
+                  status = "proved_safe_statically";
+                  exploit = [];
+                })
+              (List.sort compare safe_ids)
+          in
+          let vulnerable =
+            List.length
+              (List.filter
+                 (fun (s : Api.Response.sink) -> s.status = "vulnerable")
+                 solved)
+          in
+          Api.Response.Webcheck_report
+            { sinks = pruned @ solved; vulnerable; paths_truncated })
+
+let stats ~requests () =
+  Api.Response.Stats_report
+    { requests; counters = flat_counters (Snapshot.of_default ()) }
+
+let handle ?(requests = 0) (req : Api.Request.t) : Api.Response.t =
+  let before = Snapshot.of_default () in
+  let t0 = Telemetry.Clock.now_ns () in
+  (* The request budget is ambient for the whole handler, not just the
+     solver call — a hostile program can blow up in path enumeration
+     or the fixpoint too. Solver configs keep their default unlimited
+     budget; installing unlimited is a no-op, so the ambient budget
+     stays in force through nested solves. *)
+  let budget =
+    Automata.Budget.make ?wall_ms:req.budget_ms ?max_states:req.budget_states
+      ()
+  in
+  let payload =
+    match
+      Automata.Budget.run budget (fun () ->
+          match req.kind with
+          | Api.Request.Solve p -> solve p
+          | Api.Request.Check s -> check s
+          | Api.Request.Lint s -> lint s
+          | Api.Request.Webcheck p -> webcheck p
+          | Api.Request.Stats -> stats ~requests ()
+          | Api.Request.Shutdown -> Api.Response.Shutdown_ack { drained = 0 })
+    with
+    | Ok payload -> payload
+    | Error stop ->
+        Api.Response.Error
+          {
+            code = Api.Response.Budget_exceeded;
+            message = Automata.Budget.stop_to_string stop;
+          }
+    | exception e ->
+        Api.Response.Error
+          { code = Api.Response.Internal; message = Printexc.to_string e }
+  in
+  let elapsed_us =
+    Int64.to_int
+      (Int64.div (Int64.sub (Telemetry.Clock.now_ns ()) t0) 1000L)
+  in
+  let diff = Snapshot.diff ~after:(Snapshot.of_default ()) ~before in
+  {
+    Api.Response.id = req.id;
+    payload;
+    obs =
+      {
+        Api.Response.elapsed_us;
+        intern_hits = sum_counter diff "store.intern.hit";
+        opcache_hits = sum_counter diff "store.opcache.hit";
+      };
+  }

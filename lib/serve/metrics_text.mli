@@ -1,0 +1,11 @@
+(** The scrapeable [/metrics] surface: a {!Telemetry.Metrics.Snapshot}
+    rendered in Prometheus text exposition format. Dotted metric names
+    map to underscores ([store.intern.hit] → [store_intern_hit]);
+    histograms contribute [_count]/[_sum] series, timers [_calls] and
+    [_seconds_total]. Series are sorted, so two snapshots of the same
+    registry state render byte-identically. *)
+
+val render : Telemetry.Metrics.Snapshot.t -> string
+
+(** Exposed for tests. *)
+val sanitize : string -> string

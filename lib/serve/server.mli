@@ -1,0 +1,55 @@
+(** The resident solver daemon: a single-threaded [Unix.select] loop
+    over a Unix-domain or TCP listening socket, speaking line-delimited
+    [dprle-wire/1] frames ({!Api}) and dispatching admitted requests
+    onto a persistent {!Engine.Pool} whose worker domains keep their
+    {!Automata.Store} intern and op-cache tables warm across requests
+    — the point of residency.
+
+    Life of a request: bytes accumulate in a per-connection buffer;
+    each complete line is decoded with the total codec (undecodable
+    frames get a structured error response and cost nothing else);
+    [stats] and [shutdown] are answered immediately in the main domain
+    (whose registry has absorbed every worker's per-batch metric
+    diffs); solver kinds pass admission control ({!Admission}, plus a
+    hard queue cap) and queue; between selects the queue drains in
+    batches of [batch_max] through [Pool.map], and responses are
+    written as each batch returns.
+
+    A connection whose first bytes are ["GET "] is treated as an HTTP
+    metrics scraper: it gets one [200 text/plain] Prometheus-format
+    snapshot ({!Metrics_text}) and is closed.
+
+    Failure containment, per connection: oversized or malformed frames
+    are answered and (when unframeable) the connection is cut; a peer
+    that disconnects mid-request costs nothing but the dropped
+    response (the completed work still warms the store); handler
+    exceptions become [Error Internal] responses. The daemon itself
+    exits only on [shutdown], which stops accepting, drains the queue,
+    answers everything in flight, and joins the pool. *)
+
+type listen = Unix_socket of string | Tcp of string * int
+
+val pp_listen : listen Fmt.t
+
+(** ["unix:PATH"], ["tcp:HOST:PORT"], or a bare path (= unix). *)
+val listen_of_string : string -> (listen, string) result
+
+type config = {
+  listen : listen;
+  jobs : int;  (** pool size; 1 (the default) maximizes store warmth *)
+  max_frame_bytes : int;  (** decode-side cap, default 1 MiB *)
+  max_queue : int;  (** hard queue cap, default 256 *)
+  batch_max : int;  (** requests per pool batch, default 32 *)
+}
+
+val default_config : listen -> config
+
+(** Lifetime totals, returned when the daemon exits. *)
+type outcome = { served : int; rejected : int; malformed : int }
+
+(** [run ?on_ready config] binds, listens, serves until a [shutdown]
+    request, and cleans up (sockets closed, Unix socket path unlinked,
+    pool joined) even on exceptions. [on_ready] is called with the
+    bound address once the socket is accepting — in-process callers
+    (tests, bench) use it to start their clients without polling. *)
+val run : ?on_ready:(Unix.sockaddr -> unit) -> config -> outcome

@@ -33,7 +33,7 @@ type report = {
   skipped : string list;
 }
 
-let default_skip = [ "bechamel/microbench"; "parallel/*" ]
+let default_skip = [ "bechamel/microbench"; "parallel/*"; "serve/*" ]
 let hard_count r = List.length (List.filter (fun f -> f.severity = Hard) r.findings)
 let warn_count r = List.length (List.filter (fun f -> f.severity = Warn) r.findings)
 

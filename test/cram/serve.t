@@ -1,0 +1,42 @@
+The resident daemon, end to end: start dprle serve on a throwaway
+Unix socket (made under /tmp — sandbox paths overflow the 108-byte
+sun_path limit), drive it with dprle-loadgen, and let the smoke
+run's shutdown request bring it down cleanly.
+
+  $ D=$(mktemp -d)
+  $ SOCK="unix:$D/d.sock"
+  $ dprle serve "$SOCK" --max-frame-bytes 65536 2>server.log &
+
+The warm-store demo: one cold solve, five byte-identical warm
+solves. The warm responses report store intern hits and beat the
+cold wall time — the whole point of residency:
+
+  $ dprle-loadgen warm "$SOCK"
+  cold: sat
+  warm: sat x5
+  warm intern hits > 0: true
+  warm faster than cold: true
+
+Protocol abuse: every broken frame gets a structured error on the
+same connection, and a client that fires a solve and vanishes
+mid-request costs the daemon nothing:
+
+  $ dprle-loadgen chaos "$SOCK" --oversize-bytes 131072
+  malformed frame: answered (malformed)
+  bad version: answered (bad_version)
+  unknown kind: answered (unknown_kind)
+  oversized frame: answered (too_large)
+  mid-request disconnect: survived: true
+  still serving: sat
+
+The smoke pass exercises each request kind and shuts the daemon
+down; wait confirms it exits cleanly:
+
+  $ dprle-loadgen smoke "$SOCK"
+  solve: sat
+  solve again: sat (intern hits > 0: true)
+  lint: no findings
+  stats: ok (requests > 0: true)
+  shutdown: acked (drained 0)
+  $ wait
+  $ rm -rf "$D"

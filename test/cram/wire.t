@@ -1,0 +1,24 @@
+Wire mode runs dprle-wire/1 request frames through the daemon's
+handler in-process: one JSON frame per line in, one response frame
+per line out, consecutive frames sharing one warm store. Build a
+three-line script — a witness-bearing solve, a lint, and one line of
+garbage:
+
+  $ cat > reqs.jsonl <<'EOF'
+  > {"schema":"dprle-wire/1","id":"q1","kind":"solve","payload":{"system":"let filter = /[\\d]+$/;\nlet prefix = \"nid_\";\nlet unsafe = /'/;\nv1 <= filter;\nprefix . v1 <= unsafe;\n","witnesses":true}}
+  > {"schema":"dprle-wire/1","id":"q2","kind":"lint","payload":{"system":"let a = \"x\";\nv1 <= a;\n"}}
+  > not json at all
+  > EOF
+
+Every input line gets a response frame — the garbage line a
+structured malformed error — and any error makes the exit code 1.
+Timing and cache observability vary run to run, so scrub them:
+
+  $ dprle batch --wire reqs.jsonl > out.jsonl 2> err.txt
+  [1]
+  $ sed -E 's/"elapsed_us":[0-9]+/"elapsed_us":0/; s/"intern_hit":[0-9]+/"intern_hit":0/; s/"opcache_hit":[0-9]+/"opcache_hit":0/' out.jsonl
+  {"schema":"dprle-wire/1","id":"q1","result":"sat","elapsed_us":0,"store":{"intern_hit":0,"opcache_hit":0},"payload":{"solutions":1,"witnesses":[[["v1","'0"]]]}}
+  {"schema":"dprle-wire/1","id":"q2","result":"lint","elapsed_us":0,"store":{"intern_hit":0,"opcache_hit":0},"payload":{"findings":[]}}
+  {"schema":"dprle-wire/1","id":"","result":"error","elapsed_us":0,"store":{"intern_hit":0,"opcache_hit":0},"payload":{"code":"malformed","message":"frame is not valid JSON (expected null at offset 0)"}}
+  $ cat err.txt
+  3 response(s), 1 error(s)

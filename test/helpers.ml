@@ -61,3 +61,18 @@ let check_string = Alcotest.(check string)
 let check_int = Alcotest.(check int)
 
 let test name f = Alcotest.test_case name `Quick f
+
+(* [Solver.run] with the default unlimited budget, unwrapped to the
+   bare outcome — the migration target for tests written against the
+   pre-Config [solve_system] signature. Unit tests never install
+   budgets, so a budget error here is itself a failure. *)
+let run_solver ?max_solutions ?combination_limit system =
+  match
+    Dprle.Solver.run
+      (Dprle.Solver.Config.make ?max_solutions ?combination_limit ())
+      system
+  with
+  | Ok outcome -> outcome
+  | Error err ->
+      Alcotest.failf "unexpected solver error: %s"
+        (Dprle.Solver.Error.to_string err)

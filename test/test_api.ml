@@ -1,0 +1,227 @@
+(* The dprle-wire/1 codec: round-trip laws over the full request and
+   response vocabulary, and one rejection test per decode failure
+   mode. Generators stick to printable ASCII because the wire JSON
+   emitter escapes control characters one way (\uXXXX) and the
+   parser's permissive non-ASCII handling does not undo it — frames
+   on the wire are produced by this codec, which never emits them. *)
+
+open Helpers
+module Request = Api.Request
+module Response = Api.Response
+
+let printable_char = QCheck2.Gen.(map Char.chr (int_range 32 126))
+let pstring = QCheck2.Gen.(string_size ~gen:printable_char (int_bound 24))
+
+let solve_params_gen =
+  let open QCheck2.Gen in
+  let* system = pstring in
+  let* max_solutions = int_range 1 512 in
+  let* combination_limit = int_range 1 8192 in
+  let* witnesses = bool in
+  return { Request.system; max_solutions; combination_limit; witnesses }
+
+let webcheck_params_gen =
+  let open QCheck2.Gen in
+  let* program = pstring in
+  let* attack = pstring in
+  let* max_paths = int_range 1 4096 in
+  let* static_prune = bool in
+  return { Request.program; attack; max_paths; static_prune }
+
+let kind_gen =
+  let open QCheck2.Gen in
+  oneof
+    [
+      map (fun p -> Request.Solve p) solve_params_gen;
+      map (fun s -> Request.Check s) pstring;
+      map (fun s -> Request.Lint s) pstring;
+      map (fun p -> Request.Webcheck p) webcheck_params_gen;
+      return Request.Stats;
+      return Request.Shutdown;
+    ]
+
+let request_gen =
+  let open QCheck2.Gen in
+  let* id = pstring in
+  let* kind = kind_gen in
+  let* budget_ms = opt (int_range 0 60_000) in
+  let* budget_states = opt (int_range 0 1_000_000) in
+  return { Request.id; kind; budget_ms; budget_states }
+
+let pairs_gen = QCheck2.Gen.(small_list (pair pstring pstring))
+
+let finding_gen =
+  QCheck2.Gen.(
+    map3
+      (fun severity check message -> { Response.severity; check; message })
+      pstring pstring pstring)
+
+let sink_gen =
+  let open QCheck2.Gen in
+  let* path_id = int_range (-1) 100 in
+  let* sink_index = int_range (-1) 20 in
+  let* sink_id = int_range 0 20 in
+  let* status = pstring in
+  let* exploit = pairs_gen in
+  return { Response.path_id; sink_index; sink_id; status; exploit }
+
+let rejection_gen =
+  QCheck2.Gen.(
+    map2
+      (fun projected_wait_ms queue_depth ->
+        { Response.projected_wait_ms; queue_depth })
+      small_nat small_nat)
+
+let error_code_gen =
+  let open QCheck2.Gen in
+  oneof
+    [
+      return Response.Parse_error;
+      return Response.Budget_exceeded;
+      map (fun r -> Response.Over_capacity r) rejection_gen;
+      return Response.Malformed;
+      return Response.Too_large;
+      return Response.Bad_version;
+      return Response.Unknown_kind;
+      return Response.Internal;
+    ]
+
+let payload_gen =
+  let open QCheck2.Gen in
+  oneof
+    [
+      (let* solutions = small_nat in
+       let* witnesses = small_list pairs_gen in
+       return (Response.Sat { solutions; witnesses }));
+      map (fun reason -> Response.Unsat { reason }) pstring;
+      map
+        (fun findings -> Response.Lint_report { findings })
+        (small_list finding_gen);
+      (let* sinks = small_list sink_gen in
+       let* vulnerable = small_nat in
+       let* paths_truncated = bool in
+       return (Response.Webcheck_report { sinks; vulnerable; paths_truncated }));
+      (let* requests = small_nat in
+       let* counters = small_list (pair pstring small_nat) in
+       return (Response.Stats_report { requests; counters }));
+      map (fun drained -> Response.Shutdown_ack { drained }) small_nat;
+      (let* code = error_code_gen in
+       let* message = pstring in
+       return (Response.Error { code; message }));
+    ]
+
+let response_gen =
+  let open QCheck2.Gen in
+  let* id = pstring in
+  let* payload = payload_gen in
+  let* elapsed_us = small_nat in
+  let* intern_hits = small_nat in
+  let* opcache_hits = small_nat in
+  return
+    {
+      Response.id;
+      payload;
+      obs = { Response.elapsed_us; intern_hits; opcache_hits };
+    }
+
+let code_of = function
+  | Error ({ code; _ } : Api.reject) -> Api.error_code_name code
+  | Ok _ -> "ok"
+
+let check_code what expected result =
+  check_string what expected (code_of result)
+
+let property_tests =
+  [
+    qtest ~count:500 "request: decode ∘ encode = id" request_gen (fun r ->
+        Api.decode_request (Api.encode_request r) = Ok r);
+    qtest ~count:500 "response: decode ∘ encode = id" response_gen (fun r ->
+        Api.decode_response (Api.encode_response r) = Ok r);
+    qtest ~count:200 "request frames are single-line" request_gen (fun r ->
+        not (String.contains (Api.encode_request r) '\n'));
+    qtest ~count:200 "response frames are single-line" response_gen (fun r ->
+        not (String.contains (Api.encode_response r) '\n'));
+    qtest ~count:200 "truncating an encoded request never decodes" request_gen
+      (fun r ->
+        let frame = Api.encode_request r in
+        (* any strict prefix is an unterminated JSON object *)
+        let cut = String.sub frame 0 (String.length frame / 2) in
+        Result.is_error (Api.decode_request cut));
+  ]
+
+let unit_tests =
+  [
+    test "unknown kind is rejected as unknown_kind" (fun () ->
+        check_code "unknown kind" "unknown_kind"
+          (Api.decode_request
+             {|{"schema":"dprle-wire/1","id":"x","kind":"frobnicate"}|}));
+    test "wrong schema version is rejected as bad_version" (fun () ->
+        check_code "bad version" "bad_version"
+          (Api.decode_request
+             {|{"schema":"dprle-wire/99","id":"x","kind":"stats"}|}));
+    test "missing schema tag is malformed" (fun () ->
+        check_code "no schema" "malformed"
+          (Api.decode_request {|{"id":"x","kind":"stats"}|}));
+    test "non-JSON frame is malformed" (fun () ->
+        check_code "garbage" "malformed" (Api.decode_request "not json"));
+    test "over-limit frame is rejected before parsing" (fun () ->
+        check_code "too large" "too_large"
+          (Api.decode_request ~max_bytes:64 (String.make 100 'a')));
+    test "non-integer budget is malformed" (fun () ->
+        check_code "bad budget" "malformed"
+          (Api.decode_request
+             {|{"schema":"dprle-wire/1","id":"x","kind":"stats","budget_ms":"fast"}|}));
+    test "solve without a payload is malformed" (fun () ->
+        check_code "no payload" "malformed"
+          (Api.decode_request
+             {|{"schema":"dprle-wire/1","id":"x","kind":"solve"}|}));
+    test "solve payload defaults fill omitted fields" (fun () ->
+        match
+          Api.decode_request
+            {|{"schema":"dprle-wire/1","id":"x","kind":"solve","payload":{"system":"v <= c;"}}|}
+        with
+        | Ok { kind = Request.Solve p; _ } ->
+            check_string "system" "v <= c;" p.Request.system;
+            check_int "max_solutions" 256 p.Request.max_solutions;
+            check_int "combination_limit" 4096 p.Request.combination_limit;
+            check_bool "witnesses" false p.Request.witnesses
+        | other -> Alcotest.failf "expected solve, got %s" (code_of other));
+    test "error_response echoes the id and code" (fun () ->
+        let resp =
+          Api.error_response ~id:"req-7"
+            { Api.code = Response.Too_large; message = "way too big" }
+        in
+        check_string "id" "req-7" resp.Response.id;
+        match resp.Response.payload with
+        | Response.Error { code = Response.Too_large; message } ->
+            check_string "message" "way too big" message
+        | _ -> Alcotest.fail "expected a too_large error payload");
+    test "over_capacity rejection survives the wire" (fun () ->
+        let resp =
+          {
+            Response.id = "q";
+            payload =
+              Response.Error
+                {
+                  code =
+                    Response.Over_capacity
+                      { Response.projected_wait_ms = 1200; queue_depth = 17 };
+                  message = "busy";
+                };
+            obs = Response.no_obs;
+          }
+        in
+        match Api.decode_response (Api.encode_response resp) with
+        | Ok
+            {
+              payload =
+                Response.Error
+                  { code = Response.Over_capacity r; message = "busy" };
+              _;
+            } ->
+            check_int "projected_wait_ms" 1200 r.Response.projected_wait_ms;
+            check_int "queue_depth" 17 r.Response.queue_depth
+        | _ -> Alcotest.fail "over_capacity did not round-trip");
+  ]
+
+let suite = [ ("api:codec", property_tests @ unit_tests) ]

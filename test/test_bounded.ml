@@ -100,12 +100,12 @@ let diff_props =
         match Bounded.solve ~max_len:3 ~candidates_per_var:64 s with
         | Bounded.Unsat_within_bound -> true
         | Bounded.Sat _ -> (
-            match Solver.solve_system s with
+            match run_solver s with
             | Solver.Sat _ -> true
             | Solver.Unsat _ -> false));
     qtest ~count:60 "solver unsat implies bounded unsat" small_system_gen
       (fun s ->
-        match Solver.solve_system s with
+        match run_solver s with
         | Solver.Sat _ -> true
         | Solver.Unsat _ -> (
             match Bounded.solve ~max_len:4 ~candidates_per_var:128 s with
@@ -114,7 +114,7 @@ let diff_props =
     qtest ~count:40 "solver witnesses satisfy the bounded checker"
       small_system_gen
       (fun s ->
-        match Solver.solve_system s with
+        match run_solver s with
         | Solver.Unsat _ -> true
         | Solver.Sat sols ->
             List.for_all
@@ -126,7 +126,7 @@ let diff_props =
     qtest ~count:40 "solver sat with short witness implies bounded finds one"
       small_system_gen
       (fun s ->
-        match Solver.solve_system ~max_solutions:1 s with
+        match run_solver ~max_solutions:1 s with
         | Solver.Unsat _ -> true
         | Solver.Sat (a :: _) -> (
             match Assignment.witness a with

@@ -190,7 +190,7 @@ let depgraph_tests =
 (* Full solver                                                        *)
 
 let solve_exn ?max_solutions system =
-  match Solver.solve_system ?max_solutions system with
+  match run_solver ?max_solutions system with
   | Solver.Sat solutions -> solutions
   | Solver.Unsat reason ->
       Alcotest.failf "unexpected unsat: %s" (Solver.unsat_message reason)
@@ -254,7 +254,7 @@ let solver_tests =
               { lhs = Concat (Const "c2", Var "v1"); rhs = "c3" };
             ]
         in
-        match Solver.solve_system s with
+        match run_solver s with
         | Solver.Unsat _ -> ()
         | Solver.Sat sols ->
             Alcotest.failf "expected unsat, got %d solutions" (List.length sols));
@@ -271,7 +271,7 @@ let solver_tests =
             [ ("sub", "ba"); ("super", "a.*") ]
             [ { lhs = Const "sub"; rhs = "super" } ]
         in
-        match Solver.solve_system s with
+        match run_solver s with
         | Solver.Unsat _ -> ()
         | Solver.Sat _ -> Alcotest.fail "expected unsat");
     test "shared variable across two concats (Fig. 9 shape)" (fun () ->
@@ -391,7 +391,7 @@ let solver_tests =
             [ ("c1", "a*"); ("c3", "(ab)*") ]
             [ { lhs = Concat (Const "c1", Var "v"); rhs = "c3" } ]
         in
-        (match Solver.solve_system s with
+        (match run_solver s with
         | Solver.Unsat _ -> ()
         | Solver.Sat sols ->
             Alcotest.failf "expected unsat, got %d solutions" (List.length sols));
@@ -431,7 +431,7 @@ let solver_tests =
               };
             ]
         in
-        match Solver.solve_system s with
+        match run_solver s with
         | Solver.Unsat _ -> ()
         | Solver.Sat sols ->
             check_bool "nonempty" true (sols <> []);
@@ -445,7 +445,7 @@ let solver_tests =
             [ ("a", "x"); ("b", "y"); ("c", "xz") ]
             [ { lhs = Concat (Const "a", Const "b"); rhs = "c" } ]
         in
-        (match Solver.solve_system bad with
+        (match run_solver bad with
         | Solver.Unsat _ -> ()
         | Solver.Sat _ -> Alcotest.fail "expected unsat");
         let good =
@@ -453,7 +453,7 @@ let solver_tests =
             [ ("a", "x"); ("b", "y"); ("c", "xy|z") ]
             [ { lhs = Concat (Const "a", Const "b"); rhs = "c" } ]
         in
-        match Solver.solve_system good with
+        match run_solver good with
         | Solver.Sat _ -> ()
         | Solver.Unsat r -> Alcotest.failf "expected sat: %s" (Solver.unsat_message r));
     test "union lhs splits into conjuncts (§3.1.2 extension)" (fun () ->
@@ -569,15 +569,15 @@ let solver_props =
   in
   [
     qtest ~count:40 "solver: all disjuncts satisfy" sys_gen (fun s ->
-        match Solver.solve_system s with
+        match run_solver s with
         | Solver.Unsat _ -> true
         | Solver.Sat sols -> List.for_all (Validate.satisfying s) sols);
     qtest ~count:40 "solver: disjuncts pairwise incomparable" sys_gen (fun s ->
-        match Solver.solve_system s with
+        match run_solver s with
         | Solver.Unsat _ -> true
         | Solver.Sat sols -> Validate.pairwise_incomparable sols);
     qtest ~count:25 "solver: maximality probe" sys_gen (fun s ->
-        match Solver.solve_system s with
+        match run_solver s with
         | Solver.Unsat _ -> true
         | Solver.Sat sols ->
             List.for_all (fun a -> Validate.maximal_probe ~samples:3 s a) sols);
@@ -587,7 +587,7 @@ let solver_props =
         and c2 = System.const_lang s "c2"
         and c3 = System.const_lang s "c3" in
         let target = Ops.inter_lang (Ops.concat_lang c1 c2) c3 in
-        match Solver.solve_system s with
+        match run_solver s with
         | Solver.Unsat _ -> Nfa.is_empty_lang target
         | Solver.Sat sols ->
             let covered =
@@ -604,7 +604,7 @@ let solver_props =
         and c2 = System.const_lang s "c2"
         and c3 = System.const_lang s "c3" in
         let target = Ops.inter_lang (Ops.concat_lang c1 c2) c3 in
-        match Solver.solve_system s with
+        match run_solver s with
         | Solver.Unsat _ -> Nfa.is_empty_lang target
         | Solver.Sat sols -> sols <> [] && not (Nfa.is_empty_lang target));
   ]
@@ -701,12 +701,12 @@ let chained_props =
   [
     qtest ~count:25 "chained systems: every disjunct satisfies" sys_gen
       (fun s ->
-        match Solver.solve_system ~max_solutions:8 s with
+        match run_solver ~max_solutions:8 s with
         | Solver.Unsat _ -> true
         | Solver.Sat sols -> List.for_all (Validate.satisfying s) sols);
     qtest ~count:25 "chained systems: witnesses check concretely" sys_gen
       (fun s ->
-        match Solver.solve_system ~max_solutions:4 s with
+        match run_solver ~max_solutions:4 s with
         | Solver.Unsat _ -> true
         | Solver.Sat sols ->
             List.for_all

@@ -364,23 +364,19 @@ let api_tests =
         | Ok (Solver.Unsat r) ->
             Alcotest.failf "wrong reason: %s" (Solver.unsat_message r)
         | _ -> Alcotest.fail "expected unsat");
-    test "deprecated shims agree with run" (fun () ->
+    test "run and run_graph agree" (fun () ->
         let system = Dprle.Sysparse.parse_exn fig1_source in
         let g = Dprle.Depgraph.of_system system in
-        let via_shim = Solver.solve ~max_solutions:4 g in
-        let via_run =
-          Result.get_ok
-            (Solver.run_graph (Solver.Config.make ~max_solutions:4 ()) g)
-        in
+        let cfg = Solver.Config.make ~max_solutions:4 () in
         let witnesses = function
-          | Solver.Sat sols -> List.map Dprle.Assignment.witness sols
-          | Solver.Unsat _ -> []
+          | Ok (Solver.Sat sols) -> List.map Dprle.Assignment.witness sols
+          | _ -> []
         in
         check_bool "same verdict shape" true
-          (witnesses via_shim = witnesses via_run);
-        match Solver.solve_system ~max_solutions:4 system with
-        | Solver.Sat _ -> ()
-        | Solver.Unsat _ -> Alcotest.fail "shim must stay sat");
+          (witnesses (Solver.run_graph cfg g) = witnesses (Solver.run cfg system));
+        match Solver.run cfg system with
+        | Ok (Solver.Sat _) -> ()
+        | _ -> Alcotest.fail "fig1 must stay sat");
     test "symexec verdict carries budget status and slot languages" (fun () ->
         let program =
           Webapp.Lang_parser.parse_exn

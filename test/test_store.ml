@@ -356,7 +356,7 @@ let endtoend_tests =
     test "repeated solves hit the op-cache" (fun () ->
         with_store_reset @@ fun () ->
         let solve () =
-          match Dprle.Solver.solve_system (fig1_system ()) with
+          match run_solver (fig1_system ()) with
           | Dprle.Solver.Sat (_ :: _) -> ()
           | _ -> Alcotest.fail "expected sat"
         in
@@ -390,7 +390,7 @@ let endtoend_tests =
     test "--no-cache semantics: disabled solve agrees with cached" (fun () ->
         with_store_reset @@ fun () ->
         let run () =
-          match Dprle.Solver.solve_system (fig1_system ()) with
+          match run_solver (fig1_system ()) with
           | Dprle.Solver.Sat assignments ->
               List.map Dprle.Assignment.witness assignments
           | Dprle.Solver.Unsat r ->

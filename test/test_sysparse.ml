@@ -25,7 +25,7 @@ let unit_tests =
         check_int "consts" 3 (List.length (System.constants s)));
     test "parsed system solves to the exploit language" (fun () ->
         let s = Sysparse.parse_exn fig1_source in
-        match Solver.solve_system s with
+        match run_solver s with
         | Solver.Sat [ a ] ->
             let v1 = Assignment.find a "v1" in
             check_bool "attack" true (Nfa.accepts v1 "' OR 1=1 ; DROP news --9");
@@ -80,7 +80,7 @@ let unit_tests =
         | _ -> Alcotest.fail "unexpected parse");
     test "union system solves" (fun () ->
         let s = Sysparse.parse_exn {|let c = /^a{1,2}$/; (x | y) <= c;|} in
-        match Solver.solve_system s with
+        match run_solver s with
         | Solver.Sat [ a ] ->
             check_bool "x" true
               (Automata.Lang.equal (Assignment.find a "x")

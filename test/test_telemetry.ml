@@ -359,7 +359,10 @@ let stats_tests =
           (r2.automata.visited < 2 * r1.automata.visited));
     test "absolute counters never decrease" (fun () ->
         let before = Stats.absolute () in
-        let _ = Dprle.Solver.solve (Dprle.Depgraph.of_system fig1) in
+        let _ =
+          Dprle.Solver.run_graph Dprle.Solver.Config.default
+            (Dprle.Depgraph.of_system fig1)
+        in
         let after = Stats.absolute () in
         let d = Stats.diff after before in
         check_bool "visited grew" true (d.visited > 0);
