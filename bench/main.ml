@@ -105,7 +105,7 @@ let fig1_report () =
         (Nfa.accepts v1 "' OR 1=1 ; DROP news --9")
         "42" (Nfa.accepts v1 "42") dt
   | Solver.Sat l -> Fmt.pr "unexpected: %d solutions@." (List.length l)
-  | Solver.Unsat r -> Fmt.pr "unexpected unsat: %s@." (Solver.unsat_message r));
+  | Solver.Unsat r -> Fmt.pr "unexpected unsat: %s@." (Solver.unsat_message r.Solver.reason));
   Fmt.pr "paper: v1 = all strings that contain a quote and end with a digit@."
 
 (* ------------------------------------------------------------------ *)
@@ -169,7 +169,7 @@ let fig9_report () =
   hr "Fig. 9/10 — coupled concatenations (gci)";
   let outcome, dt = time_once fig9_solve in
   match outcome with
-  | Solver.Unsat r -> Fmt.pr "unexpected unsat: %s@." (Solver.unsat_message r)
+  | Solver.Unsat r -> Fmt.pr "unexpected unsat: %s@." (Solver.unsat_message r.Solver.reason)
   | Solver.Sat solutions ->
       Fmt.pr "maximal disjunctive solutions: %d (%.4f s)@."
         (List.length solutions) dt;
@@ -630,6 +630,14 @@ let pool_reuse_report () =
 
 let static_prune_passes = 32
 
+(* Both static_prune arms solve with the pre-solve analyzer off: the
+   experiment isolates the dataflow prune, and CI pins its solves
+   columns (1 vs 24) — letting the analyzer also skip solves here
+   would conflate the two ablations.  The analyzer gets its own
+   experiment below. *)
+let solver_only_config =
+  { Dprle.Solver.Config.default with Dprle.Solver.Config.analyze = false }
+
 let static_prune_arm ~prune ~passes files =
   let attack = Corpus.Fig12.attack in
   Automata.Store.clear ();
@@ -661,7 +669,8 @@ let static_prune_arm ~prune ~passes files =
               List.exists
                 (fun q ->
                   (not (List.mem q.Webapp.Symexec.sink_id safe_ids))
-                  && (Webapp.Symexec.solve q).Webapp.Symexec.assignment
+                  && (Webapp.Symexec.solve ~config:solver_only_config q)
+                       .Webapp.Symexec.assignment
                      <> None)
                 candidates
             in
@@ -713,6 +722,97 @@ let static_prune_report () =
   Fmt.pr "(pruning skips path enumeration and the per-candidate RMA solves@.";
   Fmt.pr " for sinks the fixpoint proved safe; it must never change a@.";
   Fmt.pr " verdict. passes share one store, as webcheck requests do.)@."
+
+(* ------------------------------------------------------------------ *)
+(* Analyze ablation: the pre-solve static pipeline (normalization,
+   bounds propagation, discharge, goal-directed slicing) on vs off,
+   over the fig12 rows plus the full eve corpus.  Candidates the
+   bounds pass refutes never reach [solve_graph], so the
+   solver.solves column must drop strictly on the "on" arm; verdicts
+   must be identical.  Warm-store passes for the same reason as
+   static_prune: one cold pass bills the analyzer the one-time cost
+   of interning its bound automata and nothing else.                  *)
+
+let analyze_passes = 8
+
+let analyze_arm ~analyze ~passes files =
+  let attack = Corpus.Fig12.attack in
+  Automata.Store.clear ();
+  let config = { Dprle.Solver.Config.default with Dprle.Solver.Config.analyze } in
+  let before = Snapshot.of_default () in
+  let t0 = now_s () in
+  let verdicts = ref [] in
+  for _ = 1 to passes do
+    let vs =
+      List.map
+        (fun (name, program) ->
+          let { Webapp.Symexec.candidates; _ } =
+            Webapp.Symexec.analyze ~max_paths:256 ~attack program
+          in
+          let vulnerable =
+            List.exists
+              (fun q ->
+                (Webapp.Symexec.solve ~config q).Webapp.Symexec.assignment
+                <> None)
+              candidates
+          in
+          (name, vulnerable))
+        files
+    in
+    (match !verdicts with
+    | prev :: _ when prev <> vs ->
+        failwith "analyze: verdicts changed across passes"
+    | _ -> ());
+    verdicts := [ vs ]
+  done;
+  let seconds = now_s () -. t0 in
+  let diff = Snapshot.diff ~after:(Snapshot.of_default ()) ~before in
+  let total_solves = Snapshot.counter_value diff "solver.solves" in
+  if total_solves mod passes <> 0 then
+    failwith "analyze: solves not constant across passes";
+  (List.hd !verdicts, seconds, total_solves / passes)
+
+let analyze_report ~fast () =
+  hr "Analyze ablation — pre-solve static pipeline vs solver alone";
+  let fig12 =
+    List.filter_map
+      (fun row ->
+        if fast && row.Corpus.Fig12.name = "secure" then None
+        else
+          Some ("fig12/" ^ row.Corpus.Fig12.name, Corpus.Fig12.program row))
+      Corpus.Fig12.rows
+  in
+  let eve = Corpus.Fig11.generate (List.hd Corpus.Fig11.apps) in
+  let files = fig12 @ eve in
+  let passes = analyze_passes in
+  let arm name analyze =
+    let verdicts, seconds, solves = analyze_arm ~analyze ~passes files in
+    Fmt.pr "%-4s %8.3f s  %5d solves/pass@." name seconds solves;
+    json_results :=
+      Json.Obj
+        [
+          ("name", Json.String ("analyze/" ^ name));
+          ("seconds", Json.Float seconds);
+          ("passes", Json.Int passes);
+          ("solves", Json.Int solves);
+          ( "vulnerable",
+            Json.Int (List.length (List.filter (fun (_, v) -> v) verdicts)) );
+        ]
+      :: !json_results;
+    (verdicts, solves)
+  in
+  Fmt.pr "fig12 + eve corpus, %d files x %d passes per arm@."
+    (List.length files) passes;
+  let on_verdicts, on_solves = arm "on" true in
+  let off_verdicts, off_solves = arm "off" false in
+  if on_verdicts <> off_verdicts then
+    failwith "analyze: arms disagree on a verdict";
+  if on_solves >= off_solves then
+    failwith "analyze: the on arm must skip solves the off arm pays for";
+  Fmt.pr "verdicts identical across arms: true@.";
+  Fmt.pr "(bounds propagation refutes statically-safe candidates before any@.";
+  Fmt.pr " group machine is built — those never reach solve_graph, so the@.";
+  Fmt.pr " solves column drops; slicing and discharge shrink the rest.)@."
 
 (* ------------------------------------------------------------------ *)
 (* Extension experiment: solving through sanitizers (transducer
@@ -1315,6 +1415,7 @@ let run_experiments () =
      recorded as "parallel/pool_reuse" (same split as static_prune) *)
   experiment "parallel/pool" pool_reuse_report;
   experiment "static_prune/ablation" static_prune_report;
+  experiment "analyze/ablation" (analyze_report ~fast);
   experiment "extension/sanitizers" sanitizers_report;
   experiment "cache_ablation" (cache_ablation_report ~fast);
   experiment "symbolic_tier/ablation" (symbolic_tier_report ~fast);

@@ -133,7 +133,7 @@ let obs_fields diff =
 
 let solve_cmd path first max_solutions combination_limit budget_ms budget_states
     witnesses_only dot smtlib stats trace trace_tree no_cache no_symbolic
-    metrics events verbose =
+    analyze metrics events verbose =
   setup_logs verbose;
   if no_cache then Automata.Store.set_enabled false;
   if no_symbolic then Automata.Query.set_symbolic_enabled false;
@@ -148,7 +148,7 @@ let solve_cmd path first max_solutions combination_limit budget_ms budget_states
           ~max_solutions:(if first then 1 else max_solutions)
           ~combination_limit
           ~budget:(budget_of ~budget_ms ~budget_states)
-          ()
+          ~analyze ()
       in
       let before_obs = Snapshot.of_default () in
       let emit_solve ~outcome ~solutions =
@@ -191,7 +191,7 @@ let solve_cmd path first max_solutions combination_limit budget_ms budget_states
       | Ok (outcome, report) -> (
           Option.iter (fun r -> Fmt.pr "%a@.@." Dprle.Report.pp r) report;
           match outcome with
-          | Dprle.Solver.Unsat reason ->
+          | Dprle.Solver.Unsat { reason; _ } ->
               emit_solve ~outcome:"unsat" ~solutions:0;
               Fmt.pr "unsat: %s@." (Dprle.Solver.unsat_message reason);
               1
@@ -204,8 +204,8 @@ let solve_cmd path first max_solutions combination_limit budget_ms budget_states
                 solutions;
               0))
 
-let check_cmd path budget_ms budget_states no_cache no_symbolic metrics
-    events verbose =
+let check_cmd path budget_ms budget_states no_cache no_symbolic analyze
+    metrics events verbose =
   setup_logs verbose;
   if no_cache then Automata.Store.set_enabled false;
   if no_symbolic then Automata.Query.set_symbolic_enabled false;
@@ -218,7 +218,7 @@ let check_cmd path budget_ms budget_states no_cache no_symbolic metrics
       let config =
         Dprle.Solver.Config.make ~max_solutions:1
           ~budget:(budget_of ~budget_ms ~budget_states)
-          ()
+          ~analyze ()
       in
       match Dprle.Solver.run config system with
       | Error err ->
@@ -227,14 +227,14 @@ let check_cmd path budget_ms budget_states no_cache no_symbolic metrics
       | Ok (Dprle.Solver.Sat _) ->
           Fmt.pr "sat@.";
           0
-      | Ok (Dprle.Solver.Unsat reason) ->
+      | Ok (Dprle.Solver.Unsat { reason; _ }) ->
           Fmt.pr "unsat: %s@." (Dprle.Solver.unsat_message reason);
           1)
 
 (* Static lint: every check in [Dprle.Static], not just the empty-rhs
    warning [Solver.run] emits on its own. No solving happens — the
    heaviest work is one depgraph build plus memoized inclusions. *)
-let lint_cmd path no_symbolic verbose =
+let lint_cmd path dot no_symbolic verbose =
   setup_logs verbose;
   if no_symbolic then Automata.Query.set_symbolic_enabled false;
   match read_system path with
@@ -242,6 +242,12 @@ let lint_cmd path no_symbolic verbose =
       Fmt.epr "error: %s@." msg;
       2
   | Ok system ->
+      (match dot with
+      | None -> ()
+      | Some dot_path ->
+          Out_channel.with_open_text dot_path (fun oc ->
+              Out_channel.output_string oc
+                (Dprle.Depgraph.to_dot (Dprle.Depgraph.of_system system))));
       let findings = Dprle.Static.lint system in
       List.iter (fun f -> Fmt.pr "%a@." Dprle.Static.pp_finding f) findings;
       if findings = [] then begin
@@ -249,6 +255,73 @@ let lint_cmd path no_symbolic verbose =
         0
       end
       else 1
+
+(* The pre-solve analyzer as its own subcommand: run the four static
+   passes — normalize, bounds, discharge, slice — and print what each
+   did, without ever invoking the solver proper. The blame a bare
+   "unsat" cannot give lives here: a refuted system reports its
+   1-minimal core. *)
+let analyze_cmd path goals dot no_symbolic verbose =
+  setup_logs verbose;
+  if no_symbolic then Automata.Query.set_symbolic_enabled false;
+  match read_system path with
+  | Error msg ->
+      Fmt.epr "error: %s@." msg;
+      2
+  | Ok system -> (
+      match Dprle.Analyze.run ~goals system with
+      | exception Invalid_argument msg ->
+          Fmt.epr "error: %s@." msg;
+          2
+      | a ->
+          let open Dprle.Analyze in
+          let stats = a.stats in
+          let n_in = List.length (Dprle.System.constraints system) in
+          Fmt.pr "system: %d constraint(s), %d variable(s)@." n_in
+            (List.length (Dprle.System.variables system));
+          Fmt.pr "normalize: %d aliased, %d folded, %d deduped@." stats.aliased
+            stats.folded stats.deduped;
+          List.iter
+            (fun (v, b) ->
+              Fmt.pr "bound: %s <- %d contribution(s)%a@." v b.contributions
+                Fmt.(
+                  option (fun ppf w -> pf ppf ", shortest witness %S" w))
+                b.witness)
+            a.bounds;
+          Fmt.pr "discharged: %d implied constraint(s)@." stats.discharged;
+          (match stats.sliced_vars with
+          | [] -> ()
+          | vs ->
+              Fmt.pr "sliced: %d constraint(s) over goal-independent \
+                      variable(s) %s@."
+                stats.sliced_constraints (String.concat ", " vs));
+          (match dot with
+          | None -> ()
+          | Some dot_path ->
+              (* the original graph, with the post-slice cone filled:
+                 what survives for the solver vs. what the goals never
+                 reach *)
+              let cone =
+                List.map
+                  (fun v -> Dprle.Depgraph.Var v)
+                  (Dprle.System.variables a.system)
+              in
+              Out_channel.with_open_text dot_path (fun oc ->
+                  Out_channel.output_string oc
+                    (Dprle.Depgraph.to_dot ~highlight:cone
+                       (Dprle.Depgraph.of_system system))));
+          (match a.refute with
+          | Some { cause; core } ->
+              Fmt.pr "verdict: unsat — %a@." pp_cause cause;
+              Fmt.pr "core: %s@."
+                (String.concat "; "
+                   (List.map (Fmt.str "%a" Dprle.System.pp_constr) core));
+              1
+          | None ->
+              Fmt.pr "verdict: unknown — %d constraint(s) remain for the \
+                      solver@."
+                (List.length (Dprle.System.constraints a.system));
+              0))
 
 (* ------------------------------------------------------------------ *)
 (* Profile: run a workload under full cost accounting, then print the
@@ -428,8 +501,8 @@ let run_wire source =
    matter how many workers ran, so the output is byte-identical for
    any --jobs value; timing goes to stderr. *)
 let batch_cmd dir wire jobs budget_ms budget_states max_solutions
-    combination_limit trace trace_tree no_cache no_symbolic metrics events
-    verbose =
+    combination_limit trace trace_tree no_cache no_symbolic analyze metrics
+    events verbose =
   setup_logs verbose;
   if no_cache then Automata.Store.set_enabled false;
   if no_symbolic then Automata.Query.set_symbolic_enabled false;
@@ -453,7 +526,7 @@ let batch_cmd dir wire jobs budget_ms budget_states max_solutions
       with_trace ~trace ~trace_tree @@ fun () ->
       if trace <> None || trace_tree then Printexc.record_backtrace true;
       let config =
-        Dprle.Solver.Config.make ~max_solutions ~combination_limit ()
+        Dprle.Solver.Config.make ~max_solutions ~combination_limit ~analyze ()
       in
       let solve_file _worker file =
         match Dprle.Sysparse.parse_file (Filename.concat dir file) with
@@ -461,7 +534,7 @@ let batch_cmd dir wire jobs budget_ms budget_states max_solutions
         | Ok system -> (
             match Dprle.Solver.run config system with
             | Ok (Dprle.Solver.Sat solutions) -> `Sat (List.length solutions)
-            | Ok (Dprle.Solver.Unsat reason) -> `Unsat reason
+            | Ok (Dprle.Solver.Unsat { reason; _ }) -> `Unsat reason
             | Error (Dprle.Solver.Error.Budget_exceeded stop) ->
                 (* the job's ambient engine budget fired mid-solve and
                    [Solver.run] caught it; hand it back to the engine
@@ -634,6 +707,25 @@ let no_symbolic_arg =
            every language query is answered by the automata kernels \
            (ablation; identical verdicts, different tier counters).")
 
+let analyze_flag_arg =
+  Arg.(
+    value
+    & vflag true
+        [
+          ( true,
+            info [ "analyze" ]
+              ~doc:
+                "Run the pre-solve static analysis (normalize, bounds \
+                 propagation, discharge, slicing) before building any \
+                 group machine. This is the default." );
+          ( false,
+            info [ "no-analyze" ]
+              ~doc:
+                "Skip the pre-solve static analysis and hand the system \
+                 to the solver untouched (ablation; verdicts are \
+                 identical, only blame and work differ)." );
+        ])
+
 let metrics_arg =
   Arg.(
     value & flag
@@ -677,7 +769,8 @@ let solve_term =
     const solve_cmd $ path_arg $ first $ max_solutions_arg
     $ combination_limit_arg $ budget_ms_arg $ budget_states_arg
     $ witnesses_only $ dot $ smtlib $ stats $ trace_arg $ trace_tree_arg
-    $ no_cache_arg $ no_symbolic_arg $ metrics_arg $ events_arg $ verbose_arg)
+    $ no_cache_arg $ no_symbolic_arg $ analyze_flag_arg $ metrics_arg
+    $ events_arg $ verbose_arg)
 
 let batch_term =
   let dir_arg =
@@ -711,7 +804,7 @@ let batch_term =
     const batch_cmd $ dir_arg $ wire_arg $ jobs $ budget_ms_arg
     $ budget_states_arg $ max_solutions_arg $ combination_limit_arg
     $ trace_arg $ trace_tree_arg $ no_cache_arg $ no_symbolic_arg
-    $ metrics_arg $ events_arg $ verbose_arg)
+    $ analyze_flag_arg $ metrics_arg $ events_arg $ verbose_arg)
 
 let profile_term =
   let target =
@@ -781,8 +874,48 @@ let lint_cmd_info =
   Cmd.info "lint" ~exits:lint_exits
     ~doc:
       "Run every pre-solve static check (empty bounding constants, \
-       constant-only contradictions, unconstrained variables, coupled \
-       CI-groups) without solving."
+       constant-only contradictions, analyzer unsat cores, unconstrained \
+       variables, coupled CI-groups) without solving."
+
+let lint_dot_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "dot" ] ~docv:"FILE"
+        ~doc:"Write the dependency graph as DOT alongside the findings.")
+
+let analyze_term =
+  let goals =
+    Arg.(
+      value & opt_all string []
+      & info [ "goal" ] ~docv:"VAR"
+          ~doc:
+            "Add $(docv) to the goal set for cone-of-influence slicing \
+             (repeatable). Joined with any $(b,goal) statements in the \
+             file; with no goals at all, slicing is disabled and every \
+             constraint is kept.")
+  in
+  let dot =
+    Arg.(
+      value & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE"
+          ~doc:
+            "Write the dependency graph of the original system as DOT, \
+             with the post-analysis cone (the variables the solver would \
+             still see) filled.")
+  in
+  Term.(
+    const analyze_cmd $ path_arg $ goals $ dot $ no_symbolic_arg
+    $ verbose_arg)
+
+let analyze_cmd_info =
+  Cmd.info "analyze" ~exits:lint_exits
+    ~doc:
+      "Run only the pre-solve static analysis — union-find alias \
+       collapse, constant folding, regular bounds propagation, implied- \
+       constraint discharge, and goal-directed slicing — and report what \
+       each pass did. A statically refuted system exits 1 and prints its \
+       1-minimal unsatisfiable core; anything else exits 0 with the \
+       residue the solver proper would receive."
 
 let profile_exits =
   [
@@ -879,11 +1012,14 @@ let () =
             Cmd.v check_cmd_info
               Term.(
                 const check_cmd $ path_arg $ budget_ms_arg $ budget_states_arg
-                $ no_cache_arg $ no_symbolic_arg $ metrics_arg $ events_arg
-                $ verbose_arg);
+                $ no_cache_arg $ no_symbolic_arg $ analyze_flag_arg
+                $ metrics_arg $ events_arg $ verbose_arg);
             Cmd.v batch_cmd_info batch_term;
             Cmd.v lint_cmd_info
-              Term.(const lint_cmd $ path_arg $ no_symbolic_arg $ verbose_arg);
+              Term.(
+                const lint_cmd $ path_arg $ lint_dot_arg $ no_symbolic_arg
+                $ verbose_arg);
+            Cmd.v analyze_cmd_info analyze_term;
             Cmd.v profile_cmd_info profile_term;
             Cmd.v serve_cmd_info serve_term;
           ]))

@@ -48,7 +48,7 @@ let () =
     (String.length (Depgraph.to_dot graph));
   match Solver.run Solver.Config.default system with
   | Error err -> Fmt.pr "error: %s@." (Solver.Error.to_string err)
-  | Ok (Solver.Unsat reason) ->
+  | Ok (Solver.Unsat { reason; _ }) ->
       Fmt.pr "unsat: %a@." Solver.pp_unsat_reason reason
   | Ok (Solver.Sat solutions) ->
       Fmt.pr "%d maximal disjunctive solutions:@." (List.length solutions);

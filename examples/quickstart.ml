@@ -12,7 +12,7 @@ let solve_and_print title system =
   Fmt.pr "system:@.  @[<v>%a@]@." System.pp system;
   (match Solver.run Solver.Config.default system with
   | Error err -> Fmt.pr "error: %s@." (Solver.Error.to_string err)
-  | Ok (Solver.Unsat reason) ->
+  | Ok (Solver.Unsat { reason; _ }) ->
       Fmt.pr "unsat: %a@." Solver.pp_unsat_reason reason
   | Ok (Solver.Sat solutions) ->
       Fmt.pr "%d disjunctive solution(s):@." (List.length solutions);

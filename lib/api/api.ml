@@ -73,7 +73,7 @@ module Response = struct
 
   type payload =
     | Sat of { solutions : int; witnesses : (string * string) list list }
-    | Unsat of { reason : string }
+    | Unsat of { reason : string; core : string list }
     | Lint_report of { findings : finding list }
     | Webcheck_report of {
         sinks : sink list;
@@ -183,7 +183,13 @@ let encode_response (r : Response.t) =
             Json.List (List.map (fun w -> Json.List (List.map pair w)) witnesses)
           );
         ]
-    | Response.Unsat { reason } -> [ ("reason", Json.String reason) ]
+    | Response.Unsat { reason; core } ->
+        (* the minimal-core field rides along only when the solver
+           produced one, so pre-core clients see unchanged frames *)
+        ("reason", Json.String reason)
+        ::
+        (if core = [] then []
+         else [ ("core", Json.List (List.map (fun c -> Json.String c) core)) ])
     | Response.Lint_report { findings } ->
         [
           ( "findings",
@@ -427,7 +433,18 @@ let decode_response ?max_bytes line =
         Ok (Response.Sat { solutions; witnesses })
     | "unsat" ->
         let* reason = str_member "reason" p in
-        Ok (Response.Unsat { reason })
+        let* core =
+          match Json.member "core" p with
+          | None -> Ok []
+          | Some (Json.List l) ->
+              map_result
+                (function
+                  | Json.String s -> Ok s
+                  | _ -> reject Response.Malformed "core entry is not a string")
+                l
+          | Some _ -> reject Response.Malformed "field \"core\" is not a list"
+        in
+        Ok (Response.Unsat { reason; core })
     | "lint" ->
         let* fs = list_member "findings" p in
         let* findings =

@@ -96,7 +96,10 @@ module Response : sig
       its error arm; the rest cover the other request kinds. *)
   type payload =
     | Sat of { solutions : int; witnesses : (string * string) list list }
-    | Unsat of { reason : string }
+    | Unsat of { reason : string; core : string list }
+        (** [core]: the analyzer's minimal refuting constraint subset,
+            rendered; omitted from the wire frame when empty, so
+            pre-core clients decode unchanged *)
     | Lint_report of { findings : finding list }
     | Webcheck_report of {
         sinks : sink list;

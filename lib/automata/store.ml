@@ -388,8 +388,14 @@ let attach_top_prov h =
    caller already did plus the memo state attached to the shared
    handle. The cost gate keeps the tax off machines too small to ever
    repay it ([Gate.min_states]) and off a domain whose ledger shows
-   keying losing outright (auto-disable). *)
-let intern m =
+   keying losing outright (auto-disable).
+
+   [~force] bypasses the size floor and the auto-disable (not the
+   [max_states] ceiling): a long-lived handle that seeds downstream
+   memos — a system constant, an analyzer bound — must have a stable
+   id even when its machine is tiny, because an unkeyed fresh handle
+   turns every memo keyed on it into a permanent miss. *)
+let intern_gated ~force m =
   if not (enabled ()) then fresh_handle m
   else
     match physeq_find m with
@@ -399,7 +405,10 @@ let intern m =
     | None ->
         let a = Domain.DLS.get intern_gate_key in
         let n = Nfa.num_states m in
-        if a.Gate.disabled || n < Atomic.get Gate.min_states then begin
+        if
+          (not force)
+          && (a.Gate.disabled || n < Atomic.get Gate.min_states)
+        then begin
           Gate.skip "intern";
           fresh_handle m
         end
@@ -446,6 +455,8 @@ let intern m =
               h
         end
 
+let intern m = intern_gated ~force:false m
+let intern_keyed m = intern_gated ~force:true m
 let canon m = if not (enabled ()) then m else (intern m).nfa
 
 (* ------------------------------------------------------------------ *)

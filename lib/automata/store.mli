@@ -61,6 +61,16 @@ type handle
     counters. *)
 val intern : Nfa.t -> handle
 
+(** [intern_keyed m] interns like {!intern} but bypasses the
+    [min_states] size floor and the ledger auto-disable (the
+    [max_states] ceiling still applies). For long-lived machines that
+    seed downstream memos — system constants, analyzer bounds — where
+    a stable id matters more than the (tiny) canonical-key tax: an
+    unkeyed fresh handle turns every memo entry keyed on it into a
+    permanent miss, recomputing the memoized operation on every
+    pass. *)
+val intern_keyed : Nfa.t -> handle
+
 (** [of_word w] = the interned handle of [Nfa.of_word w], served from
     a per-domain word table keyed by [w] itself — no machine rebuild,
     no canonical key after the first ask. The fast path for constant

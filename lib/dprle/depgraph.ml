@@ -109,15 +109,21 @@ let node_id = function
   | Var v -> "v_" ^ v
   | Tmp i -> Printf.sprintf "t_%d" i
 
-let to_dot t =
+let to_dot ?(highlight = []) t =
   let buf = Buffer.create 256 in
   let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   pf "digraph depgraph {\n  rankdir=TB;\n";
   List.iter
     (fun n ->
       let shape = match n with Const _ -> "box" | Var _ -> "ellipse" | Tmp _ -> "diamond" in
-      pf "  %s [shape=%s, label=\"%s\"];\n" (node_id n) shape
-        (Fmt.str "%a" pp_node n))
+      let extra =
+        if List.exists (node_equal n) highlight then
+          ", style=filled, fillcolor=lightgrey"
+        else ""
+      in
+      pf "  %s [shape=%s, label=\"%s\"%s];\n" (node_id n) shape
+        (Fmt.str "%a" pp_node n)
+        extra)
     t.nodes;
   List.iter
     (fun (c, n) -> pf "  %s -> %s [style=dashed, label=\"⊆\"];\n" (node_id c) (node_id n))

@@ -36,5 +36,7 @@ val of_system : System.t -> t
     groups. Each group lists its member nodes. *)
 val ci_groups : t -> node list list
 
-(** Graphviz rendering (solid arrows: ∘-edge pairs; dashed: ⊆). *)
-val to_dot : t -> string
+(** Graphviz rendering (solid arrows: ∘-edge pairs; dashed: ⊆).
+    [highlight] nodes render filled — [dprle analyze --dot] marks the
+    goal cone this way. *)
+val to_dot : ?highlight:node list -> t -> string

@@ -30,6 +30,7 @@ type unsat_reason =
   | No_cut of int
   | All_combinations_empty
   | Empty_variable of string
+  | Bound_empty of string
 
 let pp_unsat_reason ppf = function
   | Const_expr_violation ->
@@ -43,24 +44,37 @@ let pp_unsat_reason ppf = function
         "every ε-cut combination of a CI-group forces an empty language"
   | Empty_variable v ->
       Fmt.pf ppf "variable %s is constrained to the empty language" v
+  | Bound_empty alt ->
+      Fmt.pf ppf
+        "bounds propagation forces concatenation %s to the empty language" alt
 
 let unsat_message reason = Fmt.str "%a" pp_unsat_reason reason
 
-type outcome = Sat of Assignment.t list | Unsat of unsat_reason
+type refutation = { reason : unsat_reason; core : System.constr list }
+
+type outcome = Sat of Assignment.t list | Unsat of refutation
 
 module Config = struct
   type t = {
     max_solutions : int;
     combination_limit : int;
     budget : Budget.t;
+    analyze : bool;
+    goals : string list;
   }
 
   let default =
-    { max_solutions = 256; combination_limit = 4096; budget = Budget.unlimited }
+    {
+      max_solutions = 256;
+      combination_limit = 4096;
+      budget = Budget.unlimited;
+      analyze = true;
+      goals = [];
+    }
 
   let make ?(max_solutions = 256) ?(combination_limit = 4096)
-      ?(budget = Budget.unlimited) () =
-    { max_solutions; combination_limit; budget }
+      ?(budget = Budget.unlimited) ?(analyze = true) ?(goals = []) () =
+    { max_solutions; combination_limit; budget; analyze; goals }
 end
 
 module Error = struct
@@ -666,33 +680,74 @@ let solve_graph ~max_solutions ~combination_limit (g : Depgraph.t) =
         m "solved: %d groups, %d disjunctive solutions" (List.length group_solutions)
           (List.length capped));
     Sat capped
-  with Unsatisfiable reason -> Unsat reason
+  with Unsatisfiable reason -> Unsat { reason; core = [] }
 
 (* ------------------------------------------------------------------ *)
 (* Public entry points. [run]/[run_graph] are the primary API: config
    record in, [result] out, with budget exhaustion surfaced as a
    structured error rather than an exception. *)
 
+let reason_of_cause = function
+  | Analyze.Empty_var v -> Empty_variable v
+  | Analyze.Bound_empty alt -> Bound_empty alt
+  | Analyze.Const_expr _ -> Const_expr_violation
+
+(* The analyzer pre-pass, then the solver proper on whatever survives.
+   An analyzer refutation carries its minimal core; a solver-proper
+   refutation carries an empty core (minimizing one would mean
+   re-solving subsets — the [dprle analyze] report is the tool for
+   blame beyond what the static passes can see). Sliced-away
+   variables re-join every solution as their singleton witnesses so
+   assignments stay total over the original system. *)
+let solve_system (cfg : Config.t) system =
+  if not cfg.analyze then
+    solve_graph ~max_solutions:cfg.max_solutions
+      ~combination_limit:cfg.combination_limit
+      (Depgraph.of_system system)
+  else
+    let a =
+      Span.with_span ~name:"analyze" (fun () ->
+          timed "analyze" (fun () -> Analyze.run ~goals:cfg.goals system))
+    in
+    match a.Analyze.refute with
+    | Some { Analyze.cause; core } ->
+        Unsat { reason = reason_of_cause cause; core }
+    | None -> (
+        match
+          solve_graph ~max_solutions:cfg.max_solutions
+            ~combination_limit:cfg.combination_limit
+            (Depgraph.of_system a.Analyze.system)
+        with
+        | Unsat _ as u -> u
+        | Sat sols -> (
+            match a.Analyze.witnesses with
+            | [] -> Sat sols
+            | ws ->
+                let extra =
+                  List.map (fun (v, w) -> (v, Store.nfa (Store.of_word w))) ws
+                in
+                Sat
+                  (List.map
+                     (fun s ->
+                       Assignment.of_list (Assignment.bindings s @ extra))
+                     sols)))
+
 let run_graph (cfg : Config.t) g =
   try
     Ok
       (Budget.with_budget cfg.budget (fun () ->
-           solve_graph ~max_solutions:cfg.max_solutions
-             ~combination_limit:cfg.combination_limit g))
+           solve_system cfg g.Depgraph.system))
   with Budget.Exceeded stop -> Error (Error.Budget_exceeded stop)
 
 let run (cfg : Config.t) system =
   (* pre-solve lint: surface likely authoring bugs (empty bounding
-     constants) on the log before any machine is built *)
+     constants, constant-only contradictions) on the log before any
+     machine is built *)
   List.iter
     (fun f -> Log.warn (fun m -> m "lint: %a" Static.pp_finding f))
     (Static.quick system);
   try
-    Ok
-      (Budget.with_budget cfg.budget (fun () ->
-           solve_graph ~max_solutions:cfg.max_solutions
-             ~combination_limit:cfg.combination_limit
-             (Depgraph.of_system system)))
+    Ok (Budget.with_budget cfg.budget (fun () -> solve_system cfg system))
   with Budget.Exceeded stop -> Error (Error.Budget_exceeded stop)
 
 let first_solution g =

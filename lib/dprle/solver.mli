@@ -43,6 +43,10 @@ type unsat_reason =
           language *)
   | Empty_variable of string
       (** the named variable's inbound constraints intersect to ∅ *)
+  | Bound_empty of string
+      (** the pre-solve analyzer's forward bound for the rendered
+          multi-variable alternative is disjoint from its right-hand
+          constant ({!Analyze.Bound_empty}) *)
 
 val pp_unsat_reason : unsat_reason Fmt.t
 
@@ -50,11 +54,19 @@ val pp_unsat_reason : unsat_reason Fmt.t
     payload. *)
 val unsat_message : unsat_reason -> string
 
+(** An unsatisfiability verdict with blame. [core] is a 1-minimal
+    refuting subset of the (normalized) constraints when the
+    pre-solve analyzer produced the verdict, and empty when the
+    solver proper did — minimizing a solver-level refutation would
+    mean re-solving constraint subsets; [dprle analyze] is the tool
+    for that kind of blame. *)
+type refutation = { reason : unsat_reason; core : System.constr list }
+
 type outcome =
   | Sat of Assignment.t list
       (** all (deduplicated, unsubsumed) disjunctive satisfying
           assignments, at most [Config.max_solutions] of them *)
-  | Unsat of unsat_reason
+  | Unsat of refutation
 
 (** Solve configuration for {!run}/{!run_graph}. *)
 module Config : sig
@@ -72,6 +84,14 @@ module Config : sig
     budget : Automata.Budget.t;
         (** resource budget installed for the duration of the solve
             (default {!Automata.Budget.unlimited}) *)
+    analyze : bool;
+        (** run the {!Analyze} pre-pass (default [true]): refute,
+            discharge, and slice statically before any group machine
+            is built. [false] is the ablation arm — verdicts are
+            identical either way (cram-gated) *)
+    goals : string list;
+        (** extra goal variables for the analyzer's cone-of-influence
+            slicing, prepended to {!System.goals} (default: none) *)
   }
 
   val default : t
@@ -80,6 +100,8 @@ module Config : sig
     ?max_solutions:int ->
     ?combination_limit:int ->
     ?budget:Automata.Budget.t ->
+    ?analyze:bool ->
+    ?goals:string list ->
     unit ->
     t
 end

@@ -158,11 +158,32 @@ let ci_cycles graph =
             })
     groups
 
-let quick system = empty_rhs system
+(* The analyzer as a lint: when the static passes refute the system,
+   surface the minimal explaining core — the blame a solver-level
+   "unsat" alone cannot give. *)
+let unsat_core system =
+  match (Analyze.run system).Analyze.refute with
+  | None -> []
+  | Some { Analyze.cause; core } ->
+      [
+        {
+          severity = Warning;
+          check = "unsat-core";
+          message =
+            Fmt.str "system is unsatisfiable (%a); minimal core: %s"
+              Analyze.pp_cause cause
+              (String.concat "; "
+                 (List.map (Fmt.str "%a" System.pp_constr) core));
+        };
+      ]
+
+(* Both checks decide by memoized store queries (the symbolic tier
+   first), so auto-emitting them before every solve stays cheap. *)
+let quick system = empty_rhs system @ contradictions system
 
 let lint ?graph system =
   let graph =
     match graph with Some g -> g | None -> Depgraph.of_system system
   in
-  empty_rhs system @ contradictions system @ unconstrained graph
-  @ ci_cycles graph
+  empty_rhs system @ contradictions system @ unsat_core system
+  @ unconstrained graph @ ci_cycles graph

@@ -13,6 +13,9 @@
     - [const-contradiction] ({e warning}) — a constant-only
       alternative of some left side is not included in its bound: the
       system is unsatisfiable, decided by one memoized inclusion.
+    - [unsat-core] ({e warning}) — the {!Analyze} pre-solve passes
+      refute the system; the finding carries the minimal explaining
+      constraint core.
     - [unconstrained-var] ({e info}) — a variable with no direct
       ⊆-edge in the dependency graph, bounded only through
       concatenations.
@@ -20,10 +23,10 @@
       variable: the §3.5 worst case (multiplying ε-cut combinations)
       is reachable.
 
-    {!Solver.run} auto-emits the [empty-rhs] findings to the log
-    (stderr) before solving — the one check that flags a likely
-    authoring bug {e without} duplicating the solver's own Unsat
-    reporting. The [dprle lint] subcommand prints everything. *)
+    {!Solver.run} auto-emits the [empty-rhs] and
+    [const-contradiction] findings to the log (stderr) before solving
+    — the cheap checks that flag likely authoring bugs. The
+    [dprle lint] subcommand prints everything. *)
 
 type severity = Warning | Info
 
@@ -37,6 +40,7 @@ val pp_finding : finding Fmt.t
 (** All checks. Builds a {!Depgraph.t} unless one is supplied. *)
 val lint : ?graph:Depgraph.t -> System.t -> finding list
 
-(** Just the [empty-rhs] check — what {!Solver.run} emits; O(number
-    of constraints) memoized emptiness tests. *)
+(** The [empty-rhs] and [const-contradiction] checks — what
+    {!Solver.run} emits; O(number of alternatives) memoized
+    emptiness/inclusion queries, the symbolic tier answering first. *)
 val quick : System.t -> finding list

@@ -185,6 +185,7 @@ let parse_const_value st =
 let parse st =
   let consts = ref [] in
   let constraints = ref [] in
+  let goals = ref [] in
   let defined name = List.mem_assoc name !consts in
   let leaf name = if defined name then System.Const name else System.Var name in
   (* lhs := term ('|' term)*;  term := factor ('.' factor)*;
@@ -236,6 +237,28 @@ let parse st =
         expect st Tsemi "';'";
         consts := (name, value) :: !consts;
         stmts ()
+    (* [goal v1 v2;] — disambiguated by the lookahead: a bare [goal]
+       followed by another name is a declaration; anything else (e.g.
+       [goal <= c;]) still parses as a constraint over a variable that
+       happens to be named "goal". *)
+    | Tname "goal" when (skip_trivia st.lx;
+                         match peek_char st.lx with
+                         | Some c -> is_name_char c
+                         | None -> false) ->
+        bump st;
+        let rec names () =
+          match st.tok with
+          | Tname n ->
+              bump st;
+              if defined n then
+                fail_at st.lx (Printf.sprintf "goal %S names a constant" n);
+              goals := n :: !goals;
+              names ()
+          | _ -> ()
+        in
+        names ();
+        expect st Tsemi "';'";
+        stmts ()
     | Tname _ | Tlparen ->
         let lhs = parse_lhs () in
         expect st Tsubset "'<='";
@@ -258,7 +281,7 @@ let parse st =
   match
     System.make ~consts:(List.rev !consts) ~constraints:(List.rev !constraints)
   with
-  | Ok system -> system
+  | Ok system -> System.with_goals system (List.rev !goals)
   | Error msg -> fail_at st.lx msg
 
 let parse input =

@@ -21,7 +21,13 @@
     Left-hand sides support the paper's §3.1.2 union extension with
     grouping: [lhs := term ('|' term)*], [term := factor ('.'
     factor)*], [factor := NAME | '(' lhs ')'] — e.g.
-    [(a | b) . v <= c;]. *)
+    [(a | b) . v <= c;].
+
+    [goal v1 v2;] declares goal variables for the pre-solve
+    analyzer's cone-of-influence slicing ({!System.goals}); systems
+    without goal statements are analyzed with every variable as a
+    goal. The keyword only binds when followed by a name, so a
+    variable named [goal] still parses in constraint position. *)
 
 type error = { line : int; col : int; message : string }
 

@@ -25,6 +25,7 @@ type t = {
   handles : Automata.Store.handle SMap.t Lazy.t;
   order : string list;
   constrs : constr list;
+  goals : string list;
 }
 
 let rec expr_names vars consts = function
@@ -63,15 +64,36 @@ let make ~consts ~constraints =
         Ok
           {
             consts = map;
-            handles = lazy (SMap.map Automata.Store.intern map);
+            (* force-keyed: constant handles seed every downstream memo
+               (residuals, meets, subset queries) and must carry stable
+               ids even for tiny machines — see Store.intern_keyed *)
+            handles = lazy (SMap.map Automata.Store.intern_keyed map);
             order;
             constrs = constraints;
+            goals = [];
           }
 
 let make_exn ~consts ~constraints =
   match make ~consts ~constraints with
   | Ok t -> t
   | Error msg -> invalid_arg ("System.make_exn: " ^ msg)
+
+let with_goals t goals =
+  (match List.find_opt (fun g -> SMap.mem g t.consts) goals with
+  | Some g -> invalid_arg (Printf.sprintf "System.with_goals: goal %S names a constant" g)
+  | None -> ());
+  let seen = Hashtbl.create 4 in
+  let goals =
+    List.filter
+      (fun g ->
+        if Hashtbl.mem seen g then false
+        else begin
+          Hashtbl.replace seen g ();
+          true
+        end)
+      goals
+  in
+  { t with goals }
 
 let const_of_regex s = Regex.Compile.to_nfa (Regex.Parser.parse_exn s)
 
@@ -85,6 +107,13 @@ let const_of_word w = Automata.Store.nfa (Automata.Store.of_word w)
 let constants t = List.map (fun name -> (name, SMap.find name t.consts)) t.order
 
 let constraints t = t.constrs
+
+let goals t = t.goals
+
+(* Constraint-subset view used by the pre-solve analyzer: constants,
+   goals, and the lazy handle table are shared, so interned lookups
+   made on the original system stay warm on the reduced one. *)
+let with_constraints t constrs = { t with constrs }
 
 let const_lang t name =
   match SMap.find_opt name t.consts with

@@ -35,7 +35,8 @@ type t
 
 (** [make ~consts ~constraints] checks that every constant reference
     resolves and that no name is both a constant and a variable.
-    Constant names must be unique. *)
+    Constant names must be unique. The goal set starts empty; see
+    {!with_goals}. *)
 val make :
   consts:(string * Automata.Nfa.t) list ->
   constraints:constr list ->
@@ -43,6 +44,13 @@ val make :
 
 val make_exn :
   consts:(string * Automata.Nfa.t) list -> constraints:constr list -> t
+
+(** [with_goals t gs] declares the variables whose values the caller
+    actually queries (the [goal] statement of the surface syntax); the
+    pre-solve analyzer's cone-of-influence slicing keys on them, and
+    an empty list means "everything is a goal". Goals are
+    deduplicated; raises [Invalid_argument] if one names a constant. *)
+val with_goals : t -> string list -> t
 
 (** Convenience constructors for constant languages. *)
 
@@ -62,6 +70,15 @@ val const_of_word : string -> Automata.Nfa.t
 val constants : t -> (string * Automata.Nfa.t) list
 
 val constraints : t -> constr list
+
+(** Declared goal variables, declaration order, deduplicated. *)
+val goals : t -> string list
+
+(** [with_constraints t cs] is [t] with its constraint list replaced —
+    constants, goals, and interned handles are shared with [t]. No
+    validation is re-run; the intended use is shrinking to a subset of
+    [constraints t] (slices, unsat cores). *)
+val with_constraints : t -> constr list -> t
 
 val const_lang : t -> string -> Automata.Nfa.t
 

@@ -41,8 +41,12 @@ let solve (p : Api.Request.solve_params) =
               code = Api.Response.Budget_exceeded;
               message = Dprle.Solver.Error.to_string err;
             }
-      | Ok (Dprle.Solver.Unsat reason) ->
-          Api.Response.Unsat { reason = Dprle.Solver.unsat_message reason }
+      | Ok (Dprle.Solver.Unsat { reason; core }) ->
+          Api.Response.Unsat
+            {
+              reason = Dprle.Solver.unsat_message reason;
+              core = List.map (Fmt.str "%a" Dprle.System.pp_constr) core;
+            }
       | Ok (Dprle.Solver.Sat solutions) ->
           let witnesses =
             if p.witnesses then

@@ -9,14 +9,15 @@
 let default_source () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
 
 (* [source] is written only before worker domains spawn (tests and
-   CLIs configure clocks up front), so a plain ref is fine; the clamp
-   is written on every read and must be domain-local. *)
-let source = ref default_source
+   CLIs configure clocks up front), but reads race with every timer in
+   every domain — an [Atomic.t] makes the publication well-defined;
+   the clamp is written on every read and must be domain-local. *)
+let source = Atomic.make default_source
 let last_ns_key : int64 ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0L)
 
 let now_ns () =
   let last_ns = Domain.DLS.get last_ns_key in
-  let raw = Int64.of_float (!source () *. 1e9) in
+  let raw = Int64.of_float ((Atomic.get source) () *. 1e9) in
   let clamped = if Int64.compare raw !last_ns < 0 then !last_ns else raw in
   last_ns := clamped;
   clamped
@@ -25,9 +26,9 @@ let now_ns () =
    would otherwise be stuck below a previously-observed monotonic
    value. *)
 let set_source f =
-  source := f;
+  Atomic.set source f;
   Domain.DLS.get last_ns_key := 0L
 
 let use_default_source () =
-  source := default_source;
+  Atomic.set source default_source;
   Domain.DLS.get last_ns_key := 0L

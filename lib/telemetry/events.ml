@@ -28,12 +28,14 @@ let emit t ~kind fields =
 
 let close t = Mutex.protect t.mutex (fun () -> close_out t.oc)
 
-(* The global sink is set once by the CLI before any work (and before
-   worker domains spawn), so a plain ref is safe; emission itself is
-   mutex-guarded above. *)
-let global : t option ref = ref None
-let set_global sink = global := sink
-let emit_global ~kind fields = Option.iter (fun t -> emit t ~kind fields) !global
+(* The global sink is set once by the CLI before any work, but worker
+   domains read it on every job event — an [Atomic.t] publishes the
+   sink without a data race; emission itself is mutex-guarded above. *)
+let global : t option Atomic.t = Atomic.make None
+let set_global sink = Atomic.set global sink
+
+let emit_global ~kind fields =
+  Option.iter (fun t -> emit t ~kind fields) (Atomic.get global)
 
 let with_sink path f =
   match path with

@@ -424,6 +424,32 @@ let statically_safe_verdict =
     provenance = Proved_safe_statically;
   }
 
+(* Goal-directed solving: the sink obligation is always the system's
+   last constraint ([emit] reverses the path-ordered accumulator), and
+   its variables seed the analyzer's cone-of-influence slicing — path
+   conditions on inputs the sink never reads are discharged with
+   witnesses instead of solved. The slot variables must ride along as
+   goals too: [input_languages] pulls exploit inputs back through
+   every slot's full solved language, and a sliced slot would collapse
+   to one arbitrary witness word (sound for the verdict, useless for
+   reconstruction — a case-mapped filter var pinned to one spelling
+   can make a real exploit unrecoverable). *)
+let sink_goals query =
+  let sink_vars =
+    match List.rev (Dprle.System.constraints query.system) with
+    | [] -> []
+    | { Dprle.System.lhs; _ } :: _ ->
+        let rec vars acc = function
+          | Dprle.System.Var v -> v :: acc
+          | Dprle.System.Const _ -> acc
+          | Dprle.System.Concat (a, b) | Dprle.System.Union (a, b) ->
+              vars (vars acc a) b
+        in
+        vars [] lhs
+  in
+  List.sort_uniq String.compare
+    (sink_vars @ List.map (fun (var, _, _) -> var) query.slots)
+
 let solve ?(config = Dprle.Solver.Config.default) query =
   Telemetry.Span.with_span ~name:"symexec.solve"
     ~attrs:
@@ -450,8 +476,13 @@ let solve ?(config = Dprle.Solver.Config.default) query =
         Option.map (fun l -> (var, l)) (Dprle.Assignment.find_opt disjunct var))
       query.slots
   in
+  let goals = sink_goals query in
   let attempt max_solutions =
-    match Dprle.Solver.run { config with max_solutions } query.system with
+    match
+      Dprle.Solver.run
+        { config with Dprle.Solver.Config.max_solutions; goals }
+        query.system
+    with
     | Error (Dprle.Solver.Error.Budget_exceeded stop) ->
         Error (Budget_exceeded stop)
     | Ok (Dprle.Solver.Unsat _) -> Ok None

@@ -1,0 +1,142 @@
+The pre-solve analyzer: four static passes — normalization, bounds
+propagation, implied-constraint discharge, and cone-of-influence
+slicing — that run before any group machine is built. The subcommand
+reports what each pass did; a refuted system exits 1 and prints a
+1-minimal unsatisfiable core.
+
+Bounds propagation refutes without solving: the meet of v's two
+regular upper bounds is empty, and both constraints are blamed.
+
+  $ cat > contradiction.dprle <<'SYS'
+  > let digits = /^[0-9]+$/;
+  > let quoted = /^'/;
+  > v <= digits;
+  > v <= quoted;
+  > SYS
+
+  $ dprle analyze contradiction.dprle
+  system: 2 constraint(s), 1 variable(s)
+  normalize: 0 aliased, 0 folded, 0 deduped
+  bound: v <- 2 contribution(s)
+  discharged: 0 implied constraint(s)
+  verdict: unsat — variable v is constrained to the empty language
+  core: v <= digits; v <= quoted
+  [1]
+
+Normalization: aliasing merges constants with equal languages, which
+turns the two constraints into duplicates; discharge then removes the
+constraint a tighter one implies.
+
+  $ cat > norm.dprle <<'SYS'
+  > let c_re = /^ab$/;
+  > let c_lit = "ab";
+  > let wide = /^[ab]*$/;
+  > v <= c_re;
+  > v <= c_lit;
+  > v <= wide;
+  > SYS
+
+  $ dprle analyze norm.dprle
+  system: 3 constraint(s), 1 variable(s)
+  normalize: 1 aliased, 0 folded, 1 deduped
+  bound: v <- 2 contribution(s), shortest witness "ab"
+  discharged: 1 implied constraint(s)
+  verdict: unknown — 1 constraint(s) remain for the solver
+
+Slicing: a `goal` statement in the file (or repeatable --goal flags)
+keys the cone of influence. The component of x shares no variable
+with the goal, so it is proved satisfiable once — shortest witness of
+its bound — and dropped.
+
+  $ cat > sliced.dprle <<'SYS'
+  > let ca = /^ab*$/;
+  > let cc = /^cd?$/;
+  > v1 <= ca;
+  > x <= cc;
+  > goal v1;
+  > SYS
+
+  $ dprle analyze sliced.dprle
+  system: 2 constraint(s), 2 variable(s)
+  normalize: 0 aliased, 0 folded, 0 deduped
+  bound: v1 <- 1 contribution(s), shortest witness "a"
+  bound: x <- 1 contribution(s), shortest witness "c"
+  discharged: 0 implied constraint(s)
+  sliced: 1 constraint(s) over goal-independent variable(s) x
+  verdict: unknown — 1 constraint(s) remain for the solver
+
+The sliced witness rejoins the solver's assignments, so `solve` still
+binds every variable of the original system:
+
+  $ dprle solve sliced.dprle --witnesses
+  sat: 1 disjunctive solution(s)
+  solution 1:
+    [v1 ↦ "a", x ↦ "c"]
+    
+
+
+--dot renders the original dependency graph with the post-analysis
+cone filled (the sliced x stays unfilled):
+
+  $ dprle analyze sliced.dprle --dot sliced.dot > /dev/null
+  $ grep -c 'style=filled' sliced.dot
+  1
+  $ grep 'v_v1' sliced.dot
+    v_v1 [shape=ellipse, label="v1", style=filled, fillcolor=lightgrey];
+    c_ca -> v_v1 [style=dashed, label="⊆"];
+
+`dprle lint --dot` writes the same graph alongside its findings:
+
+  $ dprle lint sliced.dprle --dot lint.dot
+  no findings
+  $ head -1 lint.dot
+  digraph depgraph {
+
+The ablation gate: --no-analyze hands the system to the solver
+untouched, and the verdict lines must be identical either way (the
+analyzer may legitimately change *how* a refutation is phrased for
+systems it decides itself, but here the solver agrees verbatim — and
+sat/unsat plus the exit code must never move).
+
+  $ cat > fixed.dprle <<'SYS'
+  > let filter = /^[\d]+$/;
+  > let prefix = "nid_";
+  > let unsafe = /'/;
+  > v1 <= filter;
+  > prefix . v1 <= unsafe;
+  > SYS
+
+  $ dprle solve fixed.dprle | grep -oE '^(sat|unsat)' > verdict_on.txt
+  $ dprle solve fixed.dprle --no-analyze | grep -oE '^(sat|unsat)' > verdict_off.txt
+  $ cmp verdict_on.txt verdict_off.txt
+  $ cat verdict_on.txt
+  unsat
+
+  $ dprle solve contradiction.dprle | grep -oE '^(sat|unsat)' > c_on.txt
+  $ dprle solve contradiction.dprle --no-analyze | grep -oE '^(sat|unsat)' > c_off.txt
+  $ cmp c_on.txt c_off.txt
+
+  $ dprle check sliced.dprle
+  sat
+  $ dprle check sliced.dprle --no-analyze
+  sat
+
+The refutation and its core travel the wire unchanged — the same
+frame the `serve` daemon would answer:
+
+  $ cat > req.jsonl <<'EOF'
+  > {"schema":"dprle-wire/1","id":"q1","kind":"solve","payload":{"system":"let digits = /^[0-9]+$/;\nlet quoted = /^'/;\nv <= digits;\nv <= quoted;\n"}}
+  > EOF
+  $ dprle batch --wire req.jsonl 2>/dev/null | sed -E 's/"elapsed_us":[0-9]+/"elapsed_us":0/; s/"intern_hit":[0-9]+/"intern_hit":0/; s/"opcache_hit":[0-9]+/"opcache_hit":0/'
+  {"schema":"dprle-wire/1","id":"q1","result":"unsat","elapsed_us":0,"store":{"intern_hit":0,"opcache_hit":0},"payload":{"reason":"variable v is constrained to the empty language","core":["v <= digits","v <= quoted"]}}
+
+A goal naming a constant is a file error, caught at parse time:
+
+  $ cat > badgoal.dprle <<'SYS'
+  > let c = /^a$/;
+  > v <= c;
+  > goal c;
+  > SYS
+  $ dprle analyze badgoal.dprle
+  error: badgoal.dprle: 3:8: goal "c" names a constant
+  [2]

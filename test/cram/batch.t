@@ -23,7 +23,7 @@ exit code 3 (timing goes to stderr):
 
   $ dprle batch corpus 2>/dev/null
   a_fig1.dprle: sat (1 solution(s))
-  b_fixed.dprle: unsat — every ε-cut combination of a CI-group forces an empty language
+  b_fixed.dprle: unsat — variable v1 is constrained to the empty language
   c_bad.dprle: parse error: 1:12: right-hand side "nope" is not a defined constant
   === 3 system(s): 1 sat, 1 unsat, 1 parse error(s), 0 over budget, 0 failure(s) ===
   [3]

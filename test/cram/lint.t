@@ -23,6 +23,7 @@ every left side it constrains is forced empty:
 
   $ dprle lint empty.dprle
   warning: [empty-rhs] constant 'nothing' denotes the empty language; every lhs constrained by it is forced empty
+  warning: [unsat-core] system is unsatisfiable (variable x is constrained to the empty language); minimal core: x <= nothing
   [1]
 
 The same check fires automatically (on stderr, as a log warning)
@@ -46,7 +47,8 @@ the symbolic derivative tier decides without building any product:
   > SYS
 
   $ dprle lint contradict.dprle
-  warning: [const-contradiction] constant-only constraint a ⊆ b does not hold: the system is unsatisfiable (tier=symbolic)
+  warning: [const-contradiction] constant-only constraint a ⊆ b does not hold: the system is unsatisfiable (tier=automata)
+  warning: [unsat-core] system is unsatisfiable (constant-only alternative a violates its subset constraint); minimal core: a <= b
   [1]
 
 Under --no-symbolic the same query runs on the automata kernels; the
@@ -54,6 +56,7 @@ verdict (and exit code) must be identical, only the tier note moves:
 
   $ dprle lint contradict.dprle --no-symbolic
   warning: [const-contradiction] constant-only constraint a ⊆ b does not hold: the system is unsatisfiable (tier=automata)
+  warning: [unsat-core] system is unsatisfiable (constant-only alternative a violates its subset constraint); minimal core: a <= b
   [1]
 
 Variables bounded only through concatenations ride entirely on the

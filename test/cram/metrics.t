@@ -13,36 +13,47 @@ nanoseconds — wall clock would make this output flaky).
 
   $ dprle solve fig1.dprle --metrics >/dev/null 2>metrics.txt
   $ cat metrics.txt
-  automata.concats_built = 43
-  automata.products_built = 2
-  automata.states_visited = 629
+  analyze.aliased = 0
+  analyze.deduped = 0
+  analyze.discharged = 0
+  analyze.folded = 0
+  analyze.sliced.constraints = 0
+  analyze.sliced.vars = 0
+  automata.concats_built = 46
+  automata.products_built = 3
+  automata.states_visited = 676
   solver.solves = 1
-  store.gate.skip{op=concat_lang} = 1
-  store.gate.skip{op=intern} = 7
-  store.intern.hit = 21
-  store.intern.miss = 16
+  store.gate.skip{op=intern} = 4
+  store.intern.hit = 38
+  store.intern.miss = 22
+  store.opcache.hit{op=analyze.residual} = 1
   store.opcache.hit{op=counterexample} = 1
+  store.opcache.hit{op=inter_lang} = 1
   store.opcache.hit{op=is_singleton} = 1
-  store.opcache.miss{op=counterexample} = 2
-  store.opcache.miss{op=inter_lang} = 1
+  store.opcache.miss{op=analyze.residual} = 1
+  store.opcache.miss{op=concat_lang} = 4
+  store.opcache.miss{op=counterexample} = 3
+  store.opcache.miss{op=inter_lang} = 2
   store.opcache.miss{op=is_singleton} = 1
-  store.opcache.miss{op=residual.max_middle} = 2
-  store.tier.automata{op=is_empty} = 4
-  store.tier.automata{op=subset} = 4
-  store.tier.symbolic{op=subset} = 1
-  automata.bfs.frontier: count=72 sum=179 max=6
-  automata.concat.states{dir=in}: count=43 sum=583 max=48
-  automata.concat.states{dir=out}: count=43 sum=583 max=48
-  automata.product.states{dir=in}: count=2 sum=64 max=48
-  automata.product.states{dir=out}: count=2 sum=46 max=33
-  automata.subset.visited: count=2 sum=12 max=8
+  store.opcache.miss{op=residual.max_middle} = 3
+  store.tier.automata{op=is_empty} = 5
+  store.tier.automata{op=subset} = 5
+  store.tier.symbolic{op=equal} = 3
+  store.tier.symbolic{op=subset} = 2
+  automata.bfs.frontier: count=98 sum=236 max=6
+  automata.concat.states{dir=in}: count=46 sum=607 max=48
+  automata.concat.states{dir=out}: count=46 sum=607 max=48
+  automata.product.states{dir=in}: count=3 sum=92 max=48
+  automata.product.states{dir=out}: count=3 sum=69 max=33
+  automata.subset.visited: count=3 sum=20 max=8
   solver.group_combinations: count=1 sum=2 max=2
-  store.machine.states: count=16 sum=262 max=48
-  automata.dfa.determinize: count=18
+  store.machine.states: count=22 sum=312 max=48
+  automata.dfa.determinize: count=25
   automata.dfa.minimize: count=4
-  automata.lang.counterexample: count=2
-  automata.ops.concat: count=43
-  automata.ops.intersect: count=2
+  automata.lang.counterexample: count=3
+  automata.ops.concat: count=46
+  automata.ops.intersect: count=3
+  solver.phase{phase=analyze}: count=1
   solver.phase{phase=build-machines}: count=1
   solver.phase{phase=combine}: count=1
   solver.phase{phase=gci}: count=1
@@ -50,18 +61,22 @@ nanoseconds — wall clock would make this output flaky).
   solver.phase{phase=preprocess}: count=1
   solver.phase{phase=reduce}: count=1
   solver.phase{phase=solve}: count=1
-  store.ledger.key{op=counterexample}: count=3
-  store.ledger.key{op=inter_lang}: count=1
-  store.ledger.key{op=intern}: count=22
+  store.ledger.key{op=analyze.residual}: count=2
+  store.ledger.key{op=concat_lang}: count=4
+  store.ledger.key{op=counterexample}: count=4
+  store.ledger.key{op=inter_lang}: count=3
+  store.ledger.key{op=intern}: count=33
   store.ledger.key{op=is_singleton}: count=2
-  store.ledger.key{op=residual.max_middle}: count=2
-  store.ledger.miss{op=counterexample}: count=2
-  store.ledger.miss{op=inter_lang}: count=1
-  store.ledger.miss{op=intern}: count=16
+  store.ledger.key{op=residual.max_middle}: count=3
+  store.ledger.miss{op=analyze.residual}: count=1
+  store.ledger.miss{op=concat_lang}: count=4
+  store.ledger.miss{op=counterexample}: count=3
+  store.ledger.miss{op=inter_lang}: count=2
+  store.ledger.miss{op=intern}: count=22
   store.ledger.miss{op=is_singleton}: count=1
-  store.ledger.miss{op=residual.max_middle}: count=2
-  store.tier.time{tier=automata}: count=8
-  store.tier.time{tier=symbolic}: count=1
+  store.ledger.miss{op=residual.max_middle}: count=3
+  store.tier.time{tier=automata}: count=10
+  store.tier.time{tier=symbolic}: count=5
 
 The dump is identical run over run (the determinism the cram suite
 itself depends on):

@@ -26,7 +26,7 @@ The fixed filter is unsatisfiable (exit code 1):
   > SYS
 
   $ dprle solve fixed.dprle
-  unsat: every ε-cut combination of a CI-group forces an empty language
+  unsat: variable v1 is constrained to the empty language
   [1]
 
   $ dprle check fig1.dprle
@@ -50,7 +50,7 @@ Union syntax and stats:
   CI-groups: 0 (+2 singleton variables)
   ε-cut candidates: 0 (largest group: 0 combinations)
   solutions: 1
-  automata: visited=0 products=0 concats=0
+  automata: visited=2 products=0 concats=1
   
   sat: 1 disjunctive solution(s)
   solution 1:

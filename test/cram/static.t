@@ -28,6 +28,23 @@ says so — its "safe" is weaker:
 
   $ webcheck loop.mphp --no-static-prune
   loop.mphp: 4 basic blocks, 17 sink-reaching path candidates
+  webcheck: [WARNING] lint: warning: [const-contradiction] constant-only constraint lit0 ⊆ c17 does not hold: the system is unsatisfiable (tier=automata)
+  webcheck: [WARNING] lint: warning: [const-contradiction] constant-only constraint lit0 ⊆ c16 does not hold: the system is unsatisfiable (tier=automata)
+  webcheck: [WARNING] lint: warning: [const-contradiction] constant-only constraint lit0 ⊆ c15 does not hold: the system is unsatisfiable (tier=automata)
+  webcheck: [WARNING] lint: warning: [const-contradiction] constant-only constraint lit0 ⊆ c14 does not hold: the system is unsatisfiable (tier=automata)
+  webcheck: [WARNING] lint: warning: [const-contradiction] constant-only constraint lit0 ⊆ c13 does not hold: the system is unsatisfiable (tier=automata)
+  webcheck: [WARNING] lint: warning: [const-contradiction] constant-only constraint lit0 ⊆ c12 does not hold: the system is unsatisfiable (tier=automata)
+  webcheck: [WARNING] lint: warning: [const-contradiction] constant-only constraint lit0 ⊆ c11 does not hold: the system is unsatisfiable (tier=automata)
+  webcheck: [WARNING] lint: warning: [const-contradiction] constant-only constraint lit0 ⊆ c10 does not hold: the system is unsatisfiable (tier=automata)
+  webcheck: [WARNING] lint: warning: [const-contradiction] constant-only constraint lit0 ⊆ c9 does not hold: the system is unsatisfiable (tier=automata)
+  webcheck: [WARNING] lint: warning: [const-contradiction] constant-only constraint lit0 ⊆ c8 does not hold: the system is unsatisfiable (tier=automata)
+  webcheck: [WARNING] lint: warning: [const-contradiction] constant-only constraint lit0 ⊆ c7 does not hold: the system is unsatisfiable (tier=automata)
+  webcheck: [WARNING] lint: warning: [const-contradiction] constant-only constraint lit0 ⊆ c6 does not hold: the system is unsatisfiable (tier=automata)
+  webcheck: [WARNING] lint: warning: [const-contradiction] constant-only constraint lit0 ⊆ c5 does not hold: the system is unsatisfiable (tier=automata)
+  webcheck: [WARNING] lint: warning: [const-contradiction] constant-only constraint lit0 ⊆ c4 does not hold: the system is unsatisfiable (tier=automata)
+  webcheck: [WARNING] lint: warning: [const-contradiction] constant-only constraint lit0 ⊆ c3 does not hold: the system is unsatisfiable (tier=automata)
+  webcheck: [WARNING] lint: warning: [const-contradiction] constant-only constraint lit0 ⊆ c2 does not hold: the system is unsatisfiable (tier=automata)
+  webcheck: [WARNING] lint: warning: [const-contradiction] constant-only constraint lit0 ⊆ c1 does not hold: the system is unsatisfiable (tier=automata)
   warning: path enumeration truncated at --max-paths=4096; 1 sink(s) not statically proved may have unexplored paths
   no exploitable path found
   [1]

@@ -15,6 +15,8 @@ column) are checked.
   $ awk '{print $1}' tree.txt
   dprle
   depgraph
+  analyze
+  depgraph
   solve
   preprocess
   depgraph
@@ -66,7 +68,7 @@ key (Chrome ignores unknown top-level keys):
   > SYS
 
   $ dprle solve fixed.dprle --trace unsat.json
-  unsat: every ε-cut combination of a CI-group forces an empty language
+  unsat: variable v1 is constrained to the empty language
   [1]
   $ grep -c '"traceEvents"' unsat.json
   1

@@ -93,7 +93,9 @@ let payload_gen =
       (let* solutions = small_nat in
        let* witnesses = small_list pairs_gen in
        return (Response.Sat { solutions; witnesses }));
-      map (fun reason -> Response.Unsat { reason }) pstring;
+      (let* reason = pstring in
+       let* core = small_list pstring in
+       return (Response.Unsat { reason; core }));
       map
         (fun findings -> Response.Lint_report { findings })
         (small_list finding_gen);

@@ -192,7 +192,7 @@ let depgraph_tests =
 let solve_exn ?max_solutions system =
   match run_solver ?max_solutions system with
   | Solver.Sat solutions -> solutions
-  | Solver.Unsat reason ->
+  | Solver.Unsat { reason; _ } ->
       Alcotest.failf "unexpected unsat: %s" (Solver.unsat_message reason)
 
 let solver_tests =
@@ -455,7 +455,7 @@ let solver_tests =
         in
         match run_solver good with
         | Solver.Sat _ -> ()
-        | Solver.Unsat r -> Alcotest.failf "expected sat: %s" (Solver.unsat_message r));
+        | Solver.Unsat r -> Alcotest.failf "expected sat: %s" (Solver.unsat_message r.Solver.reason));
     test "union lhs splits into conjuncts (§3.1.2 extension)" (fun () ->
         (* (v | w) ⊆ c constrains both variables *)
         let s =

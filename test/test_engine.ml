@@ -40,7 +40,7 @@ let solve_and_render source =
   | Ok system -> (
       match Solver.run Solver.Config.default system with
       | Ok (Solver.Sat sols) -> Fmt.str "sat (%d)" (List.length sols)
-      | Ok (Solver.Unsat reason) ->
+      | Ok (Solver.Unsat { reason; _ }) ->
           Fmt.str "unsat — %s" (Solver.unsat_message reason)
       | Error e -> Fmt.str "error: %s" (Solver.Error.to_string e))
 
@@ -295,7 +295,7 @@ let budget_tests =
         let system = Dprle.Sysparse.parse_exn fig1_source in
         match Solver.run Solver.Config.default system with
         | Ok (Solver.Sat _) -> ()
-        | Ok (Solver.Unsat r) -> Alcotest.failf "unsat: %s" (Solver.unsat_message r)
+        | Ok (Solver.Unsat r) -> Alcotest.failf "unsat: %s" (Solver.unsat_message r.Solver.reason)
         | Error e -> Alcotest.failf "budget: %s" (Solver.Error.to_string e));
     test "report boundary returns the same structured error" (fun () ->
         Automata.Store.clear ();
@@ -360,9 +360,23 @@ let api_tests =
     test "structured unsat reason is machine-matchable" (fun () ->
         let system = Dprle.Sysparse.parse_exn fixed_source in
         match Solver.run Solver.Config.default system with
-        | Ok (Solver.Unsat Solver.All_combinations_empty) -> ()
+        (* the analyzer refutes this system statically (empty bound on
+           v1) and names a minimal core; with the analyzer off the
+           solver proper reaches the same verdict through ε-cut
+           enumeration, with no core *)
+        | Ok (Solver.Unsat { Solver.reason = Solver.Empty_variable "v1"; core }) ->
+            Alcotest.(check bool) "analyzer names a core" true (core <> [])
         | Ok (Solver.Unsat r) ->
-            Alcotest.failf "wrong reason: %s" (Solver.unsat_message r)
+            Alcotest.failf "wrong reason: %s" (Solver.unsat_message r.Solver.reason)
+        | _ -> Alcotest.fail "expected unsat");
+    test "analyzer-off unsat reason has no core" (fun () ->
+        let system = Dprle.Sysparse.parse_exn fixed_source in
+        let cfg = { Solver.Config.default with Solver.Config.analyze = false } in
+        match Solver.run cfg system with
+        | Ok (Solver.Unsat { Solver.reason = Solver.All_combinations_empty; core }) ->
+            Alcotest.(check (list pass)) "no core" [] core
+        | Ok (Solver.Unsat r) ->
+            Alcotest.failf "wrong reason: %s" (Solver.unsat_message r.Solver.reason)
         | _ -> Alcotest.fail "expected unsat");
     test "run and run_graph agree" (fun () ->
         let system = Dprle.Sysparse.parse_exn fig1_source in

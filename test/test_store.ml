@@ -394,7 +394,8 @@ let endtoend_tests =
           | Dprle.Solver.Sat assignments ->
               List.map Dprle.Assignment.witness assignments
           | Dprle.Solver.Unsat r ->
-              Alcotest.failf "unsat: %s" (Dprle.Solver.unsat_message r)
+              Alcotest.failf "unsat: %s"
+                (Dprle.Solver.unsat_message r.Dprle.Solver.reason)
         in
         let cached = run () in
         Store.set_enabled false;

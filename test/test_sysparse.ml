@@ -32,7 +32,7 @@ let unit_tests =
             check_bool "benign" false (Nfa.accepts v1 "17")
         | Solver.Sat sols ->
             Alcotest.failf "expected 1 solution, got %d" (List.length sols)
-        | Solver.Unsat r -> Alcotest.failf "unsat: %s" (Solver.unsat_message r));
+        | Solver.Unsat r -> Alcotest.failf "unsat: %s" (Solver.unsat_message r.Solver.reason));
     test "string escapes" (fun () ->
         let s = Sysparse.parse_exn {|let c = "a\n\t\"\\";  v <= c;|} in
         check_bool "lang" true
